@@ -1,0 +1,302 @@
+// Package repro's root benchmarks time the reproduction's tooling, one
+// benchmark per paper artifact plus pipeline micro-benchmarks:
+//
+//   - BenchmarkFig3Statics / Fig4Statics / Fig5Statics: the static-analysis
+//     pipeline behind Figures 3-5 (compile + merge + OM at both levels).
+//   - BenchmarkFig6Dynamic: the dynamic experiment behind Figure 6 (all
+//     link variants of one benchmark, simulated).
+//   - BenchmarkFig7StandardLink / OMNone / OMSimple / OMFull / OMFullSched
+//     and BenchmarkFig7InterprocBuild: the build-time columns of Figure 7.
+//   - BenchmarkGATReduction: the §5.1 GAT measurement.
+//
+// Absolute times differ from the 1994 DEC hardware, but the orderings the
+// paper reports (OM a small constant over ld; scheduling superlinear on
+// big-basic-block programs like fpppp; interprocedural rebuilds far slower
+// than an optimizing link) are reproduced by these benchmarks.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/tcc"
+)
+
+// buildObjects compiles a benchmark's modules separately plus the library.
+func buildObjects(b *testing.B, name string) []*objfile.Object {
+	b.Helper()
+	bench, ok := spec.ByName(name)
+	if !ok {
+		b.Fatalf("no benchmark %s", name)
+	}
+	var objs []*objfile.Object
+	for _, m := range bench.Modules {
+		obj, err := tcc.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return append(objs, lib...)
+}
+
+func benchOM(b *testing.B, name string, opts om.Options) {
+	objs := buildObjects(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := om.OptimizeObjects(objs, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 7: build-time columns. The paper's table rows are programs;
+// here li is the representative medium program and fpppp the
+// big-basic-block stress case for the scheduling column.
+
+func BenchmarkFig7StandardLink(b *testing.B) {
+	objs := buildObjects(b, "li")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := link.Link(objs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7InterprocBuild(b *testing.B) {
+	bench, _ := spec.ByName("li")
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj, err := tcc.Compile("li_all", bench.Modules, tcc.InterprocOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := link.Link(append([]*objfile.Object{obj}, lib...)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7OMNone(b *testing.B)   { benchOM(b, "li", om.Options{Level: om.LevelNone}) }
+func BenchmarkFig7OMSimple(b *testing.B) { benchOM(b, "li", om.Options{Level: om.LevelSimple}) }
+func BenchmarkFig7OMFull(b *testing.B)   { benchOM(b, "li", om.Options{Level: om.LevelFull}) }
+func BenchmarkFig7OMFullSched(b *testing.B) {
+	benchOM(b, "li", om.Options{Level: om.LevelFull, Schedule: true})
+}
+
+// BenchmarkFig7SchedBigBlocks shows the superlinear scheduling cost the
+// paper observed on fpppp and doduc.
+func BenchmarkFig7SchedBigBlocks(b *testing.B) {
+	benchOM(b, "fpppp", om.Options{Level: om.LevelFull, Schedule: true})
+}
+
+// --- Figures 3-5: the static measurement pipeline.
+
+func benchStatics(b *testing.B, name string) {
+	objs := buildObjects(b, name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lvl := range []om.Level{om.LevelNone, om.LevelSimple, om.LevelFull} {
+			_, st, err := om.OptimizeObjects(objs, om.Options{Level: lvl})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.AddressLoads == 0 {
+				b.Fatal("no address loads measured")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3Statics(b *testing.B) { benchStatics(b, "espresso") }
+func BenchmarkFig4Statics(b *testing.B) { benchStatics(b, "spice") }
+func BenchmarkFig5Statics(b *testing.B) { benchStatics(b, "tomcatv") }
+
+// BenchmarkGATReduction measures the §5.1 quantity end to end.
+func BenchmarkGATReduction(b *testing.B) {
+	objs := buildObjects(b, "alvinn")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.GATBytesAfter >= st.GATBytesBefore {
+			b.Fatal("GAT did not shrink")
+		}
+	}
+}
+
+// --- Figure 6: the dynamic experiment for one benchmark (spice, the
+// smallest of the suite, to keep bench time reasonable).
+
+func BenchmarkFig6Dynamic(b *testing.B) {
+	objs := buildObjects(b, "spice")
+	baseline, err := link.Link(objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fullIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull, Schedule: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r1, err := sim.Run(baseline, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r2, err := sim.Run(fullIm, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r2.Stats.Instructions >= r1.Stats.Instructions {
+			b.Fatal("OM-full did not reduce instruction count")
+		}
+	}
+}
+
+// --- Pipeline micro-benchmarks.
+
+func BenchmarkCompileEach(b *testing.B) {
+	bench, _ := spec.ByName("li")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range bench.Modules {
+			if _, err := tcc.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkLift(b *testing.B) {
+	objs := buildObjects(b, "li")
+	p, err := link.Merge(objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := om.Lift(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateFunctional(b *testing.B) {
+	objs := buildObjects(b, "spice")
+	im, err := link.Link(objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(im, sim.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(res.Stats.Instructions))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(im, sim.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateTiming(b *testing.B) {
+	objs := buildObjects(b, "spice")
+	im, err := link.Link(objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run(im, sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(res.Stats.Instructions))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(im, sim.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sanity for the figure pipeline: keep the benchmarks honest by checking a
+// couple of headline shapes once (not timed).
+func TestBenchmarkShapes(t *testing.T) {
+	objs := buildObjects2(t, "li")
+	_, simple, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelSimple})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simple.AddrRemovedFrac() < 0.3 {
+		t.Errorf("OM-simple removed only %.0f%% of address loads", 100*simple.AddrRemovedFrac())
+	}
+	if full.AddrRemovedFrac() < simple.AddrRemovedFrac() {
+		t.Error("OM-full removed fewer address loads than OM-simple")
+	}
+	if full.NullifiedFrac() < 0.05 {
+		t.Errorf("OM-full deleted only %.1f%% of instructions", 100*full.NullifiedFrac())
+	}
+	fmt.Printf("li: simple %s\nli: full   %s\n", simple, full)
+}
+
+func buildObjects2(t *testing.T, name string) []*objfile.Object {
+	t.Helper()
+	bench, ok := spec.ByName(name)
+	if !ok {
+		t.Fatalf("no benchmark %s", name)
+	}
+	var objs []*objfile.Object
+	for _, m := range bench.Modules {
+		obj, err := tcc.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, obj)
+	}
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(objs, lib...)
+}
+
+// BenchmarkAblation times the full ablation pass set (the repository's
+// added study attributing OM-full's win to its components).
+func BenchmarkAblation(b *testing.B) {
+	objs := buildObjects(b, "li")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, ab := range om.Ablations() {
+			p, err := link.Merge(objs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := om.OptimizeFullAblated(p, ab, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command axdis disassembles the text of a relocatable object module or a
+// linked executable image.
+//
+// Usage:
+//
+//	axdis [-proc name] file.o|a.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+)
+
+func main() {
+	proc := flag.String("proc", "", "disassemble only the named procedure")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: axdis [-proc name] file")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+
+	// Try image first, then object.
+	if f, err := os.Open(name); err == nil {
+		if im, err := objfile.ReadImage(f); err == nil {
+			f.Close()
+			disImage(im, *proc)
+			return
+		}
+		f.Close()
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axdis:", err)
+		os.Exit(1)
+	}
+	obj, err := objfile.Read(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axdis:", err)
+		os.Exit(1)
+	}
+	disObject(obj, *proc)
+}
+
+func disImage(im *objfile.Image, proc string) {
+	text := im.TextSegment()
+	labels := make(map[uint64]string)
+	for _, s := range im.Symbols {
+		if s.Kind == objfile.SymProc {
+			labels[s.Addr] = s.Name
+		}
+	}
+	if proc == "" {
+		fmt.Print(axp.Disassemble(text.Data, text.Addr, labels))
+		return
+	}
+	sym, ok := im.FindSymbol(proc)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "axdis: no symbol %s\n", proc)
+		os.Exit(1)
+	}
+	lo := sym.Addr - text.Addr
+	fmt.Print(axp.Disassemble(text.Data[lo:lo+sym.Size], sym.Addr, labels))
+}
+
+func disObject(obj *objfile.Object, proc string) {
+	text := obj.Sections[objfile.SecText].Data
+	labels := make(map[uint64]string)
+	for _, s := range obj.Symbols {
+		if s.Kind == objfile.SymProc {
+			labels[s.Value] = s.Name
+		}
+	}
+	if proc == "" {
+		fmt.Print(axp.Disassemble(text, 0, labels))
+		return
+	}
+	i := obj.FindSymbol(proc)
+	if i < 0 || obj.Symbols[i].Kind != objfile.SymProc {
+		fmt.Fprintf(os.Stderr, "axdis: no procedure %s\n", proc)
+		os.Exit(1)
+	}
+	s := obj.Symbols[i]
+	fmt.Print(axp.Disassemble(text[s.Value:s.End], s.Value, labels))
+}

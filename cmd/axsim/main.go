@@ -1,0 +1,61 @@
+// Command axsim runs an executable image in the Alpha AXP simulator and
+// reports the program's output and, with -timing, the pipeline statistics.
+//
+// Usage:
+//
+//	axsim [-timing] [-max n] a.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/objfile"
+	"repro/internal/sim"
+)
+
+func main() {
+	timing := flag.Bool("timing", false, "model the dual-issue pipeline and caches")
+	maxInst := flag.Uint64("max", 0, "abort after this many instructions (0 = default cap)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: axsim [-timing] a.out")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsim:", err)
+		os.Exit(1)
+	}
+	im, err := objfile.ReadImage(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsim:", err)
+		os.Exit(1)
+	}
+	cfg := sim.Config{MaxInstructions: *maxInst}
+	if *timing {
+		cfg = sim.DefaultConfig()
+		cfg.MaxInstructions = *maxInst
+	}
+	res, err := sim.Run(im, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "axsim:", err)
+		os.Exit(1)
+	}
+	for _, v := range res.Output {
+		fmt.Println(v)
+	}
+	if len(res.OutBytes) > 0 {
+		os.Stdout.Write(res.OutBytes)
+	}
+	if *timing {
+		s := res.Stats
+		fmt.Fprintf(os.Stderr, "instructions %d\ncycles       %d\ncpi          %.3f\ndual-issued  %d\nloads        %d\nstores       %d\ntaken-br     %d\nicache       %d hits, %d misses\ndcache       %d hits, %d misses\n",
+			s.Instructions, s.Cycles, float64(s.Cycles)/float64(s.Instructions),
+			s.DualIssued, s.Loads, s.Stores, s.TakenBranch,
+			s.ICacheHits, s.ICacheMisses, s.DCacheHits, s.DCacheMisses)
+	}
+	os.Exit(int(res.Exit & 0x7F))
+}

@@ -1,0 +1,98 @@
+// Command om is the optimizing linker: it merges object modules, lifts the
+// whole program to symbolic form, performs link-time address-calculation
+// optimization at the selected level, and writes an executable image.
+//
+// Usage:
+//
+//	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib] [-stats] file.o...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+)
+
+func main() {
+	out := flag.String("o", "a.out", "output image file")
+	level := flag.String("level", "full", "optimization level: none, simple, or full")
+	sched := flag.Bool("schedule", false, "reschedule code after optimizing (full only)")
+	nostdlib := flag.Bool("nostdlib", false, "do not link the runtime library")
+	shared := flag.String("shared", "", "comma-separated module names to treat as a dynamically-linked shared library")
+	stats := flag.Bool("stats", false, "print static optimization statistics")
+	flag.Parse()
+
+	opts := om.Options{Schedule: *sched}
+	switch *level {
+	case "none":
+		opts.Level = om.LevelNone
+	case "simple":
+		opts.Level = om.LevelSimple
+	case "full":
+		opts.Level = om.LevelFull
+	default:
+		fmt.Fprintf(os.Stderr, "om: unknown level %q\n", *level)
+		os.Exit(2)
+	}
+
+	var objs []*objfile.Object
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om:", err)
+			os.Exit(1)
+		}
+		obj, err := objfile.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "om: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) == 0 {
+		fmt.Fprintln(os.Stderr, "om: no input objects")
+		os.Exit(2)
+	}
+	if !*nostdlib {
+		lib, err := rtlib.StandardObjects()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om:", err)
+			os.Exit(1)
+		}
+		objs = append(objs, lib...)
+	}
+
+	p, err := link.Merge(objs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "om:", err)
+		os.Exit(1)
+	}
+	if *shared != "" {
+		p.MarkShared(strings.Split(*shared, ",")...)
+	}
+	im, st, err := om.Optimize(p, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "om:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		fmt.Fprintln(os.Stderr, st)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "om:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := im.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "om:", err)
+		os.Exit(1)
+	}
+}

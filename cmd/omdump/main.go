@@ -1,0 +1,111 @@
+// Command omdump prints OM's symbolic view of a merged program: procedures,
+// their relocation-derived annotations, and per-procedure statistics. It is
+// the debugging window into the lift phase.
+//
+// Usage:
+//
+//	omdump [-proc name] [-nostdlib] file.o...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/axp"
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+)
+
+func main() {
+	proc := flag.String("proc", "", "dump only the named procedure")
+	nostdlib := flag.Bool("nostdlib", false, "do not merge the runtime library")
+	flag.Parse()
+
+	var objs []*objfile.Object
+	for _, name := range flag.Args() {
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omdump:", err)
+			os.Exit(1)
+		}
+		obj, err := objfile.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omdump: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		objs = append(objs, obj)
+	}
+	if len(objs) == 0 {
+		fmt.Fprintln(os.Stderr, "omdump: no input objects")
+		os.Exit(2)
+	}
+	if !*nostdlib {
+		lib, err := rtlib.StandardObjects()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omdump:", err)
+			os.Exit(1)
+		}
+		objs = append(objs, lib...)
+	}
+	p, err := link.Merge(objs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omdump:", err)
+		os.Exit(1)
+	}
+	prog, err := om.Lift(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omdump:", err)
+		os.Exit(1)
+	}
+	for _, pr := range prog.Procs {
+		if *proc != "" && pr.Name != *proc {
+			continue
+		}
+		dumpProc(prog, pr)
+	}
+}
+
+func dumpProc(prog *om.Prog, pr *om.Proc) {
+	fmt.Printf("%s: (module %d, %d instructions", pr.Name, pr.Mod, len(pr.Insts))
+	if pr.DataAddrTaken {
+		fmt.Print(", address in data")
+	}
+	fmt.Println(")")
+	for i, si := range pr.Insts {
+		fmt.Printf("  %4d: %-28v", i, si.In)
+		switch {
+		case si.Lit != nil:
+			fmt.Printf(" LITERAL %s%+d (%d uses)", si.Lit.Key.Name, si.Lit.Key.Addend, len(si.Lit.Uses))
+		case si.Use != nil && si.Use.JSR:
+			fmt.Print(" LITUSE jsr")
+		case si.Use != nil:
+			fmt.Print(" LITUSE base")
+		case si.GPD != nil && si.GPD.High && si.GPD.Entry:
+			fmt.Print(" GPDISP prologue (hi)")
+		case si.GPD != nil && si.GPD.High:
+			fmt.Print(" GPDISP after-call (hi)")
+		case si.GPD != nil:
+			fmt.Print(" GPDISP (lo)")
+		case si.Call != nil:
+			fmt.Printf(" CALL %s+%d", si.Call.Target.Name, si.Call.EntryOffset)
+		case si.Indirect:
+			fmt.Print(" indirect call")
+		case si.GPRel != nil:
+			fmt.Printf(" GPREL %s%+d", si.GPRel.Key.Name, si.GPRel.Extra)
+		}
+		if si.In.Op.IsBranch() && si.Target >= 0 {
+			fmt.Printf(" -> L%d", si.Target)
+		}
+		for _, l := range si.Labels {
+			fmt.Printf(" [L%d]", l)
+		}
+		fmt.Println()
+		_ = i
+	}
+	_ = axp.WordBytes
+	fmt.Println()
+}

@@ -1,0 +1,71 @@
+// Command omrepro reproduces every table and figure of the paper's
+// evaluation: it builds the benchmark suite in compile-each and compile-all
+// modes, links each with the standard linker and with OM at every level,
+// measures static code properties and simulated execution time, and prints
+// the paper-style tables.
+//
+// Usage:
+//
+//	omrepro [-fig 3|4|5|6|7|gat|size|all] [-bench name,name,...] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 3, 4, 5, 6, 7, gat, size, ablate, or all")
+	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
+	verbose := flag.Bool("v", false, "print per-variant progress")
+	flag.Parse()
+
+	r, err := harness.NewRunner()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omrepro:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		r.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	var names []string
+	if *benchList != "" {
+		names = strings.Split(*benchList, ",")
+	}
+
+	if *fig == "ablate" {
+		rows, err := r.RunAblations(names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Println(harness.AblationTable(rows))
+		return
+	}
+
+	results, err := r.RunSuite(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omrepro:", err)
+		os.Exit(1)
+	}
+
+	emit := func(name, body string) {
+		if *fig == "all" || *fig == name {
+			fmt.Println(body)
+		}
+	}
+	emit("3", harness.Figure3(results))
+	emit("4", harness.Figure4(results))
+	emit("5", harness.Figure5(results))
+	emit("6", harness.Figure6(results))
+	emit("7", harness.Figure7(results))
+	emit("gat", harness.GATTable(results))
+	emit("size", harness.CodeSizeTable(results))
+}

@@ -1,0 +1,71 @@
+// Command tcc compiles Tiny C source files into a relocatable object module
+// (the reproduction's stand-in for the DEC C compiler driver).
+//
+// Usage:
+//
+//	tcc [-o out.o] [-unit name] [-interproc] [-noschedule] file.tc...
+//
+// All named files form one compilation unit; compile files separately for
+// the paper's compile-each mode.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/tcc"
+)
+
+func main() {
+	out := flag.String("o", "a.o", "output object file")
+	unit := flag.String("unit", "", "unit (module) name; defaults to the first file's base name")
+	interproc := flag.Bool("interproc", false, "enable interprocedural optimization (compile-all style)")
+	nosched := flag.Bool("noschedule", false, "disable the compile-time pipeline scheduler")
+	gthresh := flag.Int64("G", 0, "optimistic compilation: assume data up to this many bytes is GP-reachable (the linker verifies; 0 = off)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "tcc: no input files")
+		os.Exit(2)
+	}
+	var sources []tcc.Source
+	for _, name := range flag.Args() {
+		text, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tcc:", err)
+			os.Exit(1)
+		}
+		sources = append(sources, tcc.Source{Name: name, Text: string(text)})
+	}
+	unitName := *unit
+	if unitName == "" {
+		base := filepath.Base(flag.Arg(0))
+		unitName = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	opts := tcc.DefaultOptions()
+	if *interproc {
+		opts = tcc.InterprocOptions()
+	}
+	if *nosched {
+		opts.Schedule = false
+	}
+	opts.OptimisticGP = *gthresh
+	obj, err := tcc.Compile(unitName, sources, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcc:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcc:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := obj.Write(f); err != nil {
+		fmt.Fprintln(os.Stderr, "tcc:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,24 @@
+// Package repro is a complete Go reproduction of Srivastava & Wall,
+// "Link-Time Optimization of Address Calculation on a 64-bit Architecture"
+// (PLDI 1994) — the OM link-time optimizer from DEC WRL, rebuilt end to end
+// on a simulated Alpha AXP substrate.
+//
+// The root package holds only the cross-cutting benchmarks (bench_test.go:
+// one testing.B per paper figure/table plus pipeline micro-benchmarks) and
+// the command-line integration tests. The system itself lives under
+// internal/:
+//
+//	axp      instruction set, encodings, assembler, disassembler, scheduler
+//	objfile  relocatable object format and executable images
+//	tcc      the Tiny C compiler (conservative GAT/GP code model)
+//	rtlib    the precompiled runtime library
+//	link     the standard linker
+//	om       the paper's contribution: the link-time optimizer
+//	sim      functional + 21064-style timing simulator
+//	spec     the nineteen SPEC92-shaped benchmarks
+//	progen   random-program generator for property tests
+//	harness  the experiment matrix and figure generators
+//
+// See README.md for a guided tour, DESIGN.md for the architecture and
+// substitutions, and EXPERIMENTS.md for measured-versus-paper results.
+package repro

@@ -1,0 +1,98 @@
+// Callopt: shows the procedure-call optimization instruction by
+// instruction. It compiles a two-module program, then disassembles the same
+// call site before OM, after OM-simple, and after OM-full — making the
+// jsr->bsr conversion, the GP-reset removal, and the PV-load deletion
+// visible.
+//
+//	go run ./examples/callopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/axp"
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/tcc"
+)
+
+const caller = `
+long helper(long a, long b);
+long total = 0;
+
+long driver(long n) {
+	long i;
+	for (i = 0; i < n; i = i + 1) {
+		total = total + helper(i, n - i);
+	}
+	return total;
+}
+
+long main() {
+	print(driver(100));
+	return 0;
+}
+`
+
+const callee = `
+long helper(long a, long b) {
+	return a * b + 1;
+}
+`
+
+func main() {
+	objA, err := tcc.Compile("caller", []tcc.Source{{Name: "caller.tc", Text: caller}}, tcc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	objB, err := tcc.Compile("callee", []tcc.Source{{Name: "callee.tc", Text: callee}}, tcc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs := append([]*objfile.Object{objA, objB}, lib...)
+
+	baseline, err := link.Link(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	simpleIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelSimple})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(label string, im *objfile.Image) {
+		sym, ok := im.FindSymbol("driver")
+		if !ok {
+			log.Fatalf("%s: no driver symbol", label)
+		}
+		text := im.TextSegment()
+		lo := sym.Addr - text.Addr
+		labels := map[uint64]string{}
+		for _, s := range im.Symbols {
+			if s.Kind == objfile.SymProc {
+				labels[s.Addr] = s.Name
+			}
+		}
+		fmt.Printf("=== driver under %s (%d instructions) ===\n", label, sym.Size/4)
+		fmt.Print(axp.Disassemble(text.Data[lo:lo+sym.Size], sym.Addr, labels))
+		fmt.Println()
+	}
+
+	fmt.Println("The call site inside driver: watch the PV load (ldq pv),")
+	fmt.Println("the jsr, and the two GP-reset instructions after it.")
+	fmt.Println()
+	show("standard link", baseline)
+	show("OM-simple (replacement only: nops, jsr->bsr)", simpleIm)
+	show("OM-full (deletion, bsr past the GP setup)", fullIm)
+}

@@ -1,0 +1,110 @@
+// Gatshrink: demonstrates GAT reduction and data placement on a program
+// with many global variables. It prints the global address table before and
+// after OM-full, and shows how the sorted commons land next to the GAT
+// where 16-bit GP-relative displacements reach them.
+//
+//	go run ./examples/gatshrink
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+func main() {
+	// Generate a module with many globals of mixed sizes.
+	var b strings.Builder
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "long g%d;\n", i)
+	}
+	for i := 0; i < 6; i++ {
+		fmt.Fprintf(&b, "long big%d[%d];\n", i, 256<<i)
+	}
+	b.WriteString(`
+long touch() {
+	long s = 0;
+	long i;
+`)
+	for i := 0; i < 40; i++ {
+		fmt.Fprintf(&b, "\tg%d = %d;\n\ts = s + g%d;\n", i, i*3+1, i)
+	}
+	b.WriteString(`	for (i = 0; i < 256; i = i + 1) {
+		big0[i] = s + i;
+		big5[i] = big0[i] * 2;
+	}
+	return s;
+}
+
+long main() {
+	print(touch());
+	print(lsum(big0, 256));
+	return 0;
+}
+`)
+
+	obj, err := tcc.Compile("many", []tcc.Source{{Name: "many.tc", Text: b.String()}}, tcc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs := append([]*objfile.Object{obj}, lib...)
+
+	baseline, err := link.Link(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullIm, stats, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	describe := func(label string, im *objfile.Image) {
+		fmt.Printf("--- %s ---\n", label)
+		for _, g := range im.GATs {
+			fmt.Printf("GAT: [%#x, %#x) = %d bytes (%d slots), GP = %#x\n",
+				g.Start, g.End, g.End-g.Start, (g.End-g.Start)/8, g.GP)
+		}
+		// Where did the small globals land relative to GP?
+		within := 0
+		beyond := 0
+		gp := im.GATs[0].GP
+		for _, s := range im.Symbols {
+			if s.Kind != objfile.SymData || s.Size == 0 {
+				continue
+			}
+			d := int64(s.Addr) - int64(gp)
+			if d >= -32768 && d <= 32767 {
+				within++
+			} else {
+				beyond++
+			}
+		}
+		fmt.Printf("data symbols within 16-bit GP reach: %d, beyond: %d\n\n", within, beyond)
+	}
+
+	describe("standard link", baseline)
+	describe("OM-full", fullIm)
+	fmt.Println("OM-full statistics:", stats)
+
+	// Both must still compute the same thing.
+	r1, err := sim.Run(baseline, sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, err := sim.Run(fullIm, sim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbaseline output %v, om-full output %v\n", r1.Output, r2.Output)
+}

@@ -1,0 +1,98 @@
+// Quickstart: compile a Tiny C program, link it three ways (standard, OM
+// simple, OM full), run each in the simulator, and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+const program = `
+// A little program with globals, calls, and floating point: everything the
+// conservative 64-bit code model makes expensive.
+long counter = 0;
+double scale = 1.5;
+long table[64];
+
+long fill(long n) {
+	long i;
+	for (i = 0; i < n; i = i + 1) {
+		table[i] = lhash(i) % 1000;
+		counter = counter + 1;
+	}
+	return counter;
+}
+
+long main() {
+	fill(64);
+	long i;
+	long sum = 0;
+	for (i = 0; i < 64; i = i + 1) { sum = sum + table[i]; }
+	print(sum);
+	print_fixed(scale * sum);
+	return 0;
+}
+`
+
+func main() {
+	// 1. Compile the user program (one module) the way "cc -O2" would.
+	obj, err := tcc.Compile("quickstart", []tcc.Source{{Name: "quickstart.tc", Text: program}},
+		tcc.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Pull in the precompiled runtime library.
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		log.Fatal(err)
+	}
+	objs := append([]*objfile.Object{obj}, lib...)
+
+	// 3. Standard link.
+	baseline, err := link.Link(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. OM at both levels.
+	simpleIm, simpleStats, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelSimple})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullIm, fullStats, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull, Schedule: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. Run all three with the 21064-flavored timing model.
+	cfg := sim.DefaultConfig()
+	run := func(label string, im *objfile.Image) uint64 {
+		res, err := sim.Run(im, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s output=%v cycles=%d instructions=%d\n",
+			label, res.Output, res.Stats.Cycles, res.Stats.Instructions)
+		return res.Stats.Cycles
+	}
+	base := run("standard", baseline)
+	simple := run("om-simple", simpleIm)
+	full := run("om-full", fullIm)
+
+	fmt.Println()
+	fmt.Println("om-simple:", simpleStats)
+	fmt.Println("om-full:  ", fullStats)
+	fmt.Printf("\nspeedup: om-simple %.2f%%, om-full+sched %.2f%%\n",
+		100*(float64(base)-float64(simple))/float64(base),
+		100*(float64(base)-float64(full))/float64(base))
+}

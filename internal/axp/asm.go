@@ -1,0 +1,292 @@
+package axp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembly text in the disassembler's syntax into
+// instructions. Supported forms:
+//
+//	label:
+//	  lda   sp, -32(sp)        ; memory format
+//	  ldq   v0, 16(gp)
+//	  ldt   f1, 8(sp)
+//	  addq  a0, a1, v0         ; operate, register form
+//	  addq  a0, #7, v0         ; operate, literal form
+//	  addt  f1, f2, f3         ; floating operate
+//	  beq   v0, label          ; branches take labels or numeric words
+//	  br    zero, +3
+//	  jsr   ra, (pv)           ; jump group
+//	  ret   zero, (ra)
+//	  call_pal HALT            ; or OUTPUT, OUTPUTC, RPCC, or a number
+//	  nop / unop
+//
+// Comments start with ';' or '//'. Returns the instructions and a map from
+// label to instruction index.
+func Assemble(src string) ([]Inst, map[string]int, error) {
+	type pending struct {
+		inst  int
+		label string
+		line  int
+	}
+	var insts []Inst
+	labels := make(map[string]int)
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, ";"); i >= 0 {
+			line = line[:i]
+		}
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels, possibly followed by an instruction on the same line.
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 || strings.ContainsAny(line[:i], " \t,(") {
+				break
+			}
+			name := line[:i]
+			if _, dup := labels[name]; dup {
+				return nil, nil, fmt.Errorf("asm: line %d: duplicate label %q", lineNo+1, name)
+			}
+			labels[name] = len(insts)
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		in, labelRef, err := parseInst(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("asm: line %d: %w", lineNo+1, err)
+		}
+		if labelRef != "" {
+			fixups = append(fixups, pending{inst: len(insts), label: labelRef, line: lineNo + 1})
+		}
+		insts = append(insts, in)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, nil, fmt.Errorf("asm: line %d: undefined label %q", f.line, f.label)
+		}
+		insts[f.inst].Disp = int32(target - (f.inst + 1))
+	}
+	return insts, labels, nil
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(src string) []Inst {
+	insts, _, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return insts
+}
+
+var regByName = func() map[string]Reg {
+	m := make(map[string]Reg, 40)
+	for r := Reg(0); r < NumRegs; r++ {
+		m[r.String()] = r
+	}
+	for i := 0; i < NumRegs; i++ {
+		m[fmt.Sprintf("r%d", i)] = Reg(i)
+	}
+	return m
+}()
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, int(opMax))
+	for _, op := range AllOps() {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+var palByName = map[string]uint32{
+	"HALT": PalHalt, "OUTPUT": PalOutput, "OUTPUTC": PalOutputChar, "RPCC": PalCycles,
+}
+
+func parseReg(s string) (Reg, error) {
+	if r, ok := regByName[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return r, nil
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseFReg(s string) (FReg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if strings.HasPrefix(s, "f") {
+		if n, err := strconv.Atoi(s[1:]); err == nil && n >= 0 && n < NumRegs {
+			return FReg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad FP register %q", s)
+}
+
+func parseInt(s string) (int64, error) {
+	return strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+}
+
+// parseMemOperand parses "disp(reg)".
+func parseMemOperand(s string) (int32, string, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, "", fmt.Errorf("bad memory operand %q", s)
+	}
+	disp := int64(0)
+	if open > 0 {
+		var err error
+		disp, err = parseInt(s[:open])
+		if err != nil {
+			return 0, "", fmt.Errorf("bad displacement in %q", s)
+		}
+	}
+	return int32(disp), s[open+1 : len(s)-1], nil
+}
+
+func parseInst(line string) (Inst, string, error) {
+	fields := strings.SplitN(line, " ", 2)
+	mnem := strings.ToLower(strings.TrimSpace(fields[0]))
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	switch mnem {
+	case "nop":
+		return Nop(), "", nil
+	case "unop":
+		return Unop(), "", nil
+	case "call_pal":
+		if fn, ok := palByName[strings.ToUpper(rest)]; ok {
+			return Pal(fn), "", nil
+		}
+		n, err := parseInt(rest)
+		if err != nil {
+			return Inst{}, "", fmt.Errorf("bad PAL function %q", rest)
+		}
+		return Pal(uint32(n)), "", nil
+	}
+	op, ok := opByName[mnem]
+	if !ok {
+		return Inst{}, "", fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	args := strings.Split(rest, ",")
+	for i := range args {
+		args[i] = strings.TrimSpace(args[i])
+	}
+	switch op.Format() {
+	case FormatMem, FormatMemF:
+		if len(args) != 2 {
+			return Inst{}, "", fmt.Errorf("%s needs 2 operands", mnem)
+		}
+		disp, baseName, err := parseMemOperand(args[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		base, err := parseReg(baseName)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		if op.Format() == FormatMemF {
+			fa, err := parseFReg(args[0])
+			if err != nil {
+				return Inst{}, "", err
+			}
+			return MemFInst(op, fa, base, disp), "", nil
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return MemInst(op, ra, base, disp), "", nil
+	case FormatJump:
+		if len(args) != 2 {
+			return Inst{}, "", fmt.Errorf("%s needs 2 operands", mnem)
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		t := strings.TrimSuffix(strings.TrimPrefix(args[1], "("), ")")
+		rb, err := parseReg(t)
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return JumpInst(op, ra, rb), "", nil
+	case FormatBranch, FormatBranchF:
+		if len(args) != 2 {
+			return Inst{}, "", fmt.Errorf("%s needs 2 operands", mnem)
+		}
+		target := args[1]
+		var in Inst
+		if op.Format() == FormatBranchF {
+			fa, err := parseFReg(args[0])
+			if err != nil {
+				return Inst{}, "", err
+			}
+			in = BranchFInst(op, fa, 0)
+		} else {
+			ra, err := parseReg(args[0])
+			if err != nil {
+				return Inst{}, "", err
+			}
+			in = BranchInst(op, ra, 0)
+		}
+		if n, err := parseInt(target); err == nil {
+			in.Disp = int32(n)
+			return in, "", nil
+		}
+		return in, target, nil
+	case FormatOp:
+		if len(args) != 3 {
+			return Inst{}, "", fmt.Errorf("%s needs 3 operands", mnem)
+		}
+		ra, err := parseReg(args[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		rc, err := parseReg(args[2])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		if strings.HasPrefix(args[1], "#") {
+			lit, err := parseInt(args[1][1:])
+			if err != nil || lit < 0 || lit > 255 {
+				return Inst{}, "", fmt.Errorf("bad literal %q", args[1])
+			}
+			return OpLitInst(op, ra, uint8(lit), rc), "", nil
+		}
+		rb, err := parseReg(args[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return OpInst(op, ra, rb, rc), "", nil
+	case FormatOpF:
+		if len(args) != 3 {
+			return Inst{}, "", fmt.Errorf("%s needs 3 operands", mnem)
+		}
+		fa, err := parseFReg(args[0])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		fb, err := parseFReg(args[1])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		fc, err := parseFReg(args[2])
+		if err != nil {
+			return Inst{}, "", err
+		}
+		return OpFInst(op, fa, fb, fc), "", nil
+	}
+	return Inst{}, "", fmt.Errorf("unsupported mnemonic %q", mnem)
+}

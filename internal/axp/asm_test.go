@@ -1,0 +1,249 @@
+package axp
+
+import "testing"
+
+func TestAssembleRoundTripsDisassembler(t *testing.T) {
+	// Assemble a procedure, then reassemble its disassembly: the decoded
+	// instruction streams must be identical.
+	src := `
+entry:
+	ldah  gp, 8192(pv)
+	lda   gp, 28576(gp)
+	lda   sp, -32(sp)
+	stq   ra, 0(sp)
+	ldq   pv, 144(gp)
+	jsr   ra, (pv)
+	ldah  gp, 8192(ra)
+	lda   gp, -1(gp)
+	addq  v0, #7, t0
+	mulq  t0, t0, t1
+	cmplt t1, v0, t2
+	beq   t2, done
+	subq  t1, v0, v0
+	br    zero, entry
+done:
+	ldt   f1, 8(sp)
+	addt  f1, f1, f2
+	cmpteq f2, f1, f3
+	fbne  f3, done
+	ldq   ra, 0(sp)
+	lda   sp, 32(sp)
+	call_pal OUTPUT
+	nop
+	unop
+	ret   zero, (ra)
+`
+	insts, labels, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["entry"] != 0 || labels["done"] != 14 {
+		t.Fatalf("labels = %v", labels)
+	}
+	code, err := EncodeAll(insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feed the disassembly back through the assembler.
+	dis := Disassemble(code, 0, nil)
+	// Strip the "addr: word" prefix from each line.
+	var cleaned []byte
+	for _, line := range splitLines(dis) {
+		if len(line) > 26 {
+			cleaned = append(cleaned, line[26:]...)
+		}
+		cleaned = append(cleaned, '\n')
+	}
+	insts2, _, err := Assemble(string(cleaned))
+	if err != nil {
+		t.Fatalf("reassembling disassembly: %v\n%s", err, cleaned)
+	}
+	if len(insts2) != len(insts) {
+		t.Fatalf("got %d insts, want %d", len(insts2), len(insts))
+	}
+	for i := range insts {
+		w1 := MustEncode(insts[i])
+		w2 := MustEncode(insts2[i])
+		if w1 != w2 {
+			t.Errorf("inst %d: %#08x vs %#08x (%v vs %v)", i, w1, w2, insts[i], insts2[i])
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestAssembleBranchResolution(t *testing.T) {
+	insts, _, err := Assemble(`
+top:	nop
+	nop
+	br zero, top
+	beq v0, fwd
+	nop
+fwd:	ret zero, (ra)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts[2].Disp != -3 {
+		t.Errorf("backward branch disp = %d, want -3", insts[2].Disp)
+	}
+	if insts[3].Disp != 1 {
+		t.Errorf("forward branch disp = %d, want 1", insts[3].Disp)
+	}
+	// Numeric displacement form.
+	insts2, _, err := Assemble("br zero, +5\nbsr ra, -2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if insts2[0].Disp != 5 || insts2[1].Disp != -2 {
+		t.Errorf("numeric disps = %d, %d", insts2[0].Disp, insts2[1].Disp)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate v0, v0, v0",
+		"addq v0, v0",
+		"addq v0, #300, v0",
+		"ldq v0, 8",
+		"ldq v0, 8(nosuch)",
+		"beq v0, nowhere",
+		"ldt v0, 8(sp)",
+		"dup: nop\ndup: nop",
+		"call_pal WHAT",
+	}
+	for _, src := range bad {
+		if _, _, err := Assemble(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestAssembleComments(t *testing.T) {
+	insts, _, err := Assemble(`
+	; full-line comment
+	nop           ; trailing comment
+	addq v0, v0, v0 // C++-style
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 2 {
+		t.Fatalf("got %d insts, want 2", len(insts))
+	}
+}
+
+func TestDisassembleAnnotations(t *testing.T) {
+	// Branches get absolute-target annotations and label names.
+	prog := MustAssemble(`
+start:
+	beq v0, start
+	fbne f2, start
+	bsr ra, start
+	call_pal HALT
+	call_pal OUTPUT
+	call_pal RPCC
+	call_pal 0x99
+`)
+	code, err := EncodeAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Disassemble(code, 0x120000000, map[uint64]string{0x120000000: "start"})
+	for _, want := range []string{"start:", "<start>", "; -> 0x120000000",
+		"call_pal HALT", "call_pal OUTPUT", "call_pal RPCC", "call_pal 0x99"} {
+		if !containsStr(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+	// An undecodable word renders as .word rather than failing.
+	badWord := make([]byte, 4)
+	badWord[3] = 0x70 // opcode 0x1C, unsupported
+	dis2 := Disassemble(badWord, 0, nil)
+	if !containsStr(dis2, ".word") {
+		t.Errorf("bad word not rendered: %s", dis2)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestScheduleOrderEdges(t *testing.T) {
+	if got := ScheduleOrder(nil); len(got) != 0 {
+		t.Errorf("empty block: %v", got)
+	}
+	if got := ScheduleOrder([]Inst{Nop()}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("single inst: %v", got)
+	}
+	// A dependent chain must keep its order.
+	chain := []Inst{
+		MemInst(LDA, T0, Zero, 1),
+		OpLitInst(ADDQ, T0, 1, T1),
+		OpLitInst(ADDQ, T1, 1, T2),
+	}
+	order := ScheduleOrder(chain)
+	pos := make([]int, 3)
+	for p, idx := range order {
+		pos[idx] = p
+	}
+	if !(pos[0] < pos[1] && pos[1] < pos[2]) {
+		t.Errorf("dependence violated: %v", order)
+	}
+	// Stores must not reorder with loads.
+	mem := []Inst{
+		MemInst(STQ, T0, SP, 0),
+		MemInst(LDQ, T1, SP, 8),
+		MemInst(STQ, T2, SP, 16),
+	}
+	order2 := ScheduleOrder(mem)
+	pos2 := make([]int, 3)
+	for p, idx := range order2 {
+		pos2[idx] = p
+	}
+	if !(pos2[0] < pos2[1] && pos2[1] < pos2[2]) {
+		t.Errorf("memory order violated: %v", order2)
+	}
+}
+
+func TestRegAndOpStrings(t *testing.T) {
+	if GP.String() != "gp" || SP.String() != "sp" || Zero.String() != "zero" {
+		t.Error("register names wrong")
+	}
+	if Reg(40).String() != "r40?" {
+		t.Errorf("out-of-range reg: %s", Reg(40))
+	}
+	if FReg(7).String() != "f7" {
+		t.Error("freg name wrong")
+	}
+	if !GP.Valid() || Reg(32).Valid() {
+		t.Error("Valid() wrong")
+	}
+	if LDQ.String() != "ldq" || Op(200).String() == "ldq" {
+		t.Error("op names wrong")
+	}
+	if !JSR.IsCall() || !BSR.IsCall() || BR.IsCall() {
+		t.Error("IsCall wrong")
+	}
+	if !BEQ.IsCondBranch() || BR.IsCondBranch() {
+		t.Error("IsCondBranch wrong")
+	}
+}

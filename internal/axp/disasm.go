@@ -1,0 +1,107 @@
+package axp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// WordBytes is the size in bytes of one instruction.
+const WordBytes = 4
+
+// DecodeAll decodes a little-endian code image into instructions. The byte
+// length must be a multiple of four.
+func DecodeAll(code []byte) ([]Inst, error) {
+	if len(code)%WordBytes != 0 {
+		return nil, fmt.Errorf("axp: code length %d not a multiple of 4", len(code))
+	}
+	insts := make([]Inst, 0, len(code)/WordBytes)
+	for i := 0; i < len(code); i += WordBytes {
+		w := binary.LittleEndian.Uint32(code[i:])
+		in, err := Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("at offset %#x: %w", i, err)
+		}
+		insts = append(insts, in)
+	}
+	return insts, nil
+}
+
+// EncodeAll encodes instructions into a little-endian code image.
+func EncodeAll(insts []Inst) ([]byte, error) {
+	code := make([]byte, len(insts)*WordBytes)
+	for i, in := range insts {
+		w, err := Encode(in)
+		if err != nil {
+			return nil, fmt.Errorf("instruction %d (%v): %w", i, in, err)
+		}
+		binary.LittleEndian.PutUint32(code[i*WordBytes:], w)
+	}
+	return code, nil
+}
+
+// Disassemble renders a code image starting at base address, one instruction
+// per line, annotating branch targets with their absolute addresses.
+// labels, if non-nil, maps addresses to names printed as "name:" lines.
+func Disassemble(code []byte, base uint64, labels map[uint64]string) string {
+	var b strings.Builder
+	for i := 0; i+WordBytes <= len(code); i += WordBytes {
+		addr := base + uint64(i)
+		if labels != nil {
+			if name, ok := labels[addr]; ok {
+				fmt.Fprintf(&b, "%s:\n", name)
+			}
+		}
+		w := binary.LittleEndian.Uint32(code[i:])
+		in, err := Decode(w)
+		if err != nil {
+			fmt.Fprintf(&b, "  %012x:  %08x  .word\n", addr, w)
+			continue
+		}
+		fmt.Fprintf(&b, "  %012x:  %08x  %s", addr, w, in)
+		if in.Op.IsBranch() {
+			target := addr + WordBytes + uint64(int64(in.Disp)*WordBytes)
+			fmt.Fprintf(&b, "\t; -> %#x", target)
+			if labels != nil {
+				if name, ok := labels[target]; ok {
+					fmt.Fprintf(&b, " <%s>", name)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BranchTarget computes the absolute target address of a branch instruction
+// located at addr.
+func BranchTarget(in Inst, addr uint64) uint64 {
+	return addr + WordBytes + uint64(int64(in.Disp)*WordBytes)
+}
+
+// BranchDispTo computes the word displacement for a branch at addr reaching
+// target, and reports whether it fits in the 21-bit field.
+func BranchDispTo(addr, target uint64) (int32, bool) {
+	delta := int64(target) - int64(addr) - WordBytes
+	if delta%WordBytes != 0 {
+		return 0, false
+	}
+	d := delta / WordBytes
+	if d < BranchDispMin || d > BranchDispMax {
+		return 0, false
+	}
+	return int32(d), true
+}
+
+// SplitDisp32 splits a signed 32-bit displacement into the (high, low) pair
+// used by an ldah/lda sequence: value == high*65536 + low, with both halves
+// in signed 16-bit range. It reports whether the split is possible (it is for
+// any value in [-0x80008000, 0x7FFF7FFF]).
+func SplitDisp32(v int64) (high, low int16, ok bool) {
+	l := int16(v & 0xFFFF)
+	h64 := (v - int64(l)) >> 16
+	if h64 < -32768 || h64 > 32767 {
+		return 0, 0, false
+	}
+	return int16(h64), l, true
+}

@@ -1,0 +1,199 @@
+package axp
+
+import "fmt"
+
+// Displacement range limits.
+const (
+	// MemDispMin and MemDispMax bound the signed 16-bit memory displacement.
+	MemDispMin = -32768
+	MemDispMax = 32767
+	// BranchDispMin and BranchDispMax bound the signed 21-bit word
+	// displacement of the branch format.
+	BranchDispMin = -(1 << 20)
+	BranchDispMax = (1 << 20) - 1
+)
+
+// Encode packs the instruction into its 32-bit Alpha encoding.
+func Encode(in Inst) (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("axp: encode: invalid op %v", in.Op)
+	}
+	info := opTable[in.Op]
+	w := info.opcode << 26
+	switch info.format {
+	case FormatMem:
+		if in.Disp < MemDispMin || in.Disp > MemDispMax {
+			return 0, fmt.Errorf("axp: encode %v: memory displacement %d out of range", in.Op, in.Disp)
+		}
+		w |= uint32(in.Ra&31) << 21
+		w |= uint32(in.Rb&31) << 16
+		w |= uint32(uint16(in.Disp))
+	case FormatMemF:
+		if in.Disp < MemDispMin || in.Disp > MemDispMax {
+			return 0, fmt.Errorf("axp: encode %v: memory displacement %d out of range", in.Op, in.Disp)
+		}
+		w |= uint32(in.Fa&31) << 21
+		w |= uint32(in.Rb&31) << 16
+		w |= uint32(uint16(in.Disp))
+	case FormatJump:
+		w |= uint32(in.Ra&31) << 21
+		w |= uint32(in.Rb&31) << 16
+		w |= info.fn << 14
+		w |= uint32(in.Disp) & 0x3FFF // branch-prediction hint
+	case FormatBranch:
+		if in.Disp < BranchDispMin || in.Disp > BranchDispMax {
+			return 0, fmt.Errorf("axp: encode %v: branch displacement %d out of range", in.Op, in.Disp)
+		}
+		w |= uint32(in.Ra&31) << 21
+		w |= uint32(in.Disp) & 0x1FFFFF
+	case FormatBranchF:
+		if in.Disp < BranchDispMin || in.Disp > BranchDispMax {
+			return 0, fmt.Errorf("axp: encode %v: branch displacement %d out of range", in.Op, in.Disp)
+		}
+		w |= uint32(in.Fa&31) << 21
+		w |= uint32(in.Disp) & 0x1FFFFF
+	case FormatOp:
+		w |= uint32(in.Ra&31) << 21
+		if in.HasLit {
+			w |= uint32(in.Lit) << 13
+			w |= 1 << 12
+		} else {
+			w |= uint32(in.Rb&31) << 16
+		}
+		w |= info.fn << 5
+		w |= uint32(in.Rc & 31)
+	case FormatOpF:
+		w |= uint32(in.Fa&31) << 21
+		w |= uint32(in.Fb&31) << 16
+		w |= info.fn << 5
+		w |= uint32(in.Fc & 31)
+	case FormatPal:
+		if in.PalFn > 0x3FFFFFF {
+			return 0, fmt.Errorf("axp: encode call_pal: function %#x out of range", in.PalFn)
+		}
+		w |= in.PalFn
+	default:
+		return 0, fmt.Errorf("axp: encode %v: unknown format", in.Op)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode but panics on error; for use on literals known valid.
+func MustEncode(in Inst) uint32 {
+	w, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// lookup tables from (opcode, fn) to Op, built once at init.
+var (
+	memOps    [64]Op        // primary opcode -> mem/memF/branch/branchF ops
+	intOpFns  map[uint32]Op // (opcode<<16|fn) -> operate op
+	jumpFns   [4]Op         // jump-group function -> op
+	decodeErr = func(w uint32) error { return fmt.Errorf("axp: decode: unsupported word %#08x", w) }
+)
+
+func init() {
+	intOpFns = make(map[uint32]Op)
+	for op := OpInvalid + 1; op < opMax; op++ {
+		info := opTable[op]
+		switch info.format {
+		case FormatMem, FormatMemF, FormatBranch, FormatBranchF:
+			memOps[info.opcode] = op
+		case FormatOp, FormatOpF:
+			intOpFns[info.opcode<<16|info.fn] = op
+		case FormatJump:
+			jumpFns[info.fn] = op
+		}
+	}
+}
+
+// Decode unpacks a 32-bit word into an Inst. It inverts Encode for every
+// supported instruction and reports an error for anything else.
+func Decode(w uint32) (Inst, error) {
+	opcode := w >> 26
+	switch opcode {
+	case 0x00: // CALL_PAL
+		return Inst{Op: CALLPAL, PalFn: w & 0x3FFFFFF}, nil
+	case 0x1A: // jump group
+		fn := (w >> 14) & 3
+		op := jumpFns[fn]
+		if op == OpInvalid {
+			return Inst{}, decodeErr(w)
+		}
+		return Inst{
+			Op:   op,
+			Ra:   Reg((w >> 21) & 31),
+			Rb:   Reg((w >> 16) & 31),
+			Disp: int32(w & 0x3FFF),
+		}, nil
+	case 0x10, 0x11, 0x12, 0x13: // integer operate
+		fn := (w >> 5) & 0x7F
+		op, ok := intOpFns[opcode<<16|fn]
+		if !ok {
+			return Inst{}, decodeErr(w)
+		}
+		in := Inst{Op: op, Ra: Reg((w >> 21) & 31), Rc: Reg(w & 31)}
+		if w&(1<<12) != 0 {
+			in.HasLit = true
+			in.Lit = uint8((w >> 13) & 0xFF)
+		} else {
+			if (w>>13)&0x7 != 0 {
+				return Inst{}, decodeErr(w) // SBZ bits set
+			}
+			in.Rb = Reg((w >> 16) & 31)
+		}
+		return in, nil
+	case 0x16, 0x17: // floating operate
+		fn := (w >> 5) & 0x7FF
+		op, ok := intOpFns[opcode<<16|fn]
+		if !ok {
+			return Inst{}, decodeErr(w)
+		}
+		return Inst{
+			Op: op,
+			Fa: FReg((w >> 21) & 31),
+			Fb: FReg((w >> 16) & 31),
+			Fc: FReg(w & 31),
+		}, nil
+	}
+	op := memOps[opcode]
+	if op == OpInvalid {
+		return Inst{}, decodeErr(w)
+	}
+	switch opTable[op].format {
+	case FormatMem:
+		return Inst{
+			Op:   op,
+			Ra:   Reg((w >> 21) & 31),
+			Rb:   Reg((w >> 16) & 31),
+			Disp: int32(int16(uint16(w))),
+		}, nil
+	case FormatMemF:
+		return Inst{
+			Op:   op,
+			Fa:   FReg((w >> 21) & 31),
+			Rb:   Reg((w >> 16) & 31),
+			Disp: int32(int16(uint16(w))),
+		}, nil
+	case FormatBranch:
+		return Inst{
+			Op:   op,
+			Ra:   Reg((w >> 21) & 31),
+			Disp: signExtend21(w & 0x1FFFFF),
+		}, nil
+	case FormatBranchF:
+		return Inst{
+			Op:   op,
+			Fa:   FReg((w >> 21) & 31),
+			Disp: signExtend21(w & 0x1FFFFF),
+		}, nil
+	}
+	return Inst{}, decodeErr(w)
+}
+
+func signExtend21(v uint32) int32 {
+	return int32(v<<11) >> 11
+}

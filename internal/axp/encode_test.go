@@ -1,0 +1,381 @@
+package axp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// canonicalize returns the form of in that Decode produces, so round-trip
+// comparisons ignore don't-care fields (e.g. Rb when HasLit).
+func canonicalize(in Inst) Inst {
+	out := Inst{Op: in.Op}
+	switch in.Op.Format() {
+	case FormatMem:
+		out.Ra, out.Rb, out.Disp = in.Ra&31, in.Rb&31, in.Disp
+	case FormatMemF:
+		out.Fa, out.Rb, out.Disp = in.Fa&31, in.Rb&31, in.Disp
+	case FormatJump:
+		out.Ra, out.Rb, out.Disp = in.Ra&31, in.Rb&31, in.Disp&0x3FFF
+	case FormatBranch:
+		out.Ra, out.Disp = in.Ra&31, in.Disp
+	case FormatBranchF:
+		out.Fa, out.Disp = in.Fa&31, in.Disp
+	case FormatOp:
+		out.Ra, out.Rc = in.Ra&31, in.Rc&31
+		if in.HasLit {
+			out.HasLit, out.Lit = true, in.Lit
+		} else {
+			out.Rb = in.Rb & 31
+		}
+	case FormatOpF:
+		out.Fa, out.Fb, out.Fc = in.Fa&31, in.Fb&31, in.Fc&31
+	case FormatPal:
+		out.PalFn = in.PalFn
+	}
+	return out
+}
+
+func randInst(r *rand.Rand) Inst {
+	ops := AllOps()
+	op := ops[r.Intn(len(ops))]
+	in := Inst{Op: op}
+	reg := func() Reg { return Reg(r.Intn(32)) }
+	freg := func() FReg { return FReg(r.Intn(32)) }
+	switch op.Format() {
+	case FormatMem:
+		in.Ra, in.Rb = reg(), reg()
+		in.Disp = int32(int16(r.Uint32()))
+	case FormatMemF:
+		in.Fa, in.Rb = freg(), reg()
+		in.Disp = int32(int16(r.Uint32()))
+	case FormatJump:
+		in.Ra, in.Rb = reg(), reg()
+		in.Disp = int32(r.Intn(1 << 14))
+	case FormatBranch:
+		in.Ra = reg()
+		in.Disp = int32(r.Intn(BranchDispMax-BranchDispMin+1)) + BranchDispMin
+	case FormatBranchF:
+		in.Fa = freg()
+		in.Disp = int32(r.Intn(BranchDispMax-BranchDispMin+1)) + BranchDispMin
+	case FormatOp:
+		in.Ra, in.Rc = reg(), reg()
+		if r.Intn(2) == 0 {
+			in.HasLit = true
+			in.Lit = uint8(r.Uint32())
+		} else {
+			in.Rb = reg()
+		}
+	case FormatOpF:
+		in.Fa, in.Fb, in.Fc = freg(), freg(), freg()
+	case FormatPal:
+		in.PalFn = r.Uint32() & 0x3FFFFFF
+	}
+	return in
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1994))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		w, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode %v: %v", in, err)
+		}
+		got, err := Decode(w)
+		if err != nil {
+			t.Fatalf("decode %v (%#08x): %v", in, w, err)
+		}
+		if got != canonicalize(in) {
+			t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v\nword=%#08x", in, got, w)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	// testing/quick drives random words through Decode; whatever decodes
+	// must re-encode to the identical word.
+	f := func(w uint32) bool {
+		in, err := Decode(w)
+		if err != nil {
+			return true // unsupported encodings are fine
+		}
+		w2, err := Encode(in)
+		if err != nil {
+			t.Logf("decoded %v from %#08x but re-encode failed: %v", in, w, err)
+			return false
+		}
+		// The jump-group hint and PAL function are the only fields where
+		// multiple encodings could collapse; we preserve them, so exact
+		// equality is required.
+		if w2 != w {
+			t.Logf("word %#08x decoded to %v re-encoded to %#08x", w, in, w2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint32
+	}{
+		// lda sp, -32(sp): opcode 08, ra=30, rb=30, disp=0xFFE0
+		{MemInst(LDA, SP, SP, -32), 0x23DEFFE0},
+		// ldah gp, 1(pv): opcode 09, ra=29, rb=27, disp=1
+		{MemInst(LDAH, GP, PV, 1), 0x27BB0001},
+		// ldq pv, 144(gp)
+		{MemInst(LDQ, PV, GP, 144), 0xA77D0090},
+		// stq ra, 0(sp)
+		{MemInst(STQ, RA, SP, 0), 0xB75E0000},
+		// jsr ra, (pv): opcode 1A, ra=26, rb=27, fn=1
+		{JumpInst(JSR, RA, PV), 0x6B5B4000},
+		// ret zero, (ra): fn=2
+		{JumpInst(RET, Zero, RA), 0x6BFA8000},
+		// bis zero, zero, zero (nop)
+		{Nop(), 0x47FF041F},
+		// ldq_u zero, 0(zero) (unop)
+		{Unop(), 0x2FFF0000},
+		// addq a0, a1, v0
+		{OpInst(ADDQ, A0, A1, V0), 0x42110400},
+		// subq sp, #16, sp (literal form)
+		{OpLitInst(SUBQ, SP, 16, SP), 0x43C2153E},
+		// br zero, +3
+		{BranchInst(BR, Zero, 3), 0xC3E00003},
+		// bsr ra, -1
+		{BranchInst(BSR, RA, -1), 0xD35FFFFF},
+		// beq v0, +8
+		{BranchInst(BEQ, V0, 8), 0xE4000008},
+	}
+	for _, c := range cases {
+		got, err := Encode(c.in)
+		if err != nil {
+			t.Errorf("encode %v: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("encode %v = %#08x, want %#08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeRangeErrors(t *testing.T) {
+	bad := []Inst{
+		MemInst(LDA, V0, GP, 40000),
+		MemInst(LDQ, V0, GP, -40000),
+		BranchInst(BR, Zero, BranchDispMax+1),
+		BranchInst(BSR, RA, BranchDispMin-1),
+		{Op: CALLPAL, PalFn: 1 << 26},
+		{Op: OpInvalid},
+	}
+	for _, in := range bad {
+		if _, err := Encode(in); err == nil {
+			t.Errorf("encode %+v: expected error, got none", in)
+		}
+	}
+}
+
+func TestDecodeUnsupported(t *testing.T) {
+	bad := []uint32{
+		0x1C << 26,         // unsupported opcode (FPTI group)
+		0x1A<<26 | 3<<14,   // jsr_coroutine
+		0x10<<26 | 0x7F<<5, // bogus INTA function
+		0x10<<26 | 0x1<<13, // SBZ bits set, register form
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("decode %#08x: expected error, got none", w)
+		}
+	}
+}
+
+func TestNopPredicates(t *testing.T) {
+	if !Nop().IsNop() || !Unop().IsNop() {
+		t.Fatal("canonical nops not recognized")
+	}
+	if Mov(A0, V0).IsNop() {
+		t.Fatal("mov recognized as nop")
+	}
+	if !MemInst(LDA, Zero, GP, 8).IsNop() {
+		t.Fatal("lda zero,8(gp) should be a nop")
+	}
+	if MemInst(LDQ, V0, GP, 0).IsNop() {
+		t.Fatal("ldq v0 is not a nop")
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	cases := []struct {
+		in     Inst
+		writes Reg
+		reads  []Reg
+	}{
+		{MemInst(LDQ, V0, GP, 8), V0, []Reg{GP}},
+		{MemInst(STQ, RA, SP, 0), Zero, []Reg{RA, SP}},
+		{MemInst(LDA, SP, SP, -32), SP, []Reg{SP}},
+		{JumpInst(JSR, RA, PV), RA, []Reg{PV}},
+		{BranchInst(BSR, RA, 4), RA, nil},
+		{BranchInst(BEQ, V0, 4), Zero, []Reg{V0}},
+		{OpInst(ADDQ, A0, A1, V0), V0, []Reg{A0, A1}},
+		{OpLitInst(SLL, A0, 3, V0), V0, []Reg{A0}},
+	}
+	for _, c := range cases {
+		if got := c.in.Writes(); got != c.writes {
+			t.Errorf("%v writes %v, want %v", c.in, got, c.writes)
+		}
+		got := c.in.Reads()
+		if len(got) != len(c.reads) {
+			t.Errorf("%v reads %v, want %v", c.in, got, c.reads)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.reads[i] {
+				t.Errorf("%v reads %v, want %v", c.in, got, c.reads)
+				break
+			}
+		}
+	}
+}
+
+func TestSplitDisp32(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 32767, 32768, -32768, -32769,
+		65536, 0x12345678, -0x12345678, 0x7FFF7FFF, -0x80008000} {
+		h, l, ok := SplitDisp32(v)
+		if !ok {
+			t.Errorf("SplitDisp32(%#x) not ok", v)
+			continue
+		}
+		if got := int64(h)*65536 + int64(l); got != v {
+			t.Errorf("SplitDisp32(%#x) = (%d,%d) recombines to %#x", v, h, l, got)
+		}
+	}
+	if _, _, ok := SplitDisp32(0x7FFF8000); ok {
+		t.Error("SplitDisp32(0x7FFF8000) should overflow")
+	}
+	if _, _, ok := SplitDisp32(-0x80008001); ok {
+		t.Error("SplitDisp32(-0x80008001) should overflow")
+	}
+}
+
+func TestBranchDispTo(t *testing.T) {
+	base := uint64(0x120001000)
+	for _, delta := range []int64{-100, -1, 0, 1, 4, 1000} {
+		target := uint64(int64(base) + 4 + delta*4)
+		d, ok := BranchDispTo(base, target)
+		if !ok || int64(d) != delta {
+			t.Errorf("BranchDispTo(+%d words) = %d, %v", delta, d, ok)
+		}
+	}
+	if _, ok := BranchDispTo(base, base+2); ok {
+		t.Error("unaligned target should fail")
+	}
+	if _, ok := BranchDispTo(base, base+4+uint64(BranchDispMax+1)*4); ok {
+		t.Error("out-of-range target should fail")
+	}
+}
+
+func TestEncodeAllDecodeAll(t *testing.T) {
+	prog := []Inst{
+		MemInst(LDAH, GP, PV, 1),
+		MemInst(LDA, GP, GP, 100),
+		MemInst(LDA, SP, SP, -32),
+		MemInst(STQ, RA, SP, 0),
+		MemInst(LDQ, PV, GP, 144),
+		JumpInst(JSR, RA, PV),
+		MemInst(LDAH, GP, RA, 1),
+		MemInst(LDA, GP, GP, 76),
+		MemInst(LDQ, RA, SP, 0),
+		MemInst(LDA, SP, SP, 32),
+		JumpInst(RET, Zero, RA),
+	}
+	code, err := EncodeAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAll(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(prog) {
+		t.Fatalf("got %d insts, want %d", len(back), len(prog))
+	}
+	for i := range prog {
+		if back[i] != canonicalize(prog[i]) {
+			t.Errorf("inst %d: got %v want %v", i, back[i], prog[i])
+		}
+	}
+	if _, err := DecodeAll(code[:5]); err == nil {
+		t.Error("DecodeAll of ragged buffer should fail")
+	}
+}
+
+func TestDisassembleSmoke(t *testing.T) {
+	prog := []Inst{
+		BranchInst(BR, Zero, 1),
+		Nop(),
+		JumpInst(RET, Zero, RA),
+	}
+	code, err := EncodeAll(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(code, 0x120000000, map[uint64]string{0x120000000: "entry", 0x120000008: "done"})
+	for _, want := range []string{"entry:", "done:", "br", "nop", "ret", "<done>"} {
+		if !contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestReadMasksMatchReads(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		in := randInst(r)
+		wantInt, wantFP := uint64(0), uint64(0)
+		for _, reg := range in.Reads() {
+			if reg != Zero {
+				wantInt |= 1 << (reg & 31)
+			}
+		}
+		for _, f := range in.ReadsF() {
+			if f != FZero {
+				wantFP |= 1 << (f & 31)
+			}
+		}
+		// Mask registers the same way canonicalize does.
+		in2, err := Decode(MustEncode(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotInt, gotFP := in2.ReadMasks()
+		wantInt2, wantFP2 := uint64(0), uint64(0)
+		for _, reg := range in2.Reads() {
+			if reg != Zero {
+				wantInt2 |= 1 << reg
+			}
+		}
+		for _, f := range in2.ReadsF() {
+			if f != FZero {
+				wantFP2 |= 1 << f
+			}
+		}
+		if gotInt != wantInt2 || gotFP != wantFP2 {
+			t.Fatalf("%v: masks (%#x,%#x) vs slices (%#x,%#x)", in2, gotInt, gotFP, wantInt2, wantFP2)
+		}
+	}
+}

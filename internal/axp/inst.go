@@ -1,0 +1,266 @@
+package axp
+
+import "fmt"
+
+// Inst is a decoded instruction. Fields are interpreted per the op's Format:
+//
+//	FormatMem:     Ra, Rb (base), Disp (signed 16-bit byte displacement)
+//	FormatMemF:    Fa, Rb (base), Disp
+//	FormatJump:    Ra (link), Rb (target), Disp holds the 14-bit hint
+//	FormatBranch:  Ra, Disp (signed 21-bit word displacement)
+//	FormatBranchF: Fa, Disp
+//	FormatOp:      Ra, Rb or Lit (if HasLit), Rc
+//	FormatOpF:     Fa, Fb, Fc
+//	FormatPal:     PalFn
+type Inst struct {
+	Op     Op
+	Ra     Reg
+	Rb     Reg
+	Rc     Reg
+	Fa     FReg
+	Fb     FReg
+	Fc     FReg
+	Disp   int32 // sign-extended displacement (bytes for mem, words for branch)
+	Lit    uint8 // 8-bit literal operand (operate format)
+	HasLit bool
+	PalFn  uint32 // 26-bit PAL function code
+}
+
+// Nop returns the canonical integer no-op, bis zero,zero,zero.
+func Nop() Inst { return Inst{Op: BIS, Ra: Zero, Rb: Zero, Rc: Zero} }
+
+// Unop returns the canonical universal no-op, ldq_u zero,0(zero), which
+// issues in either pipe and touches nothing.
+func Unop() Inst { return Inst{Op: LDQU, Ra: Zero, Rb: Zero} }
+
+// IsNop reports whether the instruction has no architectural effect.
+func (in Inst) IsNop() bool {
+	switch in.Op {
+	case BIS:
+		return in.Rc == Zero
+	case LDQU:
+		return in.Ra == Zero
+	case LDA, LDAH:
+		return in.Ra == Zero
+	}
+	return false
+}
+
+// MemInst builds a memory-format instruction.
+func MemInst(op Op, ra, rb Reg, disp int32) Inst {
+	return Inst{Op: op, Ra: ra, Rb: rb, Disp: disp}
+}
+
+// MemFInst builds a floating memory-format instruction.
+func MemFInst(op Op, fa FReg, rb Reg, disp int32) Inst {
+	return Inst{Op: op, Fa: fa, Rb: rb, Disp: disp}
+}
+
+// OpInst builds a register-register operate instruction.
+func OpInst(op Op, ra, rb, rc Reg) Inst {
+	return Inst{Op: op, Ra: ra, Rb: rb, Rc: rc}
+}
+
+// OpLitInst builds an operate instruction with an 8-bit literal second operand.
+func OpLitInst(op Op, ra Reg, lit uint8, rc Reg) Inst {
+	return Inst{Op: op, Ra: ra, Lit: lit, HasLit: true, Rc: rc}
+}
+
+// OpFInst builds a floating operate instruction.
+func OpFInst(op Op, fa, fb, fc FReg) Inst {
+	return Inst{Op: op, Fa: fa, Fb: fb, Fc: fc}
+}
+
+// BranchInst builds a branch-format instruction with a word displacement.
+func BranchInst(op Op, ra Reg, disp int32) Inst {
+	return Inst{Op: op, Ra: ra, Disp: disp}
+}
+
+// BranchFInst builds a floating branch.
+func BranchFInst(op Op, fa FReg, disp int32) Inst {
+	return Inst{Op: op, Fa: fa, Disp: disp}
+}
+
+// JumpInst builds a jump-group instruction (jmp/jsr/ret).
+func JumpInst(op Op, ra, rb Reg) Inst {
+	return Inst{Op: op, Ra: ra, Rb: rb}
+}
+
+// Pal builds a CALL_PAL instruction.
+func Pal(fn uint32) Inst { return Inst{Op: CALLPAL, PalFn: fn} }
+
+// Mov returns bis zero,src,dst (register move).
+func Mov(src, dst Reg) Inst { return OpInst(BIS, Zero, src, dst) }
+
+// FMov returns cpys src,src,dst (FP register move).
+func FMov(src, dst FReg) Inst { return OpFInst(CPYS, src, src, dst) }
+
+// Writes returns the integer register written by the instruction, or Zero
+// if none (writes to Zero are also reported as Zero).
+func (in Inst) Writes() Reg {
+	switch in.Op.Format() {
+	case FormatMem:
+		if in.Op.IsStore() {
+			return Zero
+		}
+		return in.Ra // loads and lda/ldah
+	case FormatJump:
+		return in.Ra
+	case FormatBranch:
+		if in.Op == BR || in.Op == BSR {
+			return in.Ra
+		}
+		return Zero
+	case FormatOp:
+		return in.Rc
+	}
+	return Zero
+}
+
+// WritesF returns the FP register written, or FZero if none.
+func (in Inst) WritesF() FReg {
+	switch in.Op.Format() {
+	case FormatMemF:
+		if in.Op == LDT {
+			return in.Fa
+		}
+	case FormatOpF:
+		return in.Fc
+	}
+	return FZero
+}
+
+// ReadMasks returns bitmasks of the integer and FP registers the
+// instruction reads, excluding the zero registers. It allocates nothing and
+// is the form the timing model and schedulers use.
+func (in Inst) ReadMasks() (ints, fps uint64) {
+	set := func(r Reg) {
+		if r != Zero {
+			ints |= 1 << r
+		}
+	}
+	setF := func(f FReg) {
+		if f != FZero {
+			fps |= 1 << f
+		}
+	}
+	switch in.Op.Format() {
+	case FormatMem:
+		if in.Op.IsStore() {
+			set(in.Ra)
+		}
+		set(in.Rb)
+	case FormatMemF:
+		if in.Op == STT {
+			setF(in.Fa)
+		}
+		set(in.Rb)
+	case FormatJump:
+		set(in.Rb)
+	case FormatBranch:
+		if in.Op.IsCondBranch() {
+			set(in.Ra)
+		}
+	case FormatBranchF:
+		setF(in.Fa)
+	case FormatOp:
+		set(in.Ra)
+		if !in.HasLit {
+			set(in.Rb)
+		}
+	case FormatOpF:
+		setF(in.Fa)
+		setF(in.Fb)
+	}
+	return ints, fps
+}
+
+// Reads returns the integer registers read by the instruction. Reads of Zero
+// are included; callers that care should filter them.
+func (in Inst) Reads() []Reg {
+	switch in.Op.Format() {
+	case FormatMem:
+		if in.Op.IsStore() {
+			return []Reg{in.Ra, in.Rb}
+		}
+		return []Reg{in.Rb}
+	case FormatMemF:
+		return []Reg{in.Rb}
+	case FormatJump:
+		return []Reg{in.Rb}
+	case FormatBranch:
+		if in.Op.IsCondBranch() {
+			return []Reg{in.Ra}
+		}
+		return nil
+	case FormatOp:
+		if in.HasLit {
+			return []Reg{in.Ra}
+		}
+		return []Reg{in.Ra, in.Rb}
+	}
+	return nil
+}
+
+// ReadsF returns the FP registers read by the instruction.
+func (in Inst) ReadsF() []FReg {
+	switch in.Op.Format() {
+	case FormatMemF:
+		if in.Op == STT {
+			return []FReg{in.Fa}
+		}
+	case FormatBranchF:
+		return []FReg{in.Fa}
+	case FormatOpF:
+		return []FReg{in.Fa, in.Fb}
+	}
+	return nil
+}
+
+// String renders the instruction in OSF assembler style.
+func (in Inst) String() string {
+	switch in.Op.Format() {
+	case FormatMem:
+		if in.IsNop() && in.Op == LDQU {
+			return "unop"
+		}
+		if in.Op == BIS && in.Rc == Zero && in.Ra == Zero && in.Rb == Zero {
+			return "nop"
+		}
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Ra, in.Disp, in.Rb)
+	case FormatMemF:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Fa, in.Disp, in.Rb)
+	case FormatJump:
+		return fmt.Sprintf("%s %s, (%s)", in.Op, in.Ra, in.Rb)
+	case FormatBranch:
+		if in.Op.IsCondBranch() {
+			return fmt.Sprintf("%s %s, %+d", in.Op, in.Ra, in.Disp)
+		}
+		return fmt.Sprintf("%s %s, %+d", in.Op, in.Ra, in.Disp)
+	case FormatBranchF:
+		return fmt.Sprintf("%s %s, %+d", in.Op, in.Fa, in.Disp)
+	case FormatOp:
+		if in.IsNop() && in.Op == BIS {
+			return "nop"
+		}
+		if in.HasLit {
+			return fmt.Sprintf("%s %s, #%d, %s", in.Op, in.Ra, in.Lit, in.Rc)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Ra, in.Rb, in.Rc)
+	case FormatOpF:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Fa, in.Fb, in.Fc)
+	case FormatPal:
+		switch in.PalFn {
+		case PalHalt:
+			return "call_pal HALT"
+		case PalOutput:
+			return "call_pal OUTPUT"
+		case PalOutputChar:
+			return "call_pal OUTPUTC"
+		case PalCycles:
+			return "call_pal RPCC"
+		}
+		return fmt.Sprintf("call_pal %#x", in.PalFn)
+	}
+	return fmt.Sprintf("?%v", in.Op)
+}

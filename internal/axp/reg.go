@@ -1,0 +1,89 @@
+// Package axp models the subset of the Alpha AXP architecture used by this
+// reproduction of Srivastava & Wall's link-time address-calculation optimizer
+// (PLDI 1994). It provides the register file, instruction representation,
+// real 32-bit instruction encodings, and a disassembler.
+//
+// The subset covers the integer and floating-point operate instructions,
+// memory formats, branch formats, the jump group (JMP/JSR/RET), LDA/LDAH
+// address arithmetic, and CALL_PAL, which this toolchain uses for program
+// observability (output and halt).
+package axp
+
+import "fmt"
+
+// Reg is an integer register number, 0..31. Register 31 reads as zero and
+// ignores writes. Floating-point registers use the separate FReg type.
+type Reg uint8
+
+// Integer register conventions under the Alpha/OSF calling standard.
+const (
+	V0   Reg = 0 // function value
+	T0   Reg = 1 // caller-saved temporaries t0..t7 = r1..r8
+	T1   Reg = 2
+	T2   Reg = 3
+	T3   Reg = 4
+	T4   Reg = 5
+	T5   Reg = 6
+	T6   Reg = 7
+	T7   Reg = 8
+	S0   Reg = 9 // callee-saved s0..s5 = r9..r14
+	S1   Reg = 10
+	S2   Reg = 11
+	S3   Reg = 12
+	S4   Reg = 13
+	S5   Reg = 14
+	FP   Reg = 15 // frame pointer (s6)
+	A0   Reg = 16 // argument registers a0..a5 = r16..r21
+	A1   Reg = 17
+	A2   Reg = 18
+	A3   Reg = 19
+	A4   Reg = 20
+	A5   Reg = 21
+	T8   Reg = 22 // caller-saved temporaries t8..t11 = r22..r25
+	T9   Reg = 23
+	T10  Reg = 24
+	T11  Reg = 25
+	RA   Reg = 26 // return address
+	PV   Reg = 27 // procedure value (t12); callee entry address
+	AT   Reg = 28 // assembler temporary
+	GP   Reg = 29 // global pointer: addresses the current GAT
+	SP   Reg = 30 // stack pointer
+	Zero Reg = 31 // reads as zero; writes discarded
+)
+
+// NumRegs is the size of each register file.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6",
+	"t7", "s0", "s1", "s2", "s3", "s4", "s5", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5", "t8", "t9",
+	"t10", "t11", "ra", "pv", "at", "gp", "sp", "zero",
+}
+
+// String returns the OSF software name of the register (e.g. "gp", "ra").
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d?", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// FReg is a floating-point register number, 0..31. F31 reads as +0.0.
+type FReg uint8
+
+// Floating-point register conventions.
+const (
+	FV0   FReg = 0  // FP function value
+	FA0   FReg = 16 // FP argument registers f16..f21
+	FZero FReg = 31 // reads as zero
+)
+
+// String returns the conventional name of the FP register.
+func (f FReg) String() string { return fmt.Sprintf("f%d", uint8(f)) }
+
+// Valid reports whether f names an architectural FP register.
+func (f FReg) Valid() bool { return f < NumRegs }

@@ -1,0 +1,329 @@
+// Package e2e_test runs whole-toolchain tests: Tiny C sources are compiled,
+// linked with the runtime library, and executed in the simulator; outputs
+// are checked against expectations computed in Go.
+package e2e_test
+
+import (
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+// buildAndRun compiles the user sources (compile-each: one unit per source),
+// links with the runtime library, and runs functionally.
+func buildAndRun(t *testing.T, srcs []tcc.Source, opts tcc.Options) *sim.Result {
+	t.Helper()
+	im := buildImage(t, srcs, opts)
+	res, err := sim.Run(im, sim.Config{MaxInstructions: 200_000_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func buildImage(t *testing.T, srcs []tcc.Source, opts tcc.Options) *objfile.Image {
+	t.Helper()
+	var objs []*objfile.Object
+	for _, s := range srcs {
+		obj, err := tcc.Compile(s.Name, []tcc.Source{s}, opts)
+		if err != nil {
+			t.Fatalf("compile %s: %v", s.Name, err)
+		}
+		objs = append(objs, obj)
+	}
+	lib, err := rtlib.Objects(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs = append(objs, lib...)
+	im, err := link.Link(objs)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return im
+}
+
+func TestHelloWorld(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "hello", Text: `
+long main() {
+	__output(42);
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	if res.Exit != 0 || len(res.Output) != 1 || res.Output[0] != 42 {
+		t.Fatalf("exit=%d output=%v", res.Exit, res.Output)
+	}
+}
+
+func TestArithmeticAndGlobals(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "arith", Text: `
+long g = 10;
+long arr[8];
+long main() {
+	long i;
+	for (i = 0; i < 8; i = i + 1) {
+		arr[i] = i * i - 2 * i + g;
+	}
+	long s = 0;
+	for (i = 0; i < 8; i = i + 1) { s = s + arr[i]; }
+	print(s);
+	print(g * 3 - 7);
+	print(-5 / 2);
+	print(-5 % 2);
+	print(17 / 5);
+	print(17 % 5);
+	print(1 << 40);
+	print((-64) >> 3);
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	// sum_{i=0..7} (i^2 - 2i + 10) = 140 - 56 + 80 = 164
+	want := []int64{164, 23, -2, -1, 3, 2, 1 << 40, -8}
+	checkOutput(t, res, want, 0)
+}
+
+func checkOutput(t *testing.T, res *sim.Result, want []int64, exit int64) {
+	t.Helper()
+	if res.Exit != exit {
+		t.Errorf("exit = %d, want %d", res.Exit, exit)
+	}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output = %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		if res.Output[i] != want[i] {
+			t.Errorf("output[%d] = %d, want %d", i, res.Output[i], want[i])
+		}
+	}
+}
+
+func TestCallsAcrossModules(t *testing.T) {
+	srcs := []tcc.Source{
+		{Name: "moda", Text: `
+extern long counter;
+long bump(long n);
+long main() {
+	long r = bump(3) + bump(4);
+	print(r);
+	print(counter);
+	return 0;
+}
+`},
+		{Name: "modb", Text: `
+long counter = 0;
+long bump(long n) {
+	counter = counter + 1;
+	return n * n;
+}
+`},
+	}
+	res := buildAndRun(t, srcs, tcc.DefaultOptions())
+	checkOutput(t, res, []int64{25, 2}, 0)
+}
+
+func TestRecursionAndStack(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "fib", Text: `
+long fib(long n) {
+	if (n < 2) { return n; }
+	return fib(n - 1) + fib(n - 2);
+}
+long main() {
+	print(fib(15));
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	checkOutput(t, res, []int64{610}, 0)
+}
+
+func TestDoubleMath(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "fp", Text: `
+double dsqrt(double x);
+double dsin(double x);
+long print_fixed(double d);
+long main() {
+	print_fixed(dsqrt(2.0));
+	print_fixed(dsin(0.5));
+	double a = 1.5;
+	double b = a * a + 0.25;
+	print_fixed(b);
+	long n = 7;
+	double c = b + n;
+	print_fixed(c / 2.0);
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	// sqrt(2) = 1.414213..., sin(0.5) = 0.479425..., 2.5, 4.75
+	want := []int64{1414213, 479425, 2500000, 4750000}
+	if len(res.Output) != len(want) {
+		t.Fatalf("output %v, want %v", res.Output, want)
+	}
+	for i := range want {
+		d := res.Output[i] - want[i]
+		if d < -2 || d > 2 {
+			t.Errorf("output[%d] = %d, want ~%d", i, res.Output[i], want[i])
+		}
+	}
+}
+
+func TestFnptrSort(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "sortmain", Text: `
+long qsort8(long* a, long lo, long hi, fnptr cmp);
+long issorted(long* a, long n, fnptr cmp);
+long xrand();
+long srand48(long seed);
+
+long data[64];
+
+long up(long a, long b) { return a - b; }
+long down(long a, long b) { return b - a; }
+
+long main() {
+	srand48(12345);
+	long i;
+	for (i = 0; i < 64; i = i + 1) { data[i] = xrand() % 1000; }
+	qsort8(data, 0, 63, up);
+	print(issorted(data, 64, up));
+	qsort8(data, 0, 63, down);
+	print(issorted(data, 64, down));
+	print(data[0] >= data[63]);
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	checkOutput(t, res, []int64{1, 1, 1}, 0)
+}
+
+func TestPointersAndLocalArrays(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "ptrs", Text: `
+long sumvia(long* p, long n) {
+	long s = 0;
+	long i;
+	for (i = 0; i < n; i = i + 1) { s = s + p[i]; }
+	return s;
+}
+long main() {
+	long a[10];
+	long i;
+	for (i = 0; i < 10; i = i + 1) { a[i] = i + 1; }
+	long* p = a;
+	print(sumvia(p, 10));
+	print(*p);
+	*p = 99;
+	print(a[0]);
+	long x = 5;
+	long* q = &x;
+	*q = *q + 2;
+	print(x);
+	print(a[2 + 1]);
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	checkOutput(t, res, []int64{55, 1, 99, 7, 4}, 0)
+}
+
+func TestCompileAllMatchesCompileEach(t *testing.T) {
+	srcs := []tcc.Source{
+		{Name: "u1", Text: `
+extern long acc;
+long helper(long x);
+static long local3(long v) { return v * 3; }
+long work(long n) {
+	long i;
+	for (i = 0; i < n; i = i + 1) {
+		acc = acc + helper(i) + local3(i);
+	}
+	return acc;
+}
+`},
+		{Name: "u2", Text: `
+long acc = 0;
+long helper(long x) { return x * x + 1; }
+long work(long n);
+long main() {
+	print(work(20));
+	return 0;
+}
+`},
+	}
+	each := buildAndRun(t, srcs, tcc.DefaultOptions())
+
+	// compile-all: all user sources in one unit with interprocedural opts.
+	allObj, err := tcc.Compile("all", srcs, tcc.InterprocOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := rtlib.Objects(tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := link.Link(append([]*objfile.Object{allObj}, lib...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := sim.Run(im, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(each.Output) != len(all.Output) || each.Output[0] != all.Output[0] {
+		t.Fatalf("compile-each %v vs compile-all %v", each.Output, all.Output)
+	}
+}
+
+func TestTimingModelRuns(t *testing.T) {
+	srcs := []tcc.Source{{Name: "loop", Text: `
+long a[256];
+long main() {
+	long i;
+	long s = 0;
+	for (i = 0; i < 256; i = i + 1) { a[i] = i; }
+	for (i = 0; i < 256; i = i + 1) { s = s + a[i]; }
+	print(s);
+	return 0;
+}
+`}}
+	im := buildImage(t, srcs, tcc.DefaultOptions())
+	res, err := sim.Run(im, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output[0] != 255*256/2 {
+		t.Fatalf("output %v", res.Output)
+	}
+	st := res.Stats
+	if st.Cycles == 0 || st.Cycles < st.Instructions/2 {
+		t.Errorf("implausible cycles=%d for %d instructions", st.Cycles, st.Instructions)
+	}
+	if st.DualIssued == 0 {
+		t.Errorf("dual issue never happened")
+	}
+	if st.ICacheMisses == 0 || st.DCacheMisses == 0 {
+		t.Errorf("caches saw no misses: i=%d d=%d", st.ICacheMisses, st.DCacheMisses)
+	}
+	if st.Cycles > st.Instructions*20 {
+		t.Errorf("cycles=%d implausibly high for %d instructions", st.Cycles, st.Instructions)
+	}
+}
+
+func TestCyclesIntrinsic(t *testing.T) {
+	srcs := []tcc.Source{{Name: "cyc", Text: `
+long main() {
+	long c0 = __cycles();
+	long i;
+	long s = 0;
+	for (i = 0; i < 1000; i = i + 1) { s = s + i; }
+	long c1 = __cycles();
+	print(s);
+	print(c1 > c0);
+	return 0;
+}
+`}}
+	im := buildImage(t, srcs, tcc.DefaultOptions())
+	res, err := sim.Run(im, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkOutput(t, res, []int64{499500, 1}, 0)
+}

@@ -1,0 +1,189 @@
+package e2e_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+// The paper's §6 discusses "optimistic compilation" (the MIPS -G scheme) as
+// an alternative to link-time optimization: the compiler assumes small data
+// is GP-reachable and emits direct references; the linker verifies the
+// assumption and refuses to link when it fails. These tests reproduce both
+// sides of that behavior.
+
+const optimisticSrc = `
+long counter = 0;
+long knobs[4];
+double factor = 2.5;
+long big[4096];
+
+long work(long n) {
+	long i;
+	for (i = 0; i < n; i = i + 1) {
+		counter = counter + 1;
+		knobs[i & 3] = counter * 2;
+		big[i & 4095] = counter + knobs[0];
+	}
+	return counter + knobs[3];
+}
+
+long main() {
+	print(work(500));
+	print_fixed(factor * work(10));
+	print(big[17]);
+	return 0;
+}
+`
+
+func optimisticOpts(g int64) tcc.Options {
+	o := tcc.DefaultOptions()
+	o.OptimisticGP = g
+	return o
+}
+
+func buildWith(t *testing.T, srcs []tcc.Source, opts tcc.Options) []*objfile.Object {
+	t.Helper()
+	var objs []*objfile.Object
+	for _, s := range srcs {
+		obj, err := tcc.Compile(s.Name, []tcc.Source{s}, opts)
+		if err != nil {
+			t.Fatalf("compile %s: %v", s.Name, err)
+		}
+		objs = append(objs, obj)
+	}
+	lib, err := rtlib.Objects(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(objs, lib...)
+}
+
+func TestOptimisticMatchesConservative(t *testing.T) {
+	srcs := []tcc.Source{{Name: "opt", Text: optimisticSrc}}
+	base, err := link.Link(buildWith(t, srcs, tcc.DefaultOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Run(base, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	optIm, err := link.Link(buildWith(t, srcs, optimisticOpts(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.Run(optIm, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got.Output) != fmt.Sprint(want.Output) {
+		t.Fatalf("optimistic output %v, conservative %v", got.Output, want.Output)
+	}
+	// The optimistic build must execute fewer instructions: small-data
+	// accesses skip the GAT load.
+	if got.Stats.Instructions >= want.Stats.Instructions {
+		t.Errorf("optimistic executed %d instructions, conservative %d",
+			got.Stats.Instructions, want.Stats.Instructions)
+	}
+	// The paper's point survives: even optimistic code retains the general
+	// calling convention, so OM still finds work.
+	fullIm, st, err := om.OptimizeObjects(buildWith(t, srcs, optimisticOpts(64)),
+		om.Options{Level: om.LevelFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := sim.Run(fullIm, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(full.Output) != fmt.Sprint(want.Output) {
+		t.Fatalf("om on optimistic code: output %v, want %v", full.Output, want.Output)
+	}
+	if full.Stats.Instructions >= got.Stats.Instructions {
+		t.Errorf("om found nothing on optimistic code: %d vs %d instructions",
+			full.Stats.Instructions, got.Stats.Instructions)
+	}
+	if st.Deleted == 0 {
+		t.Error("om deleted nothing on optimistic code")
+	}
+}
+
+func TestOptimisticLinkFailure(t *testing.T) {
+	// Too many "small" variables for the GP window: with a generous -G
+	// threshold the per-variable assumption holds at compile time but the
+	// aggregate overflows, and the link must fail with recompile advice —
+	// the failure mode the paper attributes to optimistic compilation.
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "long small%d[64];\n", i) // 512 bytes each, 150KB total
+	}
+	b.WriteString("long main() {\n\tlong s = 0;\n")
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "\tsmall%d[0] = %d;\n\ts = s + small%d[0];\n", i, i, i)
+	}
+	b.WriteString("\tprint(s);\n\treturn 0;\n}\n")
+	srcs := []tcc.Source{{Name: "many", Text: b.String()}}
+
+	_, err := link.Link(buildWith(t, srcs, optimisticOpts(1024)))
+	if err == nil {
+		t.Fatal("expected the optimistic link to fail")
+	}
+	if !strings.Contains(err.Error(), "-G") {
+		t.Fatalf("error should advise recompiling with a lower -G threshold, got: %v", err)
+	}
+
+	// Recompiling with a lower threshold (the paper's prescribed fix) links
+	// and runs.
+	im, err := link.Link(buildWith(t, srcs, optimisticOpts(8)))
+	if err != nil {
+		t.Fatalf("low-threshold recompile still fails: %v", err)
+	}
+	res, err := sim.Run(im, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 299*300/2 {
+		t.Fatalf("output %v", res.Output)
+	}
+}
+
+func TestOptimisticSmallBssNotCommon(t *testing.T) {
+	obj, err := tcc.Compile("u", []tcc.Source{{Name: "u", Text: "long tiny; long big[512]; long f() { return tiny + big[0]; }"}},
+		optimisticOpts(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := obj.FindSymbol("tiny")
+	if i < 0 || obj.Symbols[i].Kind != objfile.SymData || obj.Symbols[i].Section != objfile.SecSBss {
+		t.Errorf("tiny should be .sbss data under -G, got %+v", obj.Symbols[i])
+	}
+	j := obj.FindSymbol("big")
+	if j < 0 || obj.Symbols[j].Kind != objfile.SymCommon {
+		t.Errorf("big should remain a common, got %+v", obj.Symbols[j])
+	}
+	// tiny's accesses carry GPREL16 relocations; big's go through the GAT.
+	var gprel, lit int
+	for _, r := range obj.Relocs {
+		switch r.Kind {
+		case objfile.RGPRel16:
+			gprel++
+		case objfile.RLiteral:
+			lit++
+		}
+	}
+	if gprel == 0 {
+		t.Error("no GPREL16 relocations emitted")
+	}
+	if lit == 0 {
+		t.Error("large data should still use the GAT")
+	}
+}

@@ -1,0 +1,158 @@
+package e2e_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/tcc"
+)
+
+// TestSpillStress forces the expression evaluator to keep many values live
+// across calls, exercising the temp spill/reload machinery.
+func TestSpillStress(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "spill", Text: `
+long id(long x) { return x; }
+
+long deep(long a, long b) {
+	// Every operand chain holds temporaries across nested calls.
+	return id(a + id(b + id(a * 2 + id(b * 3 + id(a - b))))) +
+		(id(a) + id(b)) * (id(a + 1) + id(b + 1)) +
+		id(id(id(id(id(a)))));
+}
+
+double did(double x) { return x; }
+
+double fdeep(double a, double b) {
+	return did(a + did(b * did(a - did(b + did(a * 0.5))))) +
+		(did(a) + did(b)) * (did(a + 1.0) - did(b));
+}
+
+long main() {
+	print(deep(10, 3));
+	print_fixed(fdeep(2.0, 0.5));
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	// deep(10,3): id chain = 10 + (3 + (20 + (9 + 7))) = 49;
+	// (10+3)*(11+4) = 195; last chain = 10. total = 49+195+10 = 254.
+	if res.Output[0] != 254 {
+		t.Errorf("deep = %d, want 254", res.Output[0])
+	}
+	// fdeep(2, .5): 2 + (.5*(2-(.5+1))) = 2+0.25 = 2.25;
+	// (2+.5)*(3-.5) = 6.25. total 8.5 -> 8500000.
+	if res.Output[1] != 8500000 {
+		t.Errorf("fdeep = %d, want 8500000", res.Output[1])
+	}
+}
+
+// TestManyLocalsOverflowSRegs pushes locals past the callee-saved register
+// pool onto the frame.
+func TestManyLocalsOverflowSRegs(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("long f(long seed) {\n")
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "\tlong v%d = seed + %d;\n", i, i)
+	}
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "\tdouble d%d = seed + %d.5;\n", i, i)
+	}
+	b.WriteString("\tlong s = 0;\n")
+	for i := 0; i < 20; i++ {
+		fmt.Fprintf(&b, "\ts = s + v%d;\n", i)
+	}
+	b.WriteString("\tdouble ds = 0.0;\n")
+	for i := 0; i < 12; i++ {
+		fmt.Fprintf(&b, "\tds = ds + d%d;\n", i)
+	}
+	b.WriteString("\tlong di = ds;\n\treturn s * 1000 + di;\n}\n")
+	b.WriteString("long main() { print(f(7)); return 0; }\n")
+	res := buildAndRun(t, []tcc.Source{{Name: "locals", Text: b.String()}}, tcc.DefaultOptions())
+	// s = 20*7 + (0+..+19) = 140+190 = 330; ds = 12*7 + (0..11) + 12*0.5 = 84+66+6 = 156.
+	if res.Output[0] != 330*1000+156 {
+		t.Errorf("got %d, want %d", res.Output[0], 330*1000+156)
+	}
+}
+
+// TestRecursionDeep checks a deep call chain (stack discipline, RA saving).
+func TestRecursionDeep(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "deep", Text: `
+long count(long n) {
+	if (n == 0) { return 0; }
+	return 1 + count(n - 1);
+}
+long main() {
+	print(count(20000));
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	if res.Output[0] != 20000 {
+		t.Errorf("got %v", res.Output)
+	}
+}
+
+// TestShortCircuitSideEffects pins down evaluation-order semantics.
+func TestShortCircuitSideEffects(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "sc", Text: `
+long hits = 0;
+long bump(long v) { hits = hits + 1; return v; }
+
+long main() {
+	if (bump(0) && bump(1)) { print(-1); }
+	print(hits);               // 1: rhs skipped
+	hits = 0;
+	if (bump(1) || bump(1)) { print(1); }
+	print(hits);               // 1: rhs skipped
+	hits = 0;
+	long v = bump(1) && bump(0);
+	print(v);
+	print(hits);               // 2: both evaluated
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	want := []int64{1, 1, 1, 0, 2}
+	if fmt.Sprint(res.Output) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", res.Output, want)
+	}
+}
+
+// TestFnptrComparisons covers fnptr equality semantics.
+func TestFnptrComparisons(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "fp", Text: `
+long a(long x) { return x; }
+long b(long x) { return x + 1; }
+long main() {
+	fnptr p = a;
+	fnptr q = a;
+	fnptr r = b;
+	print(p == q);
+	print(p == r);
+	print(p != r);
+	print(p(5) + r(5));
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	want := []int64{1, 0, 1, 11}
+	if fmt.Sprint(res.Output) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", res.Output, want)
+	}
+}
+
+// TestGlobalInitializers covers brace initializers and negative constants.
+func TestGlobalInitializers(t *testing.T) {
+	res := buildAndRun(t, []tcc.Source{{Name: "init", Text: `
+long table[6] = {10, -20, 3 * 7, 0, 5 + 5};
+double ds[3] = {1.5, -2.5, 0.25};
+long big = 1099511627776;
+long main() {
+	print(lsum(table, 6));
+	print_fixed(ds[0] + ds[1] + ds[2]);
+	print(big >> 40);
+	return 0;
+}
+`}}, tcc.DefaultOptions())
+	want := []int64{10 - 20 + 21 + 0 + 10 + 0, -750000, 1}
+	if fmt.Sprint(res.Output) != fmt.Sprint(want) {
+		t.Errorf("got %v, want %v", res.Output, want)
+	}
+}

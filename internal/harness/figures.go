@@ -1,0 +1,251 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// mean returns the unweighted arithmetic mean, as the paper's keys do.
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func header(b *strings.Builder, title, paper string) {
+	fmt.Fprintf(b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	if paper != "" {
+		fmt.Fprintf(b, "Paper: %s\n", paper)
+	}
+	b.WriteByte('\n')
+}
+
+// Figure3 renders the static fraction of address loads removed (converted
+// vs nullified), for each program and build mode, under OM-simple and
+// OM-full.
+func Figure3(results []*Result) string {
+	var b strings.Builder
+	header(&b, "Figure 3: static fraction of address loads removed",
+		"simple removes ~half (converted+nullified); full removes nearly all")
+	fmt.Fprintf(&b, "%-10s | %28s | %28s\n", "", "compile-each", "compile-all")
+	fmt.Fprintf(&b, "%-10s | %13s %14s | %13s %14s\n", "program",
+		"simple c/n/%", "full c/n/%", "simple c/n/%", "full c/n/%")
+	line := strings.Repeat("-", 92)
+	fmt.Fprintln(&b, line)
+	means := map[string][]float64{}
+	cell := func(res *Result, bm BuildMode, lm LinkMode, key string) string {
+		st := res.M[Variant{bm, lm}].Static
+		pct := 100 * st.AddrRemovedFrac()
+		means[key] = append(means[key], pct)
+		return fmt.Sprintf("%4d/%4d %4.0f%%", st.AddrConverted, st.AddrNullified, pct)
+	}
+	for _, res := range results {
+		fmt.Fprintf(&b, "%-10s | %s %s | %s %s\n", res.Name,
+			cell(res, CompileEach, OMSimple, "es"),
+			cell(res, CompileEach, OMFull, "ef"),
+			cell(res, CompileAll, OMSimple, "as"),
+			cell(res, CompileAll, OMFull, "af"))
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "%-10s | %9.1f%% %9.1f%%      | %9.1f%% %9.1f%%\n", "MEAN",
+		mean(means["es"]), mean(means["ef"]), mean(means["as"]), mean(means["af"]))
+	return b.String()
+}
+
+// Figure4 renders the static fraction of calls that still require PV loads
+// (top) and GP-reset code (bottom), for no-OM / OM-simple / OM-full.
+func Figure4(results []*Result) string {
+	var b strings.Builder
+	header(&b, "Figure 4: static fraction of calls requiring PV-loads (top) and GP-reset code (bottom)",
+		"no-OM ~85%+ even with interprocedural compilation; simple leaves most PV loads; full leaves only calls through procedure variables")
+	for _, section := range []string{"PV-loads", "GP-reset"} {
+		fmt.Fprintf(&b, "\n-- %s --\n", section)
+		fmt.Fprintf(&b, "%-10s | %25s | %25s\n", "", "compile-each", "compile-all")
+		fmt.Fprintf(&b, "%-10s | %7s %8s %7s | %7s %8s %7s\n", "program",
+			"no-OM", "simple", "full", "no-OM", "simple", "full")
+		line := strings.Repeat("-", 68)
+		fmt.Fprintln(&b, line)
+		means := map[string][]float64{}
+		frac := func(res *Result, bm BuildMode, lm LinkMode) float64 {
+			st := res.M[Variant{bm, lm}].Static
+			if section == "PV-loads" {
+				return 100 * st.PVFracAfter()
+			}
+			return 100 * st.GPResetFracAfter()
+		}
+		for _, res := range results {
+			vals := []float64{
+				frac(res, CompileEach, OMNone), frac(res, CompileEach, OMSimple), frac(res, CompileEach, OMFull),
+				frac(res, CompileAll, OMNone), frac(res, CompileAll, OMSimple), frac(res, CompileAll, OMFull),
+			}
+			for i, k := range []string{"en", "es", "ef", "an", "as", "af"} {
+				means[k] = append(means[k], vals[i])
+			}
+			fmt.Fprintf(&b, "%-10s | %6.1f%% %7.1f%% %6.1f%% | %6.1f%% %7.1f%% %6.1f%%\n",
+				res.Name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5])
+		}
+		fmt.Fprintln(&b, line)
+		fmt.Fprintf(&b, "%-10s | %6.1f%% %7.1f%% %6.1f%% | %6.1f%% %7.1f%% %6.1f%%\n", "MEAN",
+			mean(means["en"]), mean(means["es"]), mean(means["ef"]),
+			mean(means["an"]), mean(means["as"]), mean(means["af"]))
+	}
+	return b.String()
+}
+
+// Figure5 renders the static fraction of instructions nullified (simple) or
+// deleted (full).
+func Figure5(results []*Result) string {
+	var b strings.Builder
+	header(&b, "Figure 5: static fraction of instructions nullified",
+		"simple nullifies ~6% (no-ops); full deletes ~11%")
+	fmt.Fprintf(&b, "%-10s | %21s | %21s\n", "", "compile-each", "compile-all")
+	fmt.Fprintf(&b, "%-10s | %10s %10s | %10s %10s\n", "program", "simple", "full", "simple", "full")
+	line := strings.Repeat("-", 62)
+	fmt.Fprintln(&b, line)
+	means := map[string][]float64{}
+	cell := func(res *Result, bm BuildMode, lm LinkMode, key string) float64 {
+		st := res.M[Variant{bm, lm}].Static
+		pct := 100 * st.NullifiedFrac()
+		means[key] = append(means[key], pct)
+		return pct
+	}
+	for _, res := range results {
+		fmt.Fprintf(&b, "%-10s | %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n", res.Name,
+			cell(res, CompileEach, OMSimple, "es"), cell(res, CompileEach, OMFull, "ef"),
+			cell(res, CompileAll, OMSimple, "as"), cell(res, CompileAll, OMFull, "af"))
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "%-10s | %9.1f%% %9.1f%% | %9.1f%% %9.1f%%\n", "MEAN",
+		mean(means["es"]), mean(means["ef"]), mean(means["as"]), mean(means["af"]))
+	return b.String()
+}
+
+// Figure6 renders the dynamic performance improvement of each OM level over
+// the standard link.
+func Figure6(results []*Result) string {
+	var b strings.Builder
+	header(&b, "Figure 6: dynamic improvement over program without link-time optimization",
+		"compile-each: simple 1.5%, full 3.8%, full+sched 4.2%; compile-all: 1.35% / 3.4% / 3.6%")
+	fmt.Fprintf(&b, "%-10s | %26s | %26s\n", "", "compile-each", "compile-all")
+	fmt.Fprintf(&b, "%-10s | %8s %8s %8s | %8s %8s %8s\n", "program",
+		"simple", "full", "+sched", "simple", "full", "+sched")
+	line := strings.Repeat("-", 72)
+	fmt.Fprintln(&b, line)
+	means := map[string][]float64{}
+	cell := func(res *Result, bm BuildMode, lm LinkMode, key string) float64 {
+		v := res.Improvement(bm, lm)
+		means[key] = append(means[key], v)
+		return v
+	}
+	for _, res := range results {
+		fmt.Fprintf(&b, "%-10s | %7.2f%% %7.2f%% %7.2f%% | %7.2f%% %7.2f%% %7.2f%%\n", res.Name,
+			cell(res, CompileEach, OMSimple, "es"), cell(res, CompileEach, OMFull, "ef"),
+			cell(res, CompileEach, OMFullSched, "eS"),
+			cell(res, CompileAll, OMSimple, "as"), cell(res, CompileAll, OMFull, "af"),
+			cell(res, CompileAll, OMFullSched, "aS"))
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "%-10s | %7.2f%% %7.2f%% %7.2f%% | %7.2f%% %7.2f%% %7.2f%%\n", "MEAN",
+		mean(means["es"]), mean(means["ef"]), mean(means["eS"]),
+		mean(means["as"]), mean(means["af"]), mean(means["aS"]))
+	fmt.Fprintf(&b, "%-10s | %7.2f%% %7.2f%% %7.2f%% | %7.2f%% %7.2f%% %7.2f%%\n", "MEDIAN",
+		median(means["es"]), median(means["ef"]), median(means["eS"]),
+		median(means["as"]), median(means["af"]), median(means["aS"]))
+	return b.String()
+}
+
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// Figure7 renders build times: standard link, interprocedural build, and
+// the OM configurations (from objects).
+func Figure7(results []*Result) string {
+	var b strings.Builder
+	header(&b, "Figure 7: build times in seconds",
+		"OM a modest constant over ld; interproc build 1-2 orders slower; scheduling superlinear on big-basic-block programs")
+	fmt.Fprintf(&b, "%-10s | %9s %9s | %9s %9s %9s %9s\n", "program",
+		"std link", "iproc bld", "om none", "om simple", "om full", "om w/schd")
+	line := strings.Repeat("-", 76)
+	fmt.Fprintln(&b, line)
+	secs := func(d time.Duration) float64 { return d.Seconds() }
+	for _, res := range results {
+		ld := res.M[Variant{CompileEach, LinkStandard}].BuildTime
+		iproc := res.CompileTime[CompileAll] + res.M[Variant{CompileAll, LinkStandard}].BuildTime
+		fmt.Fprintf(&b, "%-10s | %9.4f %9.4f | %9.4f %9.4f %9.4f %9.4f\n", res.Name,
+			secs(ld), secs(iproc),
+			secs(res.M[Variant{CompileEach, OMNone}].BuildTime),
+			secs(res.M[Variant{CompileEach, OMSimple}].BuildTime),
+			secs(res.M[Variant{CompileEach, OMFull}].BuildTime),
+			secs(res.M[Variant{CompileEach, OMFullSched}].BuildTime))
+	}
+	return b.String()
+}
+
+// GATTable renders the §5.1 GAT-size reduction.
+func GATTable(results []*Result) string {
+	var b strings.Builder
+	header(&b, "GAT size before and after OM-full (§5.1)",
+		"reduced by an order of magnitude, to 3%-15% of original")
+	fmt.Fprintf(&b, "%-10s | %22s | %22s\n", "", "compile-each", "compile-all")
+	fmt.Fprintf(&b, "%-10s | %8s %8s %5s | %8s %8s %5s\n", "program",
+		"before", "after", "%", "before", "after", "%")
+	line := strings.Repeat("-", 64)
+	fmt.Fprintln(&b, line)
+	var pcts []float64
+	for _, res := range results {
+		se := res.M[Variant{CompileEach, OMFull}].Static
+		sa := res.M[Variant{CompileAll, OMFull}].Static
+		pe := 100 * float64(se.GATBytesAfter) / float64(se.GATBytesBefore)
+		pa := 100 * float64(sa.GATBytesAfter) / float64(sa.GATBytesBefore)
+		pcts = append(pcts, pe)
+		fmt.Fprintf(&b, "%-10s | %8d %8d %4.0f%% | %8d %8d %4.0f%%\n", res.Name,
+			se.GATBytesBefore, se.GATBytesAfter, pe,
+			sa.GATBytesBefore, sa.GATBytesAfter, pa)
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "%-10s | mean remaining %.1f%% (compile-each)\n", "MEAN", mean(pcts))
+	return b.String()
+}
+
+// CodeSizeTable is an extra report: text bytes per variant (the paper's
+// "programs can be made 10 percent smaller").
+func CodeSizeTable(results []*Result) string {
+	var b strings.Builder
+	header(&b, "Program text size (bytes)",
+		"OM-full makes programs ~10% smaller")
+	fmt.Fprintf(&b, "%-10s | %9s %9s %7s\n", "program", "standard", "om-full", "shrink")
+	line := strings.Repeat("-", 44)
+	fmt.Fprintln(&b, line)
+	var pcts []float64
+	for _, res := range results {
+		base := res.M[Variant{CompileEach, LinkStandard}].TextBytes
+		full := res.M[Variant{CompileEach, OMFull}].TextBytes
+		pct := 100 * float64(base-full) / float64(base)
+		pcts = append(pcts, pct)
+		fmt.Fprintf(&b, "%-10s | %9d %9d %6.1f%%\n", res.Name, base, full, pct)
+	}
+	fmt.Fprintln(&b, line)
+	fmt.Fprintf(&b, "%-10s | mean shrink %.1f%%\n", "MEAN", mean(pcts))
+	return b.String()
+}

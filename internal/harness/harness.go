@@ -1,0 +1,257 @@
+// Package harness drives the paper's full experiment matrix: every
+// benchmark is built in compile-each and compile-all modes, linked with the
+// standard linker and with OM at each level, run in the timing simulator,
+// and measured statically and dynamically. The figure generators then
+// reproduce the rows of Figures 3-7 and the GAT-size observation of §5.1.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/spec"
+	"repro/internal/tcc"
+)
+
+// BuildMode selects how the benchmark's user sources are compiled.
+type BuildMode int
+
+const (
+	// CompileEach compiles every source file separately with -O2-style
+	// intraprocedural optimization.
+	CompileEach BuildMode = iota
+	// CompileAll compiles all user sources as one unit with interprocedural
+	// optimization (the libraries stay precompiled, as in the paper).
+	CompileAll
+)
+
+// String names the compilation mode.
+func (m BuildMode) String() string {
+	if m == CompileAll {
+		return "compile-all"
+	}
+	return "compile-each"
+}
+
+// LinkMode selects the link-time treatment.
+type LinkMode int
+
+const (
+	// LinkStandard is the traditional linker with no optimization.
+	LinkStandard LinkMode = iota
+	// OMNone runs OM's lift/regenerate pipeline without optimizing.
+	OMNone
+	// OMSimple is the replace-only level.
+	OMSimple
+	// OMFull is the full level.
+	OMFull
+	// OMFullSched is OM-full plus rescheduling and loop alignment.
+	OMFullSched
+)
+
+var linkModeNames = map[LinkMode]string{
+	LinkStandard: "ld", OMNone: "om-none", OMSimple: "om-simple",
+	OMFull: "om-full", OMFullSched: "om-full+sched",
+}
+
+// String names the link treatment.
+func (m LinkMode) String() string { return linkModeNames[m] }
+
+// Variant is one cell of the experiment matrix.
+type Variant struct {
+	Build BuildMode
+	Link  LinkMode
+}
+
+// Measurement holds everything recorded for one variant of one benchmark.
+type Measurement struct {
+	Static    *om.Stats // nil for LinkStandard
+	Run       sim.Stats
+	Exit      int64
+	Output    []int64
+	BuildTime time.Duration // link step only (ld or OM)
+	TextBytes int
+	GATBytes  uint64
+}
+
+// Result aggregates one benchmark across the matrix.
+type Result struct {
+	Name string
+	// CompileTime[mode] is the time to compile the user sources.
+	CompileTime map[BuildMode]time.Duration
+	M           map[Variant]*Measurement
+}
+
+// Runner executes the matrix.
+type Runner struct {
+	// SimConfig is the timing configuration for dynamic measurements.
+	SimConfig sim.Config
+	// Verbose prints progress lines.
+	Verbose bool
+	// Log receives progress output when Verbose.
+	Log func(format string, args ...any)
+
+	lib []*objfile.Object
+}
+
+// NewRunner builds a runner with the default timing model.
+func NewRunner() (*Runner, error) {
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 2_000_000_000
+	return &Runner{SimConfig: cfg, lib: lib, Log: func(string, ...any) {}}, nil
+}
+
+// compile produces the user objects for the given mode, timing the step.
+func (r *Runner) compile(b spec.Benchmark, mode BuildMode) ([]*objfile.Object, time.Duration, error) {
+	start := time.Now()
+	var objs []*objfile.Object
+	if mode == CompileEach {
+		for _, m := range b.Modules {
+			obj, err := tcc.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions())
+			if err != nil {
+				return nil, 0, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			objs = append(objs, obj)
+		}
+	} else {
+		obj, err := tcc.Compile(b.Name+"_all", b.Modules, tcc.InterprocOptions())
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		objs = []*objfile.Object{obj}
+	}
+	return objs, time.Since(start), nil
+}
+
+// linkVariant produces the image (and OM stats) for one link mode.
+func (r *Runner) linkVariant(objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, time.Duration, error) {
+	all := append(append([]*objfile.Object(nil), objs...), r.lib...)
+	start := time.Now()
+	switch mode {
+	case LinkStandard:
+		im, err := link.Link(all)
+		return im, nil, time.Since(start), err
+	default:
+		opts := om.Options{}
+		switch mode {
+		case OMNone:
+			opts.Level = om.LevelNone
+		case OMSimple:
+			opts.Level = om.LevelSimple
+		case OMFull:
+			opts.Level = om.LevelFull
+		case OMFullSched:
+			opts.Level = om.LevelFull
+			opts.Schedule = true
+		}
+		im, st, err := om.OptimizeObjects(all, opts)
+		return im, st, time.Since(start), err
+	}
+}
+
+// AllVariants is the full matrix.
+func AllVariants() []Variant {
+	var vs []Variant
+	for _, b := range []BuildMode{CompileEach, CompileAll} {
+		for _, l := range []LinkMode{LinkStandard, OMNone, OMSimple, OMFull, OMFullSched} {
+			vs = append(vs, Variant{b, l})
+		}
+	}
+	return vs
+}
+
+// RunBenchmark measures one benchmark across the whole matrix, verifying
+// that every variant produces identical program output.
+func (r *Runner) RunBenchmark(b spec.Benchmark) (*Result, error) {
+	res := &Result{
+		Name:        b.Name,
+		CompileTime: make(map[BuildMode]time.Duration),
+		M:           make(map[Variant]*Measurement),
+	}
+	objsByMode := make(map[BuildMode][]*objfile.Object)
+	for _, mode := range []BuildMode{CompileEach, CompileAll} {
+		objs, dt, err := r.compile(b, mode)
+		if err != nil {
+			return nil, err
+		}
+		objsByMode[mode] = objs
+		res.CompileTime[mode] = dt
+	}
+
+	var refOutput string
+	for _, v := range AllVariants() {
+		im, st, dt, err := r.linkVariant(objsByMode[v.Build], v.Link)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
+		}
+		run, err := sim.Run(im, r.SimConfig)
+		if err != nil {
+			return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
+		}
+		out := fmt.Sprint(run.Exit, run.Output)
+		if refOutput == "" {
+			refOutput = out
+		} else if out != refOutput {
+			return nil, fmt.Errorf("%s %v/%v: output diverged: %s vs %s",
+				b.Name, v.Build, v.Link, out, refOutput)
+		}
+		res.M[v] = &Measurement{
+			Static:    st,
+			Run:       run.Stats,
+			Exit:      run.Exit,
+			Output:    run.Output,
+			BuildTime: dt,
+			TextBytes: len(im.TextSegment().Data),
+			GATBytes:  im.GATBytes(),
+		}
+		r.Log("  %-10s %-12s %-13s cycles=%-11d insts=%-10d link=%v",
+			b.Name, v.Build, v.Link, run.Stats.Cycles, run.Stats.Instructions, dt.Round(time.Millisecond))
+	}
+	return res, nil
+}
+
+// RunSuite measures every benchmark (or the named subset).
+func (r *Runner) RunSuite(names []string) ([]*Result, error) {
+	benches := spec.All()
+	if len(names) > 0 {
+		var sel []spec.Benchmark
+		for _, n := range names {
+			b, ok := spec.ByName(n)
+			if !ok {
+				return nil, fmt.Errorf("harness: unknown benchmark %q", n)
+			}
+			sel = append(sel, b)
+		}
+		benches = sel
+	}
+	var results []*Result
+	for _, b := range benches {
+		r.Log("%s:", b.Name)
+		res, err := r.RunBenchmark(b)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// Improvement returns the percent cycle improvement of the optimized link
+// over the standard link for the same build mode.
+func (res *Result) Improvement(build BuildMode, lk LinkMode) float64 {
+	base := res.M[Variant{build, LinkStandard}].Run.Cycles
+	opt := res.M[Variant{build, lk}].Run.Cycles
+	if base == 0 {
+		return 0
+	}
+	return 100 * (float64(base) - float64(opt)) / float64(base)
+}

@@ -1,0 +1,111 @@
+package link
+
+import (
+	"fmt"
+
+	"repro/internal/objfile"
+)
+
+// GATPlan is the result of merging module literal pools into global address
+// tables: which GAT each module uses, and how each module-local slot maps to
+// a slot of its GAT.
+type GATPlan struct {
+	// Slots[g] lists GAT g's deduplicated targets in slot order.
+	Slots [][]TargetKey
+	// ModuleGAT[m] is the GAT index serving module m.
+	ModuleGAT []int
+	// ModuleSlot[m][s] maps module m's local slot s to a slot of its GAT,
+	// or -1 when the slot was dropped by a keep filter.
+	ModuleSlot [][]int
+	// GATShared[g] marks tables belonging to shared-library modules; they
+	// are laid out in the shared data region.
+	GATShared []bool
+}
+
+// ModuleKeys extracts each module's literal-pool targets in slot order.
+func ModuleKeys(p *Program) ([][]TargetKey, error) {
+	keys := make([][]TargetKey, len(p.Objects))
+	for m, obj := range p.Objects {
+		ks := make([]TargetKey, obj.LitaSlots())
+		seen := make([]bool, obj.LitaSlots())
+		for _, r := range obj.Relocs {
+			if r.Kind == objfile.RRefQuad && r.Section == objfile.SecLita {
+				slot := int(r.Offset / 8)
+				ks[slot] = Key(p.Resolve(m, r.Symbol), r.Addend)
+				seen[slot] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("link: module %s: GAT slot %d has no REFQUAD", obj.Name, i)
+			}
+		}
+		keys[m] = ks
+	}
+	return keys, nil
+}
+
+// AssignGATs merges module literal pools into as few GATs as fit the GP
+// window, deduplicating identical targets. keep, if non-nil, filters which
+// module slots survive (GAT reduction): keep(m, slot) false drops the slot.
+func AssignGATs(p *Program, keep func(m, slot int) bool) (*GATPlan, error) {
+	moduleKeys, err := ModuleKeys(p)
+	if err != nil {
+		return nil, err
+	}
+	plan := &GATPlan{
+		ModuleGAT:  make([]int, len(p.Objects)),
+		ModuleSlot: make([][]int, len(p.Objects)),
+	}
+	type gat struct {
+		slots  []TargetKey
+		index  map[TargetKey]int
+		shared bool
+	}
+	var gats []*gat
+	g := &gat{index: make(map[TargetKey]int)}
+	gats = append(gats, g)
+	for m := range p.Objects {
+		fresh := 0
+		for s, k := range moduleKeys[m] {
+			if keep != nil && !keep(m, s) {
+				continue
+			}
+			if _, ok := g.index[k]; !ok {
+				fresh++
+			}
+		}
+		// A shared library never shares a GAT with the static part (or with
+		// a different library region), and tables split on overflow.
+		if (len(gats) > 0 && g.shared != p.IsShared(m) && len(g.slots) > 0) ||
+			len(g.slots)+fresh > MaxGATSlots {
+			if fresh > MaxGATSlots {
+				return nil, fmt.Errorf("link: module %s needs %d GAT slots; max is %d",
+					p.Objects[m].Name, fresh, MaxGATSlots)
+			}
+			g = &gat{index: make(map[TargetKey]int)}
+			gats = append(gats, g)
+		}
+		g.shared = p.IsShared(m)
+		plan.ModuleGAT[m] = len(gats) - 1
+		plan.ModuleSlot[m] = make([]int, len(moduleKeys[m]))
+		for s, k := range moduleKeys[m] {
+			if keep != nil && !keep(m, s) {
+				plan.ModuleSlot[m][s] = -1
+				continue
+			}
+			gi, ok := g.index[k]
+			if !ok {
+				gi = len(g.slots)
+				g.index[k] = gi
+				g.slots = append(g.slots, k)
+			}
+			plan.ModuleSlot[m][s] = gi
+		}
+	}
+	for _, g := range gats {
+		plan.Slots = append(plan.Slots, g.slots)
+		plan.GATShared = append(plan.GATShared, g.shared)
+	}
+	return plan, nil
+}

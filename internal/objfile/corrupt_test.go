@@ -1,0 +1,71 @@
+package objfile
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestReaderNeverPanics flips random bytes in a serialized object and
+// requires Read to either fail cleanly or return a validated object — never
+// panic. This is the robustness contract the linker and OM rely on.
+func TestReaderNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleObject().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		mutated := append([]byte(nil), pristine...)
+		flips := 1 + r.Intn(4)
+		for i := 0; i < flips; i++ {
+			pos := r.Intn(len(mutated))
+			mutated[pos] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: reader panicked: %v", trial, p)
+				}
+			}()
+			obj, err := Read(bytes.NewReader(mutated))
+			if err == nil {
+				// Whatever parsed must satisfy the validator's invariants.
+				if verr := obj.Validate(); verr != nil {
+					t.Fatalf("trial %d: Read returned an invalid object: %v", trial, verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestImageReaderNeverPanics does the same for executables.
+func TestImageReaderNeverPanics(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleImage().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 400; trial++ {
+		mutated := append([]byte(nil), pristine...)
+		for i := 0; i < 1+r.Intn(4); i++ {
+			pos := r.Intn(len(mutated))
+			mutated[pos] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: image reader panicked: %v", trial, p)
+				}
+			}()
+			im, err := ReadImage(bytes.NewReader(mutated))
+			if err == nil {
+				if verr := im.Validate(); verr != nil {
+					t.Fatalf("trial %d: ReadImage returned an invalid image: %v", trial, verr)
+				}
+			}
+		}()
+	}
+}

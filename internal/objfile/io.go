@@ -1,0 +1,216 @@
+package objfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary format constants.
+const (
+	objMagic = "AXPO"
+	imgMagic = "AXPX"
+	version  = 1
+)
+
+type countWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *countWriter) u8(v uint8) {
+	if cw.err == nil {
+		cw.err = cw.w.WriteByte(v)
+	}
+}
+
+func (cw *countWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.bytesRaw(b[:])
+}
+
+func (cw *countWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.bytesRaw(b[:])
+}
+
+func (cw *countWriter) i64(v int64) { cw.u64(uint64(v)) }
+
+func (cw *countWriter) bytesRaw(b []byte) {
+	if cw.err == nil {
+		_, cw.err = cw.w.Write(b)
+	}
+}
+
+func (cw *countWriter) bytes(b []byte) {
+	cw.u64(uint64(len(b)))
+	cw.bytesRaw(b)
+}
+
+func (cw *countWriter) str(s string) {
+	cw.u64(uint64(len(s)))
+	if cw.err == nil {
+		_, cw.err = cw.w.WriteString(s)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (rd *reader) u8() uint8 {
+	if rd.err != nil {
+		return 0
+	}
+	b, err := rd.r.ReadByte()
+	rd.err = err
+	return b
+}
+
+func (rd *reader) u32() uint32 {
+	var b [4]byte
+	rd.raw(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (rd *reader) u64() uint64 {
+	var b [8]byte
+	rd.raw(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (rd *reader) i64() int64 { return int64(rd.u64()) }
+
+func (rd *reader) raw(b []byte) {
+	if rd.err == nil {
+		_, rd.err = io.ReadFull(rd.r, b)
+	}
+}
+
+func (rd *reader) bytes(limit uint64) []byte {
+	n := rd.u64()
+	if rd.err != nil {
+		return nil
+	}
+	if n > limit {
+		rd.err = fmt.Errorf("objfile: declared length %d exceeds limit %d", n, limit)
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	rd.raw(b)
+	return b
+}
+
+func (rd *reader) str() string { return string(rd.bytes(1 << 20)) }
+
+// maxBlob bounds any single serialized byte array, as a corruption guard.
+const maxBlob = 1 << 30
+
+// Write serializes the object module.
+func (o *Object) Write(w io.Writer) error {
+	cw := &countWriter{w: bufio.NewWriter(w)}
+	cw.bytesRaw([]byte(objMagic))
+	cw.u32(version)
+	cw.str(o.Name)
+	for k := SectionKind(0); k < NumSections; k++ {
+		s := &o.Sections[k]
+		cw.u64(s.Size)
+		cw.bytes(s.Data)
+	}
+	cw.u64(uint64(len(o.Symbols)))
+	for _, sym := range o.Symbols {
+		cw.str(sym.Name)
+		cw.u8(uint8(sym.Kind))
+		cw.u8(uint8(sym.Section))
+		cw.u64(sym.Value)
+		cw.u64(sym.End)
+		cw.u64(sym.Size)
+		cw.u64(sym.Align)
+		flags := uint8(0)
+		if sym.Exported {
+			flags |= 1
+		}
+		if sym.UsesGP {
+			flags |= 2
+		}
+		cw.u8(flags)
+	}
+	cw.u64(uint64(len(o.Relocs)))
+	for _, r := range o.Relocs {
+		cw.u8(uint8(r.Kind))
+		cw.u8(uint8(r.Section))
+		cw.u64(r.Offset)
+		cw.u32(uint32(r.Symbol))
+		cw.i64(r.Addend)
+		cw.u64(r.Extra)
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.w.Flush()
+}
+
+// Read deserializes an object module written by Write.
+func Read(r io.Reader) (*Object, error) {
+	rd := &reader{r: bufio.NewReader(r)}
+	var magic [4]byte
+	rd.raw(magic[:])
+	if rd.err == nil && string(magic[:]) != objMagic {
+		return nil, fmt.Errorf("objfile: bad magic %q", magic[:])
+	}
+	if v := rd.u32(); rd.err == nil && v != version {
+		return nil, fmt.Errorf("objfile: unsupported version %d", v)
+	}
+	o := New(rd.str())
+	for k := SectionKind(0); k < NumSections; k++ {
+		o.Sections[k].Size = rd.u64()
+		o.Sections[k].Data = rd.bytes(maxBlob)
+	}
+	nsym := rd.u64()
+	if rd.err == nil && nsym > math.MaxInt32 {
+		return nil, fmt.Errorf("objfile: implausible symbol count %d", nsym)
+	}
+	for i := uint64(0); i < nsym && rd.err == nil; i++ {
+		var sym Symbol
+		sym.Name = rd.str()
+		sym.Kind = SymbolKind(rd.u8())
+		sym.Section = SectionKind(rd.u8())
+		sym.Value = rd.u64()
+		sym.End = rd.u64()
+		sym.Size = rd.u64()
+		sym.Align = rd.u64()
+		flags := rd.u8()
+		sym.Exported = flags&1 != 0
+		sym.UsesGP = flags&2 != 0
+		o.Symbols = append(o.Symbols, sym)
+	}
+	nrel := rd.u64()
+	if rd.err == nil && nrel > math.MaxInt32 {
+		return nil, fmt.Errorf("objfile: implausible reloc count %d", nrel)
+	}
+	for i := uint64(0); i < nrel && rd.err == nil; i++ {
+		var rel Reloc
+		rel.Kind = RelocKind(rd.u8())
+		rel.Section = SectionKind(rd.u8())
+		rel.Offset = rd.u64()
+		rel.Symbol = int32(rd.u32())
+		rel.Addend = rd.i64()
+		rel.Extra = rd.u64()
+		o.Relocs = append(o.Relocs, rel)
+	}
+	if rd.err != nil {
+		return nil, fmt.Errorf("objfile: read: %w", rd.err)
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("objfile: read: %w", err)
+	}
+	return o, nil
+}

@@ -1,0 +1,134 @@
+package om
+
+import (
+	"repro/internal/link"
+	"repro/internal/objfile"
+)
+
+// Ablation switches: each disables one component of OM-full so its
+// individual contribution can be measured (the ablation study DESIGN.md
+// calls for; see the harness Ablation table and BenchmarkAblation).
+type Ablation struct {
+	// NoGATReduction keeps every original GAT slot.
+	NoGATReduction bool
+	// NoCommonSort leaves commons in standard-linker placement.
+	NoCommonSort bool
+	// NoPrologueRestore skips moving displaced GP pairs back to entry,
+	// leaving OM-full with OM-simple's call-site limitation.
+	NoPrologueRestore bool
+	// NoPairInsertion disables the ldah/lda materialization of far
+	// addresses, so address loads without LITUSE chains survive.
+	NoPairInsertion bool
+	// NoCallOpt leaves every jsr and PV load untouched.
+	NoCallOpt bool
+	// NoResetOpt keeps all GP resets.
+	NoResetOpt bool
+	// NoPrologueDelete keeps every procedure's GP-setup pair.
+	NoPrologueDelete bool
+	// NoAddressOpt disables address-load conversion and nullification.
+	NoAddressOpt bool
+}
+
+// Name returns a short label for the single enabled switch (for tables).
+func (ab Ablation) Name() string {
+	switch {
+	case ab.NoGATReduction:
+		return "-gat-reduction"
+	case ab.NoCommonSort:
+		return "-common-sort"
+	case ab.NoPrologueRestore:
+		return "-prologue-restore"
+	case ab.NoPairInsertion:
+		return "-pair-insertion"
+	case ab.NoCallOpt:
+		return "-call-opt"
+	case ab.NoResetOpt:
+		return "-reset-opt"
+	case ab.NoPrologueDelete:
+		return "-prologue-delete"
+	case ab.NoAddressOpt:
+		return "-address-opt"
+	}
+	return "full"
+}
+
+// Ablations enumerates the single-component ablations plus the unablated
+// baseline.
+func Ablations() []Ablation {
+	return []Ablation{
+		{},
+		{NoAddressOpt: true},
+		{NoCallOpt: true},
+		{NoResetOpt: true},
+		{NoPrologueDelete: true},
+		{NoPrologueRestore: true},
+		{NoGATReduction: true},
+		{NoCommonSort: true},
+		{NoPairInsertion: true},
+	}
+}
+
+// runFullAblated is runFull with components switched off.
+func runFullAblated(pg *Prog, ab Ablation) (*Plan, error) {
+	if !ab.NoPrologueRestore {
+		restoreProloguePairs(pg)
+	} else {
+		markPairPositions(pg)
+	}
+	var pl *Plan
+	for round := 0; ; round++ {
+		var err error
+		pl, err = computePlan(pg, planOpts{
+			reduceGAT:   !ab.NoGATReduction,
+			sortCommons: !ab.NoCommonSort,
+		})
+		if err != nil {
+			return nil, err
+		}
+		changed := false
+		if !ab.NoAddressOpt && applyAddressOptsEx(pg, pl, true, !ab.NoPairInsertion) {
+			changed = true
+		}
+		if !ab.NoCallOpt && applyCallOpts(pg, pl, true) {
+			changed = true
+		}
+		if !ab.NoResetOpt && applyGPResetOpts(pg, pl, true) {
+			changed = true
+		}
+		if !ab.NoPrologueDelete && applyPrologueOpts(pg, pl) {
+			changed = true
+		}
+		if !changed || round > 20 {
+			break
+		}
+	}
+	return pl, nil
+}
+
+// OptimizeFullAblated runs OM-full with the given components disabled and
+// regenerates an image; used by the ablation study.
+func OptimizeFullAblated(p *link.Program, ab Ablation, sched bool) (*objfile.Image, *Stats, error) {
+	pg, err := Lift(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	collectBefore(pg, stats)
+	basePlan, err := link.AssignGATs(p, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, slots := range basePlan.Slots {
+		stats.GATBytesBefore += uint64(len(slots)) * 8
+	}
+	pl, err := runFullAblated(pg, ab)
+	if err != nil {
+		return nil, nil, err
+	}
+	collectAfter(pg, pl, stats)
+	im, err := Emit(pg, pl, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	return im, stats, nil
+}

@@ -1,0 +1,420 @@
+package om
+
+import (
+	"fmt"
+
+	"repro/internal/axp"
+	"repro/internal/link"
+	"repro/internal/objfile"
+)
+
+// normalizeLabels moves labels off deleted instructions onto the next live
+// one and returns the live instruction list.
+func normalizeLabels(pr *Proc) ([]*SInst, error) {
+	var pending []int
+	live := make([]*SInst, 0, len(pr.Insts))
+	for _, si := range pr.Insts {
+		if si.Deleted {
+			pending = append(pending, si.Labels...)
+			si.Labels = nil
+			continue
+		}
+		if len(pending) > 0 {
+			si.Labels = append(pending, si.Labels...)
+			pending = nil
+		}
+		live = append(live, si)
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("om: %s: labels %v dangle past the last instruction", pr.Name, pending)
+	}
+	return live, nil
+}
+
+// rescheduleProc list-schedules each basic block of the live instruction
+// list, using the same latency model as the compile-time scheduler. A
+// GP-setup pair at procedure entry is pinned there: callers may be
+// branching to entry+8 to skip it.
+func rescheduleProc(live []*SInst) []*SInst {
+	pinned := 0
+	if len(live) >= 2 &&
+		live[0].GPD != nil && live[0].GPD.High && live[0].GPD.Entry &&
+		live[1].GPD != nil && live[1] == live[0].GPD.Partner {
+		pinned = 2
+	}
+	if pinned > 0 {
+		rest := rescheduleBody(live[pinned:])
+		return append(live[:pinned:pinned], rest...)
+	}
+	return rescheduleBody(live)
+}
+
+// rescheduleBody schedules without any pinned prefix.
+func rescheduleBody(live []*SInst) []*SInst {
+	isEnd := func(in axp.Inst) bool {
+		return in.Op.IsBranch() || in.Op.IsJump() || in.Op == axp.CALLPAL
+	}
+	out := make([]*SInst, 0, len(live))
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			seg := live[start:end]
+			labels := seg[0].Labels
+			seg[0].Labels = nil
+			raw := make([]axp.Inst, len(seg))
+			for i, si := range seg {
+				raw[i] = si.In
+			}
+			order := axp.ScheduleOrder(raw)
+			scheduled := make([]*SInst, len(seg))
+			for pos, idx := range order {
+				scheduled[pos] = seg[idx]
+			}
+			scheduled[0].Labels = append(labels, scheduled[0].Labels...)
+			out = append(out, scheduled...)
+		}
+		start = end
+	}
+	for i, si := range live {
+		if len(si.Labels) > 0 {
+			flush(i)
+		}
+		if isEnd(si.In) {
+			flush(i)
+			out = append(out, si)
+			start = i + 1
+		}
+	}
+	flush(len(live))
+	return out
+}
+
+// alignLoopTargets inserts unops so that instructions targeted by backward
+// branches start on a quadword boundary (procedure bases are quadword
+// aligned). This is the OM-full alignment pass that helps the dual-issue
+// fetcher.
+func alignLoopTargets(live []*SInst) []*SInst {
+	// Identify labels targeted by a later (backward) branch.
+	labelIdx := make(map[int]int)
+	for i, si := range live {
+		for _, l := range si.Labels {
+			labelIdx[l] = i
+		}
+	}
+	backward := make(map[int]bool)
+	for i, si := range live {
+		if si.Target >= 0 {
+			if ti, ok := labelIdx[si.Target]; ok && ti <= i {
+				backward[si.Target] = true
+			}
+		}
+	}
+	if len(backward) == 0 {
+		return live
+	}
+	out := make([]*SInst, 0, len(live)+8)
+	off := 0
+	for _, si := range live {
+		isTarget := false
+		for _, l := range si.Labels {
+			if backward[l] {
+				isTarget = true
+			}
+		}
+		if isTarget && off%8 != 0 {
+			out = append(out, &SInst{In: axp.Unop(), Target: -1})
+			off += 4
+		}
+		out = append(out, si)
+		off += 4
+	}
+	return out
+}
+
+// Emit regenerates an executable image from the symbolic program under the
+// given plan. When sched is true the OM-full rescheduler and loop-alignment
+// passes run first.
+func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
+	p := pg.P
+
+	// Finalize instruction lists and procedure addresses, per region.
+	finals := make([][]*SInst, len(pg.Procs))
+	tcur := [2]uint64{objfile.TextBase, objfile.SharedTextBase}
+	instAddr := make(map[*SInst]uint64)
+	for i, pr := range pg.Procs {
+		live, err := normalizeLabels(pr)
+		if err != nil {
+			return nil, err
+		}
+		if sched {
+			live = rescheduleProc(live)
+			live = alignLoopTargets(live)
+		}
+		finals[i] = live
+		r := pl.regionOf(pr.Mod)
+		tcur[r] = (tcur[r] + 7) &^ 7
+		pl.procAddr[pr] = tcur[r]
+		for _, si := range live {
+			instAddr[si] = tcur[r]
+			tcur[r] += 4
+		}
+	}
+
+	// Encode into per-region text blobs.
+	textBases := [2]uint64{objfile.TextBase, objfile.SharedTextBase}
+	texts := [2][]byte{
+		make([]byte, tcur[0]-objfile.TextBase),
+		make([]byte, tcur[1]-objfile.SharedTextBase),
+	}
+	unop := axp.MustEncode(axp.Unop())
+	for r := 0; r < 2; r++ {
+		for i := uint64(0); i+4 <= uint64(len(texts[r])); i += 4 {
+			objfile.PutUint32(texts[r], i, unop)
+		}
+	}
+	putWord := func(addr uint64, w uint32) {
+		r := 0
+		if addr >= objfile.SharedTextBase {
+			r = 1
+		}
+		objfile.PutUint32(texts[r], addr-textBases[r], w)
+	}
+	for pi, pr := range pg.Procs {
+		gp := int64(pl.GPOf(pr))
+		gatIdx := pl.GPGroup(pr)
+		live := finals[pi]
+		labelAddr := make(map[int]uint64)
+		for _, si := range live {
+			for _, l := range si.Labels {
+				labelAddr[l] = instAddr[si]
+			}
+		}
+		for _, si := range live {
+			in := si.In
+			addr := instAddr[si]
+			switch {
+			case si.GPRel != nil:
+				d, err := gprelDisp(pl, si, gp)
+				if err != nil {
+					return nil, fmt.Errorf("om: %s at %#x: %w", pr.Name, addr, err)
+				}
+				in.Disp = d
+			case si.Lit != nil && !si.Lit.Converted && !si.Lit.Nullified:
+				slotAddr, ok := pl.SlotAddr(gatIdx, si.Lit.Key)
+				if !ok {
+					return nil, fmt.Errorf("om: %s: GAT slot for %v vanished", pr.Name, si.Lit.Key)
+				}
+				d := int64(slotAddr) - gp
+				if !fits16(d) {
+					return nil, fmt.Errorf("om: %s: GAT slot beyond GP reach", pr.Name)
+				}
+				in.Disp = int32(d)
+			case si.GPD != nil && !in.IsNop():
+				if si.GPD.High {
+					anchor, err := gpdAnchor(pg, pl, pr, si, instAddr)
+					if err != nil {
+						return nil, err
+					}
+					hi, lo, err := link.SplitGPDisp(gp - int64(anchor))
+					if err != nil {
+						return nil, fmt.Errorf("om: %s: %w", pr.Name, err)
+					}
+					in.Disp = int32(hi)
+					// Stash the low half for the partner via the map trick:
+					// partner is processed on its own; recompute there.
+					_ = lo
+				} else {
+					// Low half: recompute from the paired high.
+					hiInst := si.GPD.Partner
+					anchor, err := gpdAnchor(pg, pl, pr, hiInst, instAddr)
+					if err != nil {
+						return nil, err
+					}
+					_, lo, err := link.SplitGPDisp(gp - int64(anchor))
+					if err != nil {
+						return nil, fmt.Errorf("om: %s: %w", pr.Name, err)
+					}
+					in.Disp = int32(lo)
+				}
+			}
+			if si.Call != nil && !si.Deleted {
+				target := pl.procAddr[si.Call.Target] + si.Call.EntryOffset
+				d, ok := axp.BranchDispTo(addr, target)
+				if !ok {
+					return nil, fmt.Errorf("om: %s: call at %#x cannot reach %s+%d",
+						pr.Name, addr, si.Call.Target.Name, si.Call.EntryOffset)
+				}
+				in.Disp = d
+			} else if si.Target >= 0 {
+				ta, ok := labelAddr[si.Target]
+				if !ok {
+					return nil, fmt.Errorf("om: %s: missing label %d", pr.Name, si.Target)
+				}
+				d, ok := axp.BranchDispTo(addr, ta)
+				if !ok {
+					return nil, fmt.Errorf("om: %s: branch out of range", pr.Name)
+				}
+				in.Disp = d
+			}
+			w, err := axp.Encode(in)
+			if err != nil {
+				return nil, fmt.Errorf("om: %s at %#x: encode %v: %w", pr.Name, addr, in, err)
+			}
+			putWord(addr, w)
+		}
+	}
+
+	// Data segments under the plan's placement, per region.
+	dataBases := [2]uint64{objfile.DataBase, objfile.SharedDataBase}
+	blobs := [2][]byte{
+		make([]byte, pl.dataEnd[0]-objfile.DataBase),
+		make([]byte, pl.dataEnd[1]-objfile.SharedDataBase),
+	}
+	putQuad := func(addr uint64, v uint64) {
+		r := 0
+		if addr >= objfile.SharedDataBase {
+			r = 1
+		}
+		objfile.PutUint64(blobs[r], addr-dataBases[r], v)
+	}
+	addrOfKey := func(k link.TargetKey) (uint64, error) { return pl.AddrOfKey(k) }
+	for g, slots := range pl.gat.Slots {
+		for i, k := range slots {
+			a, err := addrOfKey(k)
+			if err != nil {
+				return nil, err
+			}
+			putQuad(pl.gatStart[g]+uint64(i*8), a)
+		}
+	}
+	for m, obj := range p.Objects {
+		region := pl.regionOf(m)
+		for _, sec := range []objfile.SectionKind{objfile.SecSData, objfile.SecData} {
+			copy(blobs[region][pl.secBase[m][sec]-dataBases[region]:], obj.Sections[sec].Data)
+		}
+		for _, r := range obj.Relocs {
+			if r.Kind != objfile.RRefQuad || r.Section == objfile.SecLita {
+				continue
+			}
+			a, err := addrOfKey(link.Key(p.Resolve(m, r.Symbol), r.Addend))
+			if err != nil {
+				return nil, err
+			}
+			putQuad(pl.secBase[m][r.Section]+r.Offset, a)
+		}
+	}
+
+	// Image assembly.
+	var entryAddr uint64
+	found := false
+	for _, pr := range pg.Procs {
+		if pr.Name == p.EntryName && pr.Exported {
+			entryAddr = pl.procAddr[pr]
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("om: entry symbol %s not found", p.EntryName)
+	}
+	im := &objfile.Image{
+		Entry: entryAddr,
+		Segments: []objfile.Segment{
+			{Name: ".text", Addr: objfile.TextBase, Data: texts[0]},
+			{Name: ".data", Addr: objfile.DataBase, Data: blobs[0]},
+		},
+	}
+	if len(texts[1]) > 0 || len(blobs[1]) > 0 {
+		im.Segments = append(im.Segments,
+			objfile.Segment{Name: ".text.so", Addr: objfile.SharedTextBase, Data: texts[1]},
+			objfile.Segment{Name: ".data.so", Addr: objfile.SharedDataBase, Data: blobs[1]},
+		)
+	}
+	for pi, pr := range pg.Procs {
+		im.Symbols = append(im.Symbols, objfile.ImageSymbol{
+			Name: pr.Name, Addr: pl.procAddr[pr],
+			Size: uint64(len(finals[pi])) * 4, Kind: objfile.SymProc,
+			GP: pl.GPOf(pr),
+		})
+	}
+	for m, obj := range p.Objects {
+		for s := range obj.Symbols {
+			sym := &obj.Symbols[s]
+			if sym.Kind != objfile.SymData {
+				continue
+			}
+			im.Symbols = append(im.Symbols, objfile.ImageSymbol{
+				Name: sym.Name, Addr: pl.secBase[m][sym.Section] + sym.Value,
+				Size: sym.Size, Kind: objfile.SymData,
+			})
+		}
+	}
+	for _, c := range p.Commons {
+		im.Symbols = append(im.Symbols, objfile.ImageSymbol{
+			Name: c.Name, Addr: pl.commonAddr[c.Name], Size: c.Size, Kind: objfile.SymData,
+		})
+	}
+	for g := range pl.gat.Slots {
+		im.GATs = append(im.GATs, objfile.GATRange{
+			Start: pl.gatStart[g],
+			End:   pl.gatStart[g] + uint64(len(pl.gat.Slots[g]))*8,
+			GP:    pl.gp[g],
+		})
+	}
+	im.SortSymbols()
+	if err := im.Validate(); err != nil {
+		return nil, fmt.Errorf("om: %w", err)
+	}
+	return im, nil
+}
+
+// gprelDisp computes the final displacement of a GP-relative rewrite.
+func gprelDisp(pl *Plan, si *SInst, gp int64) (int32, error) {
+	g := si.GPRel
+	addr, err := pl.AddrOfKey(g.Key)
+	if err != nil {
+		return 0, err
+	}
+	delta := int64(addr) - gp
+	switch g.Kind {
+	case GPRelLDA, GPRelUseDirect:
+		d := delta + g.Extra
+		if !fits16(d) {
+			return 0, fmt.Errorf("GP-relative displacement %d no longer fits", d)
+		}
+		return int32(d), nil
+	case GPRelLDAH:
+		hi, _, err := link.SplitGPDisp(delta)
+		if err != nil {
+			return 0, err
+		}
+		return int32(hi), nil
+	case GPRelUseLow:
+		haddr, err := pl.AddrOfKey(g.HighPart.GPRel.Key)
+		if err != nil {
+			return 0, err
+		}
+		_, lo, err := link.SplitGPDisp(int64(haddr) - gp)
+		if err != nil {
+			return 0, err
+		}
+		d := int64(lo) + g.Extra
+		if !fits16(d) {
+			return 0, fmt.Errorf("low-part displacement %d no longer fits", d)
+		}
+		return int32(d), nil
+	}
+	return 0, fmt.Errorf("unknown GP-relative kind %d", g.Kind)
+}
+
+// gpdAnchor computes the address held in the base register of a GP pair.
+func gpdAnchor(pg *Prog, pl *Plan, pr *Proc, hi *SInst, instAddr map[*SInst]uint64) (uint64, error) {
+	if hi.GPD.Entry {
+		return pl.procAddr[pr], nil
+	}
+	call := hi.GPD.AfterCall
+	a, ok := instAddr[call]
+	if !ok {
+		return 0, fmt.Errorf("om: %s: GP reset anchored to a removed call", pr.Name)
+	}
+	return a + 4, nil
+}

@@ -1,0 +1,103 @@
+package om
+
+import (
+	"fmt"
+
+	"repro/internal/axp"
+	"repro/internal/link"
+	"repro/internal/objfile"
+)
+
+// BlockInfo names one instrumented basic block.
+type BlockInfo struct {
+	ID    uint32
+	Proc  string
+	Index int // block ordinal within the procedure
+}
+
+// Instrument inserts a profiling trap at the entry of every basic block —
+// the ATOM-style application of OM's machinery the paper points to ("OM
+// lets us work with a symbolic form... flexible program instrumentation
+// tools"). Each trap carries the block id; the simulator counts executions
+// without disturbing any architectural state.
+//
+// Instrumentation runs on the lifted (unoptimized) form, like pixie on a
+// final binary: call it after Lift and emit with LevelNone.
+func Instrument(pg *Prog) ([]BlockInfo, error) {
+	var blocks []BlockInfo
+	nextID := uint32(0)
+	for _, pr := range pg.Procs {
+		idx := 0
+		trap := func() *SInst {
+			if nextID > axp.PalProfileIDMask {
+				return nil
+			}
+			si := &SInst{In: axp.Pal(axp.PalProfileFlag | nextID), Target: -1}
+			blocks = append(blocks, BlockInfo{ID: nextID, Proc: pr.Name, Index: idx})
+			nextID++
+			idx++
+			return si
+		}
+
+		var out []*SInst
+		// Entry block: if the prologue GP pair is pinned at entry (local
+		// entry points target entry+8), count after the pair so skipped
+		// entries are still observed.
+		insts := pr.Insts
+		start := 0
+		if len(insts) >= 2 &&
+			insts[0].GPD != nil && insts[0].GPD.High && insts[0].GPD.Entry &&
+			insts[1].GPD != nil && insts[1] == insts[0].GPD.Partner {
+			out = append(out, insts[0], insts[1])
+			start = 2
+		}
+		tr := trap()
+		if tr == nil {
+			return nil, fmt.Errorf("om: instrument: more than %d blocks", axp.PalProfileIDMask)
+		}
+		out = append(out, tr)
+
+		prevEndsBlock := false
+		for i := start; i < len(insts); i++ {
+			si := insts[i]
+			leader := prevEndsBlock || len(si.Labels) > 0
+			if leader {
+				tr := trap()
+				if tr == nil {
+					return nil, fmt.Errorf("om: instrument: more than %d blocks", axp.PalProfileIDMask)
+				}
+				// Branch targets must hit the counter: move the labels.
+				tr.Labels = si.Labels
+				si.Labels = nil
+				out = append(out, tr)
+			}
+			out = append(out, si)
+			prevEndsBlock = si.In.Op.IsBranch() || si.In.Op.IsJump() || si.In.Op == axp.CALLPAL
+		}
+		pr.Insts = out
+	}
+	return blocks, nil
+}
+
+// OptimizeInstrumented lifts the program, instruments every basic block,
+// and regenerates an executable (unoptimized, like a pixie build). The
+// returned table maps profile ids to blocks.
+func OptimizeInstrumented(p *link.Program) (*objfile.Image, []BlockInfo, error) {
+	pg, err := Lift(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	blocks, err := Instrument(pg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := computePlan(pg, planOpts{})
+	if err != nil {
+		return nil, nil, err
+	}
+	im, err := Emit(pg, pl, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return im, blocks, nil
+}

@@ -1,0 +1,373 @@
+// Package om implements the paper's contribution: the OM link-time
+// code-modification system, specialized to address-calculation optimization
+// on the Alpha AXP.
+//
+// OM translates the object code of the entire program into a symbolic form:
+// procedures with label-based control flow and relocation-derived
+// annotations (address loads, their uses, GP-establishing pairs, direct-call
+// branches). It analyzes and transforms this form — at the OM-simple level
+// by one-for-one instruction replacement, at the OM-full level with
+// deletion, insertion, and reordering — and regenerates executable object
+// code, recomputing every displacement and address constant from the
+// symbolic form.
+package om
+
+import (
+	"fmt"
+
+	"repro/internal/axp"
+	"repro/internal/link"
+	"repro/internal/objfile"
+)
+
+// SInst is one instruction in OM's symbolic form.
+type SInst struct {
+	In axp.Inst
+
+	// Labels are intra-procedure labels attached to this instruction.
+	Labels []int
+	// Target is the label a branch jumps to, or -1.
+	Target int
+
+	// Lit marks an address load from the GAT.
+	Lit *LitInfo
+	// Use links a memory access or jsr to its address load.
+	Use *UseInfo
+	// GPD marks half of a GP-establishing pair.
+	GPD *GPDInfo
+	// Call marks a direct call/branch to another procedure.
+	Call *CallInfo
+	// GPRel marks an instruction rewritten to address data GP-relatively;
+	// its displacement is recomputed from the final layout at emission.
+	GPRel *GPRelInfo
+
+	// Deleted marks instructions removed by OM-full; they are skipped at
+	// emission. OM-simple instead overwrites In with a no-op.
+	Deleted bool
+
+	// PVLit records, for a direct jsr call site, the address load that
+	// materializes PV (for statistics after the Use link is dissolved).
+	PVLit *SInst
+	// Indirect marks a call through a procedure variable.
+	Indirect bool
+}
+
+// LitInfo describes an address load: ldq rX, slot(gp).
+type LitInfo struct {
+	Key  link.TargetKey
+	Uses []*SInst
+	// Converted: the load became a load-address (lda or ldah) and no longer
+	// references the GAT.
+	Converted bool
+	// Nullified: the load was no-op'd (simple) or deleted (full).
+	Nullified bool
+}
+
+// UseInfo links an instruction to the address load feeding it.
+type UseInfo struct {
+	Lit *SInst
+	JSR bool
+}
+
+// GPDInfo describes half of a GP-establishing ldah/lda pair.
+type GPDInfo struct {
+	Partner *SInst
+	High    bool
+	// Entry: the pair's base register holds the procedure entry address
+	// (prologue, PV). Otherwise AfterCall holds the call whose return
+	// address (RA) is the base.
+	Entry     bool
+	AfterCall *SInst
+}
+
+// CallInfo describes a direct call whose destination is a known procedure.
+type CallInfo struct {
+	Target *Proc
+	// EntryOffset is the byte offset into the target (0 or 8 for the local
+	// entry point past the GP-setup pair).
+	EntryOffset uint64
+}
+
+// GPRelKind distinguishes the GP-relative rewrite applied to an instruction.
+type GPRelKind uint8
+
+const (
+	// GPRelLDA: the instruction computes key's address: lda r, delta(gp).
+	GPRelLDA GPRelKind = iota
+	// GPRelLDAH: the instruction computes the high part: ldah r, hi(gp).
+	GPRelLDAH
+	// GPRelUseDirect: a load/store rewritten to op r, delta+orig(gp).
+	GPRelUseDirect
+	// GPRelUseLow: a load/store rewritten against a GPRelLDAH base:
+	// op r, lo+orig(base).
+	GPRelUseLow
+)
+
+// GPRelInfo carries the symbolic GP-relative rewrite.
+type GPRelInfo struct {
+	Kind GPRelKind
+	Key  link.TargetKey
+	// Extra is the displacement added beyond the key's address (the
+	// original use displacement).
+	Extra int64
+	// HighPart, for GPRelUseLow, is the ldah this use pairs with.
+	HighPart *SInst
+}
+
+// Proc is one procedure in symbolic form.
+type Proc struct {
+	Mod      int
+	Sym      int32
+	Name     string
+	Exported bool
+	Insts    []*SInst
+
+	nextLabel int
+
+	// Analysis/transform state:
+	// DataAddrTaken: the procedure's address appears in initialized data
+	// (function-pointer tables); its full entry must stay intact.
+	DataAddrTaken bool
+	// PrologueDeleted: OM-full removed the GP-setup pair entirely.
+	PrologueDeleted bool
+	// PairAtEntry: the prologue GP pair occupies the first two slots.
+	PairAtEntry bool
+}
+
+// NewLabel allocates a fresh intra-procedure label.
+func (pr *Proc) NewLabel() int {
+	l := pr.nextLabel
+	pr.nextLabel++
+	return l
+}
+
+// Live returns the non-deleted instructions.
+func (pr *Proc) Live() []*SInst {
+	live := make([]*SInst, 0, len(pr.Insts))
+	for _, si := range pr.Insts {
+		if !si.Deleted {
+			live = append(live, si)
+		}
+	}
+	return live
+}
+
+// Prog is the whole program in symbolic form.
+type Prog struct {
+	P     *link.Program
+	Procs []*Proc
+	// procByDef finds the Proc for a (module, symbol) definition.
+	procByDef map[[2]int32]*Proc
+	// moduleGAT, assigned during planning, gives each module's GP group.
+	moduleGAT []int
+}
+
+// ProcFor resolves a target key to its procedure, if it names one.
+func (pg *Prog) ProcFor(k link.TargetKey) *Proc {
+	if k.Kind != link.TDef || k.Addend != 0 {
+		return nil
+	}
+	return pg.procByDef[[2]int32{int32(k.Mod), k.Sym}]
+}
+
+// Lift translates every procedure of the merged program into symbolic form.
+func Lift(p *link.Program) (*Prog, error) {
+	pg := &Prog{P: p, procByDef: make(map[[2]int32]*Proc)}
+
+	type pendingCall struct {
+		inst   *SInst
+		target link.Target
+		addend int64
+	}
+	var pending []pendingCall
+
+	for m, obj := range p.Objects {
+		text := obj.Sections[objfile.SecText].Data
+		insts, err := axp.DecodeAll(text)
+		if err != nil {
+			return nil, fmt.Errorf("om: lift %s: %w", obj.Name, err)
+		}
+		// Index relocations by offset.
+		litAt := make(map[uint64]*objfile.Reloc)
+		useAt := make(map[uint64]*objfile.Reloc)
+		gpdAt := make(map[uint64]*objfile.Reloc)
+		brAt := make(map[uint64]*objfile.Reloc)
+		gprAt := make(map[uint64]*objfile.Reloc)
+		for i := range obj.Relocs {
+			r := &obj.Relocs[i]
+			if r.Section != objfile.SecText {
+				continue
+			}
+			switch r.Kind {
+			case objfile.RLiteral:
+				litAt[r.Offset] = r
+			case objfile.RLituseBase, objfile.RLituseJSR:
+				useAt[r.Offset] = r
+			case objfile.RGPDisp:
+				gpdAt[r.Offset] = r
+			case objfile.RBrAddr:
+				brAt[r.Offset] = r
+			case objfile.RGPRel16:
+				gprAt[r.Offset] = r
+			}
+		}
+
+		// Procedures of this module in address order.
+		var procSyms []int32
+		for s := range obj.Symbols {
+			if obj.Symbols[s].Kind == objfile.SymProc {
+				procSyms = append(procSyms, int32(s))
+			}
+		}
+		for i := 0; i < len(procSyms); i++ {
+			for j := i + 1; j < len(procSyms); j++ {
+				if obj.Symbols[procSyms[j]].Value < obj.Symbols[procSyms[i]].Value {
+					procSyms[i], procSyms[j] = procSyms[j], procSyms[i]
+				}
+			}
+		}
+
+		covered := uint64(0)
+		for _, s := range procSyms {
+			sym := &obj.Symbols[s]
+			if sym.Value != covered {
+				return nil, fmt.Errorf("om: lift %s: gap before procedure %s (%#x..%#x)",
+					obj.Name, sym.Name, covered, sym.Value)
+			}
+			covered = sym.End
+
+			pr := &Proc{Mod: m, Sym: s, Name: sym.Name, Exported: sym.Exported}
+			base := sym.Value
+			n := int((sym.End - sym.Value) / 4)
+			pr.Insts = make([]*SInst, n)
+			for i := 0; i < n; i++ {
+				pr.Insts[i] = &SInst{In: insts[int(base/4)+i], Target: -1}
+			}
+
+			// Pass 1: labels for intra-procedure branch targets.
+			labelAt := make(map[int]int)
+			for i, si := range pr.Insts {
+				off := base + uint64(i*4)
+				if !si.In.Op.IsBranch() {
+					continue
+				}
+				if _, isCall := brAt[off]; isCall {
+					continue
+				}
+				targetOff := int64(off) + 4 + int64(si.In.Disp)*4
+				ti := (targetOff - int64(base)) / 4
+				if ti < 0 || ti >= int64(n) {
+					return nil, fmt.Errorf("om: lift %s: %s branch at +%#x leaves the procedure",
+						obj.Name, sym.Name, off-base)
+				}
+				l, ok := labelAt[int(ti)]
+				if !ok {
+					l = pr.NewLabel()
+					labelAt[int(ti)] = l
+					pr.Insts[ti].Labels = append(pr.Insts[ti].Labels, l)
+				}
+				si.Target = l
+			}
+
+			// Pass 2: relocation annotations.
+			sidxAt := func(off uint64) (*SInst, bool) {
+				i := (int64(off) - int64(base)) / 4
+				if i < 0 || i >= int64(n) {
+					return nil, false
+				}
+				return pr.Insts[i], true
+			}
+			for i, si := range pr.Insts {
+				off := base + uint64(i*4)
+				if r, ok := litAt[off]; ok {
+					si.Lit = &LitInfo{Key: link.Key(p.Resolve(m, r.Symbol), r.Addend)}
+				}
+				if r, ok := gprAt[off]; ok {
+					// Optimistically compiled GP-relative reference: already
+					// in OM's target form; re-anchor it to the final layout.
+					si.GPRel = &GPRelInfo{
+						Kind:  GPRelUseDirect,
+						Key:   link.Key(p.Resolve(m, r.Symbol), 0),
+						Extra: r.Addend,
+					}
+				}
+				if r, ok := useAt[off]; ok {
+					lit, ok := sidxAt(r.Extra)
+					if !ok || lit.Lit == nil {
+						return nil, fmt.Errorf("om: lift %s: %s: LITUSE at +%#x has no literal at +%#x",
+							obj.Name, sym.Name, off-base, r.Extra-base)
+					}
+					si.Use = &UseInfo{Lit: lit, JSR: r.Kind == objfile.RLituseJSR}
+					lit.Lit.Uses = append(lit.Lit.Uses, si)
+					if si.Use.JSR {
+						si.PVLit = lit
+					}
+				}
+				if si.In.Op == axp.JSR && si.Use == nil {
+					si.Indirect = true
+				}
+				if r, ok := gpdAt[off]; ok {
+					lo, ok := sidxAt(r.Extra)
+					if !ok {
+						return nil, fmt.Errorf("om: lift %s: %s: GPDISP pair escapes procedure", obj.Name, sym.Name)
+					}
+					hi := si
+					anchor := uint64(r.Addend)
+					g := &GPDInfo{Partner: lo, High: true}
+					if anchor == base {
+						g.Entry = true
+					} else {
+						call, ok := sidxAt(anchor - 4)
+						if !ok || !(call.In.Op == axp.JSR || call.In.Op == axp.BSR) {
+							return nil, fmt.Errorf("om: lift %s: %s: GPDISP anchor +%#x is not after a call",
+								obj.Name, sym.Name, anchor-base)
+						}
+						g.AfterCall = call
+					}
+					hi.GPD = g
+					lo.GPD = &GPDInfo{Partner: hi}
+				}
+				if r, ok := brAt[off]; ok {
+					pending = append(pending, pendingCall{
+						inst: si, target: p.Resolve(m, r.Symbol), addend: r.Addend,
+					})
+				}
+			}
+			pg.Procs = append(pg.Procs, pr)
+			pg.procByDef[[2]int32{int32(m), s}] = pr
+		}
+		if covered != obj.Sections[objfile.SecText].Size {
+			return nil, fmt.Errorf("om: lift %s: %#x bytes of text not covered by procedures",
+				obj.Name, obj.Sections[objfile.SecText].Size-covered)
+		}
+	}
+
+	// Resolve direct-call targets now that all procedures exist.
+	for _, pc := range pending {
+		if pc.target.Kind != link.TDef {
+			return nil, fmt.Errorf("om: lift: call to non-procedure %s", pc.target.Name)
+		}
+		tp := pg.procByDef[[2]int32{int32(pc.target.Mod), pc.target.Sym}]
+		if tp == nil {
+			return nil, fmt.Errorf("om: lift: call to unknown procedure %s", pc.target.Name)
+		}
+		pc.inst.Call = &CallInfo{Target: tp, EntryOffset: uint64(pc.addend)}
+	}
+
+	// Data-section address-taken procedures (function-pointer tables in
+	// initialized data).
+	for m, obj := range p.Objects {
+		for _, r := range obj.Relocs {
+			if r.Kind != objfile.RRefQuad || r.Section == objfile.SecLita {
+				continue
+			}
+			t := p.Resolve(m, r.Symbol)
+			if t.Kind == link.TDef {
+				if tp := pg.procByDef[[2]int32{int32(t.Mod), t.Sym}]; tp != nil {
+					tp.DataAddrTaken = true
+				}
+			}
+		}
+	}
+	return pg, nil
+}

@@ -1,0 +1,63 @@
+package om
+
+import (
+	"repro/internal/link"
+	"repro/internal/objfile"
+)
+
+// Options select the OM optimization level and whether OM-full also
+// reschedules the code after optimizing (the paper's "w/sched" column).
+type Options struct {
+	Level    Level
+	Schedule bool
+}
+
+// Optimize runs OM on a merged program: lift to symbolic form, analyze and
+// transform at the requested level, and regenerate an executable image.
+// The returned statistics cover the paper's static measurements.
+func Optimize(p *link.Program, opts Options) (*objfile.Image, *Stats, error) {
+	pg, err := Lift(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{}
+	collectBefore(pg, stats)
+
+	basePlan, err := link.AssignGATs(p, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, slots := range basePlan.Slots {
+		stats.GATBytesBefore += uint64(len(slots)) * 8
+	}
+
+	var pl *Plan
+	switch opts.Level {
+	case LevelNone:
+		pl, err = computePlan(pg, planOpts{})
+	case LevelSimple:
+		pl, err = runSimple(pg)
+	case LevelFull:
+		pl, err = runFull(pg)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	collectAfter(pg, pl, stats)
+
+	sched := opts.Schedule && opts.Level == LevelFull
+	im, err := Emit(pg, pl, sched)
+	if err != nil {
+		return nil, nil, err
+	}
+	return im, stats, nil
+}
+
+// OptimizeObjects is a convenience wrapper: merge then optimize.
+func OptimizeObjects(objects []*objfile.Object, opts Options) (*objfile.Image, *Stats, error) {
+	p, err := link.Merge(objects)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Optimize(p, opts)
+}

@@ -1,0 +1,384 @@
+// Package progen generates random — but deterministic and terminating —
+// Tiny C programs for property-based testing of the whole toolchain. The
+// key property the tests check: a program's output must be identical under
+// the standard linker and under every OM level, in both compile-each and
+// compile-all modes.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/tcc"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Modules     int // separately compiled modules
+	FuncsPerMod int
+	MaxExprDeep int
+	MaxStmts    int
+}
+
+// DefaultConfig generates mid-sized programs.
+func DefaultConfig() Config {
+	return Config{Modules: 3, FuncsPerMod: 4, MaxExprDeep: 4, MaxStmts: 6}
+}
+
+type gen struct {
+	r   *rand.Rand
+	cfg Config
+
+	// Global environment, shared by all modules.
+	longGlobals  []string
+	dblGlobals   []string
+	arrays       []arrayInfo // power-of-two sized long arrays
+	funcs        []funcInfo  // defined so far (callable: acyclic call graph)
+	staticsByMod map[int][]funcInfo
+	nextVar      int
+}
+
+type arrayInfo struct {
+	name string
+	size int64 // power of two
+}
+
+type funcInfo struct {
+	name   string
+	params int  // all long
+	isDbl  bool // returns double
+	mod    int
+	static bool
+}
+
+// Generate produces the modules of one random program.
+func Generate(seed int64, cfg Config) []tcc.Source {
+	g := &gen{r: rand.New(rand.NewSource(seed)), cfg: cfg,
+		staticsByMod: make(map[int][]funcInfo)}
+
+	// Globals.
+	nLong := 2 + g.r.Intn(6)
+	for i := 0; i < nLong; i++ {
+		g.longGlobals = append(g.longGlobals, fmt.Sprintf("gv%d", i))
+	}
+	nDbl := 1 + g.r.Intn(3)
+	for i := 0; i < nDbl; i++ {
+		g.dblGlobals = append(g.dblGlobals, fmt.Sprintf("gd%d", i))
+	}
+	nArr := 1 + g.r.Intn(3)
+	for i := 0; i < nArr; i++ {
+		g.arrays = append(g.arrays, arrayInfo{
+			name: fmt.Sprintf("ga%d", i),
+			size: 1 << (3 + g.r.Intn(4)), // 8..64
+		})
+	}
+
+	var sources []tcc.Source
+	for m := 0; m < cfg.Modules; m++ {
+		var b strings.Builder
+		g.emitGlobalDecls(&b, m)
+		for f := 0; f < cfg.FuncsPerMod; f++ {
+			g.emitFunc(&b, m, f)
+		}
+		if m == cfg.Modules-1 {
+			g.emitMain(&b)
+		}
+		sources = append(sources, tcc.Source{
+			Name: fmt.Sprintf("m%d", m),
+			Text: b.String(),
+		})
+	}
+	return sources
+}
+
+// emitGlobalDecls declares or externs the shared globals in module m.
+// Module 0 defines them; later modules extern them.
+func (g *gen) emitGlobalDecls(b *strings.Builder, m int) {
+	if m == 0 {
+		for i, name := range g.longGlobals {
+			if i%2 == 0 {
+				fmt.Fprintf(b, "long %s = %d;\n", name, g.r.Intn(100))
+			} else {
+				fmt.Fprintf(b, "long %s;\n", name)
+			}
+		}
+		for _, name := range g.dblGlobals {
+			fmt.Fprintf(b, "double %s = %d.5;\n", name, g.r.Intn(10))
+		}
+		for _, a := range g.arrays {
+			fmt.Fprintf(b, "long %s[%d];\n", a.name, a.size)
+		}
+	} else {
+		for _, name := range g.longGlobals {
+			fmt.Fprintf(b, "extern long %s;\n", name)
+		}
+		for _, name := range g.dblGlobals {
+			fmt.Fprintf(b, "extern double %s;\n", name)
+		}
+		for _, a := range g.arrays {
+			fmt.Fprintf(b, "extern long %s[%d];\n", a.name, a.size)
+		}
+	}
+	// Forward declarations for functions defined in earlier modules.
+	for _, fn := range g.funcs {
+		if fn.mod != m && !fn.static {
+			ret := "long"
+			if fn.isDbl {
+				ret = "double"
+			}
+			fmt.Fprintf(b, "%s %s(%s);\n", ret, fn.name, paramList(fn.params))
+		}
+	}
+	b.WriteString("\n")
+}
+
+func paramList(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("long p%d", i)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// longExpr generates a side-effect-free long expression. Locals in scope are
+// given by vars.
+func (g *gen) longExpr(depth int, vars []string) string {
+	if depth <= 0 || g.r.Intn(4) == 0 {
+		switch g.r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.Intn(2000)-1000)
+		case 1:
+			if len(vars) > 0 {
+				return vars[g.r.Intn(len(vars))]
+			}
+			return fmt.Sprintf("%d", g.r.Intn(50))
+		case 2:
+			return g.longGlobals[g.r.Intn(len(g.longGlobals))]
+		default:
+			a := g.arrays[g.r.Intn(len(g.arrays))]
+			return fmt.Sprintf("%s[%s & %d]", a.name, g.idxExpr(vars), a.size-1)
+		}
+	}
+	x := g.longExpr(depth-1, vars)
+	y := g.longExpr(depth-1, vars)
+	switch g.r.Intn(10) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", x, y)
+	case 3:
+		return fmt.Sprintf("(%s & %s)", x, y)
+	case 4:
+		return fmt.Sprintf("(%s | %s)", x, y)
+	case 5:
+		return fmt.Sprintf("(%s ^ %s)", x, y)
+	case 6:
+		return fmt.Sprintf("(%s >> %d)", x, 1+g.r.Intn(8))
+	case 7:
+		return fmt.Sprintf("(%s << %d)", x, 1+g.r.Intn(4))
+	case 8:
+		return fmt.Sprintf("(%s / %d)", x, 1+g.r.Intn(9))
+	default:
+		op := []string{"<", "<=", ">", ">=", "==", "!="}[g.r.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", x, op, y)
+	}
+}
+
+// idxExpr generates a cheap index expression.
+func (g *gen) idxExpr(vars []string) string {
+	if len(vars) > 0 && g.r.Intn(2) == 0 {
+		return vars[g.r.Intn(len(vars))]
+	}
+	return fmt.Sprintf("%d", g.r.Intn(64))
+}
+
+// dblExpr generates a double expression.
+func (g *gen) dblExpr(depth int, vars []string) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d.%d", g.r.Intn(20), g.r.Intn(100))
+		case 1:
+			return g.dblGlobals[g.r.Intn(len(g.dblGlobals))]
+		default:
+			if len(vars) > 0 {
+				return vars[g.r.Intn(len(vars))]
+			}
+			return "1.25"
+		}
+	}
+	x := g.dblExpr(depth-1, vars)
+	y := g.dblExpr(depth-1, vars)
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", x, y)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", x, y)
+	case 2:
+		return fmt.Sprintf("(%s * 0.5 + %s * 0.25)", x, y)
+	default:
+		return fmt.Sprintf("(%s / (%s * %s + 1.5))", x, y, y)
+	}
+}
+
+// callExpr generates a call to an already-defined long function or a
+// library helper, guaranteeing an acyclic call graph.
+func (g *gen) callExpr(m int, vars []string) string {
+	candidates := make([]funcInfo, 0, len(g.funcs))
+	for _, fn := range g.funcs {
+		if fn.isDbl {
+			continue
+		}
+		if fn.static && fn.mod != m {
+			continue
+		}
+		candidates = append(candidates, fn)
+	}
+	if len(candidates) == 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("lhash(%s)", g.longExpr(1, vars))
+		case 1:
+			return fmt.Sprintf("lmax(%s, %s)", g.longExpr(1, vars), g.longExpr(1, vars))
+		default:
+			return fmt.Sprintf("labs(%s)", g.longExpr(1, vars))
+		}
+	}
+	fn := candidates[g.r.Intn(len(candidates))]
+	args := make([]string, fn.params)
+	for i := range args {
+		args[i] = g.longExpr(1, vars)
+	}
+	return fmt.Sprintf("%s(%s)", fn.name, strings.Join(args, ", "))
+}
+
+// emitStmts writes a list of statements. vars are in-scope long locals;
+// loopDepth bounds nesting.
+func (g *gen) emitStmts(b *strings.Builder, m int, vars []string, indent string, n, loopDepth int) {
+	for s := 0; s < n; s++ {
+		switch g.r.Intn(7) {
+		case 0: // assign global
+			fmt.Fprintf(b, "%s%s = %s;\n", indent,
+				g.longGlobals[g.r.Intn(len(g.longGlobals))], g.longExpr(2, vars))
+		case 1: // assign array element
+			a := g.arrays[g.r.Intn(len(g.arrays))]
+			fmt.Fprintf(b, "%s%s[%s & %d] = %s;\n", indent,
+				a.name, g.idxExpr(vars), a.size-1, g.longExpr(2, vars))
+		case 2: // assign local
+			if len(vars) > 0 {
+				v := vars[g.r.Intn(len(vars))]
+				fmt.Fprintf(b, "%s%s = %s;\n", indent, v, g.longExpr(2, vars))
+				break
+			}
+			fallthrough
+		case 3: // call for effect
+			fmt.Fprintf(b, "%s%s;\n", indent, g.callExpr(m, vars))
+		case 4: // if/else
+			fmt.Fprintf(b, "%sif (%s) {\n", indent, g.longExpr(2, vars))
+			g.emitStmts(b, m, vars, indent+"\t", 1+g.r.Intn(2), loopDepth)
+			if g.r.Intn(2) == 0 {
+				fmt.Fprintf(b, "%s} else {\n", indent)
+				g.emitStmts(b, m, vars, indent+"\t", 1+g.r.Intn(2), loopDepth)
+			}
+			fmt.Fprintf(b, "%s}\n", indent)
+		case 5: // bounded loop with a fresh induction variable
+			if loopDepth <= 0 {
+				fmt.Fprintf(b, "%s%s = %s + 1;\n", indent,
+					g.longGlobals[g.r.Intn(len(g.longGlobals))],
+					g.longGlobals[g.r.Intn(len(g.longGlobals))])
+				break
+			}
+			iv := fmt.Sprintf("it%d", g.nextVar)
+			g.nextVar++
+			iters := 2 + g.r.Intn(8)
+			fmt.Fprintf(b, "%s{\n%s\tlong %s;\n%s\tfor (%s = 0; %s < %d; %s = %s + 1) {\n",
+				indent, indent, iv, indent, iv, iv, iters, iv, iv)
+			g.emitStmts(b, m, vars, indent+"\t\t", 1+g.r.Intn(2), loopDepth-1)
+			fmt.Fprintf(b, "%s\t}\n%s}\n", indent, indent)
+		case 6: // double update
+			fmt.Fprintf(b, "%s%s = %s;\n", indent,
+				g.dblGlobals[g.r.Intn(len(g.dblGlobals))], g.dblExpr(2, nil))
+		}
+	}
+}
+
+// emitFunc writes one function definition and registers it.
+func (g *gen) emitFunc(b *strings.Builder, m, f int) {
+	static := g.r.Intn(4) == 0
+	isDbl := g.r.Intn(5) == 0
+	params := g.r.Intn(4)
+	name := fmt.Sprintf("f%d_%d", m, f)
+	fn := funcInfo{name: name, params: params, isDbl: isDbl, mod: m, static: static}
+
+	ret := "long"
+	if isDbl {
+		ret = "double"
+	}
+	prefix := ""
+	if static {
+		prefix = "static "
+	}
+	fmt.Fprintf(b, "%s%s %s(%s) {\n", prefix, ret, name, paramList(params))
+
+	vars := make([]string, 0, params+3)
+	for i := 0; i < params; i++ {
+		vars = append(vars, fmt.Sprintf("p%d", i))
+	}
+	nLocals := 1 + g.r.Intn(3)
+	for i := 0; i < nLocals; i++ {
+		v := fmt.Sprintf("l%d", i)
+		fmt.Fprintf(b, "\tlong %s = %s;\n", v, g.longExpr(2, vars))
+		vars = append(vars, v)
+	}
+
+	g.emitStmts(b, m, vars, "\t", 1+g.r.Intn(g.cfg.MaxStmts), 1)
+
+	// A bounded loop with real work.
+	iters := 2 + g.r.Intn(12)
+	fmt.Fprintf(b, "\tlong acc = 0;\n\tlong i;\n\tfor (i = 0; i < %d; i = i + 1) {\n", iters)
+	fmt.Fprintf(b, "\t\tacc = acc * 3 + (%s);\n", g.longExpr(2, append(vars, "i", "acc")))
+	if g.r.Intn(2) == 0 {
+		a := g.arrays[g.r.Intn(len(g.arrays))]
+		fmt.Fprintf(b, "\t\t%s[i & %d] = acc;\n", a.name, a.size-1)
+	}
+	fmt.Fprintf(b, "\t}\n")
+
+	if isDbl {
+		fmt.Fprintf(b, "\tdouble dres = %s;\n\treturn dres + acc;\n}\n\n", g.dblExpr(2, nil))
+	} else {
+		fmt.Fprintf(b, "\treturn acc + (%s);\n}\n\n", g.longExpr(2, vars))
+	}
+	g.funcs = append(g.funcs, fn)
+}
+
+// emitMain writes the driver, which calls exported functions and prints
+// checksums.
+func (g *gen) emitMain(b *strings.Builder) {
+	fmt.Fprintf(b, "long main() {\n\tlong total = 0;\n")
+	for _, fn := range g.funcs {
+		if fn.static && fn.mod != g.cfg.Modules-1 {
+			continue
+		}
+		args := make([]string, fn.params)
+		for i := range args {
+			args[i] = fmt.Sprintf("%d", g.r.Intn(40))
+		}
+		call := fmt.Sprintf("%s(%s)", fn.name, strings.Join(args, ", "))
+		if fn.isDbl {
+			fmt.Fprintf(b, "\ttotal = total * 31 + print_fixed(%s);\n", call)
+			fmt.Fprintf(b, "\tprint_fixed(%s * 0.5);\n", call)
+		} else {
+			fmt.Fprintf(b, "\ttotal = total * 31 + %s;\n", call)
+		}
+	}
+	for _, name := range g.longGlobals {
+		fmt.Fprintf(b, "\ttotal = total + %s;\n", name)
+	}
+	for _, a := range g.arrays {
+		fmt.Fprintf(b, "\tprint_checksum(%s, %d);\n", a.name, a.size)
+	}
+	fmt.Fprintf(b, "\tprint(total);\n\treturn 0;\n}\n")
+}

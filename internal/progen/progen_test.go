@@ -1,0 +1,232 @@
+package progen
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+// TestGeneratedProgramsCompile checks that many random programs make it
+// through the compiler without error.
+func TestGeneratedProgramsCompile(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		srcs := Generate(seed, DefaultConfig())
+		for _, s := range srcs {
+			if _, err := tcc.Compile(s.Name, []tcc.Source{s}, tcc.DefaultOptions()); err != nil {
+				t.Fatalf("seed %d, module %s: %v\nsource:\n%s", seed, s.Name, err, s.Text)
+			}
+		}
+		if _, err := tcc.Compile("all", srcs, tcc.InterprocOptions()); err != nil {
+			t.Fatalf("seed %d, compile-all: %v", seed, err)
+		}
+	}
+}
+
+// TestSemanticPreservationProperty is the toolchain's central property: for
+// random programs, the output must be identical under the standard linker
+// and every OM level, in both compilation modes.
+func TestSemanticPreservationProperty(t *testing.T) {
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := int64(25)
+	if testing.Short() {
+		seeds = 6
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		srcs := Generate(seed, DefaultConfig())
+
+		builds := map[string][]*objfile.Object{}
+		var each []*objfile.Object
+		compileOK := true
+		for _, s := range srcs {
+			obj, err := tcc.Compile(s.Name, []tcc.Source{s}, tcc.DefaultOptions())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			each = append(each, obj)
+		}
+		builds["each"] = append(each, lib...)
+		allObj, err := tcc.Compile("all", srcs, tcc.InterprocOptions())
+		if err != nil {
+			t.Fatalf("seed %d compile-all: %v", seed, err)
+		}
+		builds["all"] = append([]*objfile.Object{allObj}, lib...)
+		if !compileOK {
+			continue
+		}
+
+		var want string
+		runIt := func(label string, im *objfile.Image) {
+			res, err := sim.Run(im, sim.Config{MaxInstructions: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, label, err)
+			}
+			got := fmt.Sprint(res.Exit, res.Output)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Errorf("seed %d %s: output mismatch\n got: %s\nwant: %s", seed, label, got, want)
+			}
+		}
+
+		for mode, objs := range builds {
+			im, err := link.Link(objs)
+			if err != nil {
+				t.Fatalf("seed %d link %s: %v", seed, mode, err)
+			}
+			runIt("ld/"+mode, im)
+			for _, cfg := range []om.Options{
+				{Level: om.LevelNone},
+				{Level: om.LevelSimple},
+				{Level: om.LevelFull},
+				{Level: om.LevelFull, Schedule: true},
+			} {
+				im, _, err := om.OptimizeObjects(objs, cfg)
+				if err != nil {
+					t.Fatalf("seed %d om %v %s: %v", seed, cfg.Level, mode, err)
+				}
+				runIt(fmt.Sprintf("%v/%s/sched=%v", cfg.Level, mode, cfg.Schedule), im)
+			}
+		}
+	}
+}
+
+// TestGeneratorDeterminism: the same seed must generate identical sources.
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Generate(42, DefaultConfig())
+	b := Generate(42, DefaultConfig())
+	if len(a) != len(b) {
+		t.Fatal("module count differs")
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Fatalf("module %d differs between runs", i)
+		}
+	}
+}
+
+// TestOptimisticProperty: every random program must behave identically when
+// compiled optimistically (-G) at several thresholds, under both the
+// standard linker and OM-full.
+func TestOptimisticProperty(t *testing.T) {
+	seeds := int64(10)
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := int64(100); seed < 100+seeds; seed++ {
+		srcs := Generate(seed, DefaultConfig())
+		var want string
+		for _, g := range []int64{0, 8, 64, 1024} {
+			opts := tcc.DefaultOptions()
+			opts.OptimisticGP = g
+			var objs []*objfile.Object
+			for _, s := range srcs {
+				obj, err := tcc.Compile(s.Name, []tcc.Source{s}, opts)
+				if err != nil {
+					t.Fatalf("seed %d G=%d: %v", seed, g, err)
+				}
+				objs = append(objs, obj)
+			}
+			lib, err := rtlib.Objects(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs = append(objs, lib...)
+			im, err := link.Link(objs)
+			if err != nil {
+				// The optimistic assumption may legitimately fail to link
+				// at large thresholds; that is the scheme's documented
+				// weakness, not a bug — but our generated programs are
+				// small, so demand success.
+				t.Fatalf("seed %d G=%d link: %v", seed, g, err)
+			}
+			res, err := sim.Run(im, sim.Config{MaxInstructions: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d G=%d run: %v", seed, g, err)
+			}
+			got := fmt.Sprint(res.Exit, res.Output)
+			if want == "" {
+				want = got
+			} else if got != want {
+				t.Errorf("seed %d G=%d: output %s, want %s", seed, g, got, want)
+			}
+			// And OM-full on the optimistic objects.
+			omIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull, Schedule: true})
+			if err != nil {
+				t.Fatalf("seed %d G=%d om: %v", seed, g, err)
+			}
+			omRes, err := sim.Run(omIm, sim.Config{MaxInstructions: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d G=%d om run: %v", seed, g, err)
+			}
+			if got := fmt.Sprint(omRes.Exit, omRes.Output); got != want {
+				t.Errorf("seed %d G=%d om-full: output %s, want %s", seed, g, got, want)
+			}
+		}
+	}
+}
+
+// TestSharedLibraryProperty: random programs behave identically when the
+// math/util library modules are dynamically linked.
+func TestSharedLibraryProperty(t *testing.T) {
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := int64(8)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(200); seed < 200+seeds; seed++ {
+		srcs := Generate(seed, DefaultConfig())
+		var objs []*objfile.Object
+		for _, s := range srcs {
+			obj, err := tcc.Compile(s.Name, []tcc.Source{s}, tcc.DefaultOptions())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			objs = append(objs, obj)
+		}
+		objs = append(objs, lib...)
+
+		build := func(shared bool, level om.Level) string {
+			p, err := link.Merge(objs)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if shared {
+				p.MarkShared("libmath", "libutil")
+			}
+			var im *objfile.Image
+			if level < 0 {
+				im, err = p.Layout()
+			} else {
+				im, _, err = om.Optimize(p, om.Options{Level: level})
+			}
+			if err != nil {
+				t.Fatalf("seed %d shared=%v: %v", seed, shared, err)
+			}
+			res, err := sim.Run(im, sim.Config{MaxInstructions: 50_000_000})
+			if err != nil {
+				t.Fatalf("seed %d shared=%v run: %v", seed, shared, err)
+			}
+			return fmt.Sprint(res.Exit, res.Output)
+		}
+		want := build(false, -1)
+		for _, shared := range []bool{false, true} {
+			for _, level := range []om.Level{om.LevelSimple, om.LevelFull} {
+				if got := build(shared, level); got != want {
+					t.Errorf("seed %d shared=%v level=%v: %s, want %s", seed, shared, level, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package rtlib
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+func TestLibraryExports(t *testing.T) {
+	objs, err := StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"__start", "print", "exit", "__divq", "__remq", "labs",
+		"memcpy8", "lsum", "ddot", "dsqrt", "dsin", "dexp", "qsort8",
+		"xrand", "binsearch", "print_array", "print_fixed", "print_checksum"}
+	defined := map[string]bool{}
+	for _, o := range objs {
+		for _, s := range o.Symbols {
+			if s.Kind == objfile.SymProc && s.Exported {
+				defined[s.Name] = true
+			}
+		}
+	}
+	for _, name := range want {
+		if !defined[name] {
+			t.Errorf("library does not export %s", name)
+		}
+	}
+}
+
+// runMain builds a program around the given main body and returns its output.
+func runMain(t *testing.T, body string) []int64 {
+	t.Helper()
+	obj, err := tcc.Compile("t", []tcc.Source{{Name: "t", Text: body}}, tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := link.Link(append([]*objfile.Object{obj}, lib...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(im, sim.Config{MaxInstructions: 50_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 0 {
+		t.Fatalf("exit %d, output %v", res.Exit, res.Output)
+	}
+	return res.Output
+}
+
+func TestDivisionMatchesGo(t *testing.T) {
+	// The runtime's shift-subtract division must agree with Go's (C-style
+	// truncating) division for a broad sample including negatives.
+	vals := []int64{1, 2, 3, 7, 10, 97, 1000, 65535, 1 << 40, -1, -2, -7, -97, -(1 << 40), 0, 5, -5}
+	divisors := []int64{1, 2, 3, 7, 10, 97, -1, -3, -10, 1 << 20}
+	var body string
+	body = "long main() {\n"
+	var want []int64
+	for _, a := range vals {
+		for _, b := range divisors {
+			body += fmt.Sprintf("\tprint(%d / %d);\n\tprint(%d %% %d);\n", a, b, a, b)
+			want = append(want, a/b, a%b)
+		}
+	}
+	body += "\treturn 0;\n}\n"
+	got := runMain(t, body)
+	if len(got) != len(want) {
+		t.Fatalf("got %d outputs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("division case %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMathAccuracy(t *testing.T) {
+	cases := []struct {
+		expr string
+		want float64
+		tol  float64
+	}{
+		{"dsqrt(2.0)", math.Sqrt2, 1e-5},
+		{"dsqrt(144.0)", 12, 1e-5},
+		{"dsin(1.0)", math.Sin(1), 1e-4},
+		{"dsin(10.0)", math.Sin(10), 1e-3},
+		{"dcos(0.5)", math.Cos(0.5), 1e-4},
+		{"dexp(1.0)", math.E, 1e-4},
+		{"dexp(-2.0)", math.Exp(-2), 1e-4},
+		{"dexp(5.0)", math.Exp(5), 0.2},
+		{"dpowi(2.0, 10)", 1024, 1e-6},
+		{"dpowi(3.0, -2)", 1.0 / 9, 1e-6},
+		{"dabs(-4.25)", 4.25, 0},
+	}
+	body := "long main() {\n"
+	for _, c := range cases {
+		body += fmt.Sprintf("\tprint_fixed(%s);\n", c.expr)
+	}
+	body += "\treturn 0;\n}\n"
+	got := runMain(t, body)
+	for i, c := range cases {
+		gotVal := float64(got[i]) / 1e6
+		if math.Abs(gotVal-c.want) > c.tol+1e-6 {
+			t.Errorf("%s = %v, want %v (tol %v)", c.expr, gotVal, c.want, c.tol)
+		}
+	}
+}
+
+func TestRandAndHashDeterministic(t *testing.T) {
+	out1 := runMain(t, `
+long main() {
+	srand48(99);
+	print(xrand());
+	print(xrand());
+	print(lhash(12345));
+	return 0;
+}
+`)
+	out2 := runMain(t, `
+long main() {
+	srand48(99);
+	print(xrand());
+	print(xrand());
+	print(lhash(12345));
+	return 0;
+}
+`)
+	if fmt.Sprint(out1) != fmt.Sprint(out2) {
+		t.Fatalf("nondeterministic: %v vs %v", out1, out2)
+	}
+	for _, v := range out1[:2] {
+		if v < 0 {
+			t.Errorf("xrand returned negative %d", v)
+		}
+	}
+}
+
+func TestMemHelpers(t *testing.T) {
+	out := runMain(t, `
+long a[16];
+long b[16];
+long main() {
+	long i;
+	for (i = 0; i < 16; i = i + 1) { a[i] = i * i; }
+	memcpy8(b, a, 16);
+	print(lsum(b, 16));
+	memset8(b, 7, 16);
+	print(lsum(b, 16));
+	lrev(a, 16);
+	print(a[0]);
+	print(binsearch(b, 16, 7) >= 0);
+	print(binsearch(b, 16, 8));
+	return 0;
+}
+`)
+	want := []int64{1240, 112, 225, 1, -1}
+	if fmt.Sprint(out) != fmt.Sprint(want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}

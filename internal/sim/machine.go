@@ -1,0 +1,586 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+)
+
+// Config controls the simulation.
+type Config struct {
+	// Timing enables the pipeline and cache model; without it the simulator
+	// only executes functionally (faster, for correctness tests).
+	Timing bool
+	// MaxInstructions aborts runaway programs. 0 means the default cap.
+	MaxInstructions uint64
+	// ICacheBytes / DCacheBytes configure the direct-mapped caches
+	// (defaults: 8KB each, 32-byte lines, like the 21064).
+	ICacheBytes int
+	DCacheBytes int
+	// MissPenalty is the extra-cycle cost of a cache miss (to the board
+	// cache; a flat model when L2Bytes is 0).
+	MissPenalty int
+	// L2Bytes, when nonzero, adds a unified second-level (board) cache of
+	// this size; a first-level miss that hits L2 costs MissPenalty, and an
+	// L2 miss additionally costs L2MissPenalty (the DECstation 3000/400
+	// carried a 512KB board cache).
+	L2Bytes int
+	// L2MissPenalty is the extra cost of missing the board cache.
+	L2MissPenalty int
+	// TakenBranchBubble is the cycle bubble after a taken branch or jump.
+	TakenBranchBubble int
+}
+
+// DefaultConfig returns the 21064-flavored timing configuration.
+func DefaultConfig() Config {
+	return Config{
+		Timing:            true,
+		ICacheBytes:       8 << 10,
+		DCacheBytes:       8 << 10,
+		MissPenalty:       10,
+		TakenBranchBubble: 1,
+	}
+}
+
+const defaultMaxInstructions = 400_000_000
+
+// Stats aggregates the timing model's counters.
+type Stats struct {
+	Instructions uint64
+	Cycles       uint64
+	DualIssued   uint64
+	Loads        uint64
+	Stores       uint64
+	TakenBranch  uint64
+	ICacheMisses uint64
+	DCacheMisses uint64
+	ICacheHits   uint64
+	DCacheHits   uint64
+	L2Misses     uint64
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Exit     int64
+	Output   []int64
+	OutBytes []byte
+	Stats    Stats
+	// Profile holds per-block execution counts when the program was
+	// instrumented with profiling traps (nil otherwise).
+	Profile map[uint32]uint64
+}
+
+// Machine executes a linked image.
+type Machine struct {
+	cfg Config
+	mem *Memory
+	R   [32]uint64
+	F   [32]float64
+	PC  uint64
+	// texts holds every decoded executable segment (static and shared).
+	texts []textRange
+
+	halted  bool
+	exit    int64
+	out     []int64
+	outB    []byte
+	profile map[uint32]uint64
+
+	// Timing state.
+	icache, dcache *Cache
+	l2             *Cache
+	regReady       [32]uint64
+	fregReady      [32]uint64
+	cycle          uint64 // next free issue cycle
+	slotUsed       bool   // an instruction already issued at `cycle`
+	slotClass      issueClass
+	slotPC         uint64
+	stats          Stats
+
+	// missHook, when set, receives the address of every D-cache miss.
+	missHook func(addr uint64)
+}
+
+type issueClass uint8
+
+const (
+	classInt issueClass = iota
+	classMem
+	classBr
+	classFP
+)
+
+func classify(in axp.Inst) issueClass {
+	switch {
+	case in.Op.IsMem() || in.Op == axp.LDA || in.Op == axp.LDAH:
+		if in.Op.IsMem() {
+			return classMem
+		}
+		return classInt
+	case in.Op.IsBranch() || in.Op.IsJump() || in.Op == axp.CALLPAL:
+		return classBr
+	case in.Op.Format() == axp.FormatOpF:
+		return classFP
+	}
+	return classInt
+}
+
+// New prepares a machine to run the image.
+func New(im *objfile.Image, cfg Config) (*Machine, error) {
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = defaultMaxInstructions
+	}
+	if cfg.ICacheBytes == 0 {
+		cfg.ICacheBytes = 8 << 10
+	}
+	if cfg.DCacheBytes == 0 {
+		cfg.DCacheBytes = 8 << 10
+	}
+	if cfg.MissPenalty == 0 {
+		cfg.MissPenalty = 10
+	}
+	m := &Machine{cfg: cfg, mem: NewMemory()}
+	for i := range im.Segments {
+		seg := &im.Segments[i]
+		m.mem.LoadBytes(seg.Addr, seg.Data)
+		if seg.ZeroSize > 0 {
+			m.mem.LoadBytes(seg.Addr+uint64(len(seg.Data)), make([]byte, seg.ZeroSize))
+		}
+	}
+	for _, seg := range im.TextSegments() {
+		insts, err := axp.DecodeAll(seg.Data)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %s does not decode: %w", seg.Name, err)
+		}
+		m.texts = append(m.texts, textRange{
+			base: seg.Addr, end: seg.Addr + uint64(len(seg.Data)), insts: insts,
+		})
+	}
+	if len(m.texts) == 0 {
+		return nil, fmt.Errorf("sim: image has no text segment")
+	}
+	m.PC = im.Entry
+	m.R[axp.SP] = objfile.StackTop
+	m.R[axp.PV] = im.Entry
+	if cfg.Timing {
+		m.icache = NewCache(cfg.ICacheBytes, 32)
+		m.dcache = NewCache(cfg.DCacheBytes, 32)
+		if cfg.L2Bytes > 0 {
+			if cfg.L2MissPenalty == 0 {
+				cfg.L2MissPenalty = 24
+				m.cfg.L2MissPenalty = 24
+			}
+			m.l2 = NewCache(cfg.L2Bytes, 32)
+		}
+	}
+	return m, nil
+}
+
+// Run executes until HALT or an error.
+func Run(im *objfile.Image, cfg Config) (*Result, error) {
+	m, err := New(im, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run()
+}
+
+// Run executes the loaded program.
+func (m *Machine) Run() (*Result, error) {
+	for !m.halted {
+		if m.stats.Instructions >= m.cfg.MaxInstructions {
+			return nil, fmt.Errorf("sim: instruction limit (%d) exceeded at pc=%#x", m.cfg.MaxInstructions, m.PC)
+		}
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+	}
+	if m.cfg.Timing {
+		m.stats.ICacheMisses = m.icache.Misses
+		m.stats.ICacheHits = m.icache.Accesses - m.icache.Misses
+		m.stats.DCacheMisses = m.dcache.Misses
+		m.stats.DCacheHits = m.dcache.Accesses - m.dcache.Misses
+		if m.l2 != nil {
+			m.stats.L2Misses = m.l2.Misses
+		}
+		m.stats.Cycles = m.cycle
+	}
+	return &Result{Exit: m.exit, Output: m.out, OutBytes: m.outB, Stats: m.stats, Profile: m.profile}, nil
+}
+
+// textRange is one decoded executable segment.
+type textRange struct {
+	base, end uint64
+	insts     []axp.Inst
+}
+
+func (m *Machine) fetch() (axp.Inst, error) {
+	if m.PC&3 == 0 {
+		for i := range m.texts {
+			t := &m.texts[i]
+			if m.PC >= t.base && m.PC < t.end {
+				return t.insts[(m.PC-t.base)/4], nil
+			}
+		}
+	}
+	return axp.Inst{}, fmt.Errorf("sim: pc %#x outside every text segment", m.PC)
+}
+
+func (m *Machine) step() error {
+	in, err := m.fetch()
+	if err != nil {
+		return err
+	}
+	pc := m.PC
+	m.stats.Instructions++
+
+	taken, memAddr, isMem, err := m.exec(in)
+	if err != nil {
+		return fmt.Errorf("%w (pc=%#x, inst=%v)", err, pc, in)
+	}
+	if m.cfg.Timing {
+		m.time(in, pc, taken, memAddr, isMem)
+	}
+	return nil
+}
+
+// exec performs the architectural effect of in and advances PC. It reports
+// whether a branch was taken and the memory address touched, for timing.
+func (m *Machine) exec(in axp.Inst) (taken bool, memAddr uint64, isMem bool, err error) {
+	next := m.PC + 4
+	rr := func(r axp.Reg) uint64 { return m.R[r] }
+	opB := func() uint64 {
+		if in.HasLit {
+			return uint64(in.Lit)
+		}
+		return m.R[in.Rb]
+	}
+	setR := func(r axp.Reg, v uint64) {
+		if r != axp.Zero {
+			m.R[r] = v
+		}
+	}
+	setF := func(f axp.FReg, v float64) {
+		if f != axp.FZero {
+			m.F[f] = v
+		}
+	}
+
+	switch in.Op {
+	case axp.LDA:
+		setR(in.Ra, rr(in.Rb)+uint64(int64(in.Disp)))
+	case axp.LDAH:
+		setR(in.Ra, rr(in.Rb)+uint64(int64(in.Disp)<<16))
+	case axp.LDQ:
+		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
+		isMem = true
+		v, e := m.mem.Read64(memAddr)
+		if e != nil {
+			return false, 0, false, e
+		}
+		setR(in.Ra, v)
+		m.stats.Loads++
+	case axp.LDQU:
+		memAddr = (rr(in.Rb) + uint64(int64(in.Disp))) &^ 7
+		isMem = true
+		if in.Ra != axp.Zero { // unop never touches memory in our model
+			v, e := m.mem.Read64(memAddr)
+			if e != nil {
+				return false, 0, false, e
+			}
+			setR(in.Ra, v)
+			m.stats.Loads++
+		} else {
+			isMem = false
+		}
+	case axp.LDL:
+		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
+		isMem = true
+		v, e := m.mem.Read32(memAddr)
+		if e != nil {
+			return false, 0, false, e
+		}
+		setR(in.Ra, uint64(int64(int32(v))))
+		m.stats.Loads++
+	case axp.STQ:
+		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
+		isMem = true
+		if e := m.mem.Write64(memAddr, rr(in.Ra)); e != nil {
+			return false, 0, false, e
+		}
+		m.stats.Stores++
+	case axp.STL:
+		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
+		isMem = true
+		if e := m.mem.Write32(memAddr, uint32(rr(in.Ra))); e != nil {
+			return false, 0, false, e
+		}
+		m.stats.Stores++
+	case axp.LDT:
+		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
+		isMem = true
+		v, e := m.mem.Read64(memAddr)
+		if e != nil {
+			return false, 0, false, e
+		}
+		setF(in.Fa, math.Float64frombits(v))
+		m.stats.Loads++
+	case axp.STT:
+		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
+		isMem = true
+		if e := m.mem.Write64(memAddr, math.Float64bits(m.F[in.Fa])); e != nil {
+			return false, 0, false, e
+		}
+		m.stats.Stores++
+
+	case axp.JMP, axp.JSR, axp.RET:
+		target := rr(in.Rb) &^ 3
+		setR(in.Ra, next)
+		next = target
+		taken = true
+	case axp.BR, axp.BSR:
+		setR(in.Ra, next)
+		next = next + uint64(int64(in.Disp)*4)
+		taken = true
+	case axp.BEQ, axp.BNE, axp.BLT, axp.BLE, axp.BGE, axp.BGT, axp.BLBC, axp.BLBS:
+		v := int64(rr(in.Ra))
+		switch in.Op {
+		case axp.BEQ:
+			taken = v == 0
+		case axp.BNE:
+			taken = v != 0
+		case axp.BLT:
+			taken = v < 0
+		case axp.BLE:
+			taken = v <= 0
+		case axp.BGE:
+			taken = v >= 0
+		case axp.BGT:
+			taken = v > 0
+		case axp.BLBC:
+			taken = v&1 == 0
+		case axp.BLBS:
+			taken = v&1 == 1
+		}
+		if taken {
+			next = next + uint64(int64(in.Disp)*4)
+		}
+	case axp.FBEQ, axp.FBNE, axp.FBLT, axp.FBLE, axp.FBGE, axp.FBGT:
+		v := m.F[in.Fa]
+		switch in.Op {
+		case axp.FBEQ:
+			taken = v == 0
+		case axp.FBNE:
+			taken = v != 0
+		case axp.FBLT:
+			taken = v < 0
+		case axp.FBLE:
+			taken = v <= 0
+		case axp.FBGE:
+			taken = v >= 0
+		case axp.FBGT:
+			taken = v > 0
+		}
+		if taken {
+			next = next + uint64(int64(in.Disp)*4)
+		}
+
+	case axp.ADDQ:
+		setR(in.Rc, rr(in.Ra)+opB())
+	case axp.SUBQ:
+		setR(in.Rc, rr(in.Ra)-opB())
+	case axp.ADDL:
+		setR(in.Rc, uint64(int64(int32(rr(in.Ra)+opB()))))
+	case axp.SUBL:
+		setR(in.Rc, uint64(int64(int32(rr(in.Ra)-opB()))))
+	case axp.S4ADDQ:
+		setR(in.Rc, rr(in.Ra)*4+opB())
+	case axp.S8ADDQ:
+		setR(in.Rc, rr(in.Ra)*8+opB())
+	case axp.MULQ:
+		setR(in.Rc, rr(in.Ra)*opB())
+	case axp.MULL:
+		setR(in.Rc, uint64(int64(int32(rr(in.Ra)*opB()))))
+	case axp.UMULH:
+		h, _ := bits.Mul64(rr(in.Ra), opB())
+		setR(in.Rc, h)
+	case axp.CMPEQ:
+		setR(in.Rc, b2u(rr(in.Ra) == opB()))
+	case axp.CMPLT:
+		setR(in.Rc, b2u(int64(rr(in.Ra)) < int64(opB())))
+	case axp.CMPLE:
+		setR(in.Rc, b2u(int64(rr(in.Ra)) <= int64(opB())))
+	case axp.CMPULT:
+		setR(in.Rc, b2u(rr(in.Ra) < opB()))
+	case axp.CMPULE:
+		setR(in.Rc, b2u(rr(in.Ra) <= opB()))
+	case axp.AND:
+		setR(in.Rc, rr(in.Ra)&opB())
+	case axp.BIC:
+		setR(in.Rc, rr(in.Ra)&^opB())
+	case axp.BIS:
+		setR(in.Rc, rr(in.Ra)|opB())
+	case axp.ORNOT:
+		setR(in.Rc, rr(in.Ra)|^opB())
+	case axp.XOR:
+		setR(in.Rc, rr(in.Ra)^opB())
+	case axp.EQV:
+		setR(in.Rc, rr(in.Ra)^^opB())
+	case axp.SLL:
+		setR(in.Rc, rr(in.Ra)<<(opB()&63))
+	case axp.SRL:
+		setR(in.Rc, rr(in.Ra)>>(opB()&63))
+	case axp.SRA:
+		setR(in.Rc, uint64(int64(rr(in.Ra))>>(opB()&63)))
+	case axp.CMOVEQ:
+		if rr(in.Ra) == 0 {
+			setR(in.Rc, opB())
+		}
+	case axp.CMOVNE:
+		if rr(in.Ra) != 0 {
+			setR(in.Rc, opB())
+		}
+	case axp.CMOVLT:
+		if int64(rr(in.Ra)) < 0 {
+			setR(in.Rc, opB())
+		}
+	case axp.CMOVGE:
+		if int64(rr(in.Ra)) >= 0 {
+			setR(in.Rc, opB())
+		}
+
+	case axp.ADDT:
+		setF(in.Fc, m.F[in.Fa]+m.F[in.Fb])
+	case axp.SUBT:
+		setF(in.Fc, m.F[in.Fa]-m.F[in.Fb])
+	case axp.MULT:
+		setF(in.Fc, m.F[in.Fa]*m.F[in.Fb])
+	case axp.DIVT:
+		setF(in.Fc, m.F[in.Fa]/m.F[in.Fb])
+	case axp.CMPTEQ:
+		setF(in.Fc, fpBool(m.F[in.Fa] == m.F[in.Fb]))
+	case axp.CMPTLT:
+		setF(in.Fc, fpBool(m.F[in.Fa] < m.F[in.Fb]))
+	case axp.CMPTLE:
+		setF(in.Fc, fpBool(m.F[in.Fa] <= m.F[in.Fb]))
+	case axp.CVTQT:
+		setF(in.Fc, float64(int64(math.Float64bits(m.F[in.Fb]))))
+	case axp.CVTTQ:
+		setF(in.Fc, math.Float64frombits(uint64(truncToInt64(m.F[in.Fb]))))
+	case axp.CPYS:
+		a := math.Float64bits(m.F[in.Fa])
+		b := math.Float64bits(m.F[in.Fb])
+		setF(in.Fc, math.Float64frombits(a&(1<<63)|b&^(1<<63)))
+
+	case axp.CALLPAL:
+		if in.PalFn&axp.PalProfileFlag != 0 {
+			if m.profile == nil {
+				m.profile = make(map[uint32]uint64)
+			}
+			m.profile[uint32(in.PalFn&axp.PalProfileIDMask)]++
+			break
+		}
+		switch in.PalFn {
+		case axp.PalHalt:
+			m.halted = true
+			m.exit = int64(m.R[axp.A0])
+		case axp.PalOutput:
+			m.out = append(m.out, int64(m.R[axp.A0]))
+		case axp.PalOutputChar:
+			m.outB = append(m.outB, byte(m.R[axp.A0]))
+		case axp.PalCycles:
+			m.R[axp.V0] = m.cycle
+		default:
+			return false, 0, false, fmt.Errorf("sim: unknown PAL function %#x", in.PalFn)
+		}
+	default:
+		return false, 0, false, fmt.Errorf("sim: unimplemented op %v", in.Op)
+	}
+
+	m.R[axp.Zero] = 0
+	m.F[axp.FZero] = 0
+	m.PC = next
+	return taken, memAddr, isMem, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fpBool is the Alpha FP truth value: 2.0 for true, +0.0 for false.
+func fpBool(b bool) float64 {
+	if b {
+		return 2.0
+	}
+	return 0.0
+}
+
+func truncToInt64(f float64) int64 {
+	switch {
+	case math.IsNaN(f):
+		return 0
+	case f >= math.MaxInt64:
+		return math.MaxInt64
+	case f <= math.MinInt64:
+		return math.MinInt64
+	}
+	return int64(f)
+}
+
+// MissEntry pairs a symbol region with its data-cache miss count.
+type MissEntry struct {
+	Name  string
+	Count uint64
+}
+
+// MissHistogram runs the image and attributes every D-cache miss to the
+// covering data symbol (diagnostic helper for layout studies).
+func MissHistogram(im *objfile.Image, cfg Config) []MissEntry {
+	m, err := New(im, cfg)
+	if err != nil {
+		return nil
+	}
+	counts := make(map[string]uint64)
+	name := func(addr uint64) string {
+		best := "?"
+		for _, s := range im.Symbols {
+			if s.Kind == objfile.SymData && addr >= s.Addr && addr < s.Addr+s.Size {
+				return s.Name
+			}
+		}
+		if addr >= objfile.StackTop-objfile.StackSize && addr <= objfile.StackTop {
+			return "<stack>"
+		}
+		for _, g := range im.GATs {
+			if addr >= g.Start && addr < g.End {
+				return "<gat>"
+			}
+		}
+		return best
+	}
+	m.missHook = func(addr uint64) { counts[name(addr)]++ }
+	if _, err := m.Run(); err != nil {
+		return nil
+	}
+	var out []MissEntry
+	for k, v := range counts {
+		out = append(out, MissEntry{k, v})
+	}
+	for i := range out {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Count > out[i].Count {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > 8 {
+		out = out[:8]
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package sim implements a functional and timing simulator for the Alpha
+// AXP subset in internal/axp. The timing model is a simplified 21064 (the
+// CPU of the paper's DECstation 3000 Model 400): dual issue of adjacent
+// instructions within an aligned quadword, 3-cycle load-use latency,
+// direct-mapped instruction and data caches, and a taken-branch bubble.
+// Absolute cycle counts are not meant to match the 1994 hardware; the
+// sensitivities the paper's optimizations exploit (fewer address loads,
+// fewer multi-cycle loads, dual-issue slotting, quadword alignment of
+// branch targets, cache footprint) are all modeled.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+const (
+	pageBits = 16
+	pageSize = 1 << pageBits
+	pageMask = pageSize - 1
+)
+
+// Memory is a sparse little-endian byte-addressable memory.
+type Memory struct {
+	pages map[uint64][]byte
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+func (m *Memory) page(addr uint64, create bool) []byte {
+	pn := addr >> pageBits
+	p, ok := m.pages[pn]
+	if !ok && create {
+		p = make([]byte, pageSize)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadBytes copies data into memory at addr.
+func (m *Memory) LoadBytes(addr uint64, data []byte) {
+	for len(data) > 0 {
+		p := m.page(addr, true)
+		off := addr & pageMask
+		n := copy(p[off:], data)
+		data = data[n:]
+		addr += uint64(n)
+	}
+}
+
+// Read64 reads an aligned quadword.
+func (m *Memory) Read64(addr uint64) (uint64, error) {
+	if addr&7 != 0 {
+		return 0, fmt.Errorf("sim: unaligned quadword read at %#x", addr)
+	}
+	p := m.page(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	return binary.LittleEndian.Uint64(p[addr&pageMask:]), nil
+}
+
+// Write64 writes an aligned quadword.
+func (m *Memory) Write64(addr uint64, v uint64) error {
+	if addr&7 != 0 {
+		return fmt.Errorf("sim: unaligned quadword write at %#x", addr)
+	}
+	p := m.page(addr, true)
+	binary.LittleEndian.PutUint64(p[addr&pageMask:], v)
+	return nil
+}
+
+// Read32 reads an aligned longword.
+func (m *Memory) Read32(addr uint64) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, fmt.Errorf("sim: unaligned longword read at %#x", addr)
+	}
+	p := m.page(addr, false)
+	if p == nil {
+		return 0, nil
+	}
+	return binary.LittleEndian.Uint32(p[addr&pageMask:]), nil
+}
+
+// Write32 writes an aligned longword.
+func (m *Memory) Write32(addr uint64, v uint32) error {
+	if addr&3 != 0 {
+		return fmt.Errorf("sim: unaligned longword write at %#x", addr)
+	}
+	p := m.page(addr, true)
+	binary.LittleEndian.PutUint32(p[addr&pageMask:], v)
+	return nil
+}
+
+// Cache is a direct-mapped cache model tracking only tags.
+type Cache struct {
+	lineBits uint
+	sets     int
+	tags     []uint64
+	valid    []bool
+	// Stats
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a direct-mapped cache of the given total size and line size
+// (both powers of two).
+func NewCache(sizeBytes, lineBytes int) *Cache {
+	lineBits := uint(0)
+	for 1<<lineBits < lineBytes {
+		lineBits++
+	}
+	sets := sizeBytes / lineBytes
+	return &Cache{
+		lineBits: lineBits,
+		sets:     sets,
+		tags:     make([]uint64, sets),
+		valid:    make([]bool, sets),
+	}
+}
+
+// Access touches addr and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	line := addr >> c.lineBits
+	set := int(line) & (c.sets - 1)
+	if c.valid[set] && c.tags[set] == line {
+		return true
+	}
+	c.valid[set] = true
+	c.tags[set] = line
+	c.Misses++
+	return false
+}
+
+// Reset invalidates the cache.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.Accesses, c.Misses = 0, 0
+}

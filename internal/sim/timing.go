@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"math/bits"
+
+	"repro/internal/axp"
+)
+
+// Issue-to-use latencies of the timing model (cycles).
+func resultLatency(in axp.Inst, dmiss bool, penalty int) uint64 {
+	var lat uint64
+	switch {
+	case in.Op.IsLoad():
+		lat = 3
+		if dmiss {
+			lat += uint64(penalty)
+		}
+	case in.Op == axp.MULQ || in.Op == axp.MULL:
+		lat = 16
+	case in.Op == axp.UMULH:
+		lat = 18
+	case in.Op == axp.DIVT:
+		lat = 30
+	case in.Op.Format() == axp.FormatOpF:
+		lat = 6
+	default:
+		lat = 1
+	}
+	return lat
+}
+
+// pairOK reports whether two adjacent instructions may dual-issue
+// (simplified 21064 slotting: the two must use different function units).
+func pairOK(a, b issueClass) bool { return a != b }
+
+// time advances the pipeline model for the instruction executed at pc.
+func (m *Machine) time(in axp.Inst, pc uint64, taken bool, memAddr uint64, isMem bool) {
+	// Operand availability (allocation-free masks: this is the hot path).
+	ready := m.cycle
+	ints, fps := in.ReadMasks()
+	for ints != 0 {
+		r := uint(bits.TrailingZeros64(ints))
+		ints &= ints - 1
+		if m.regReady[r] > ready {
+			ready = m.regReady[r]
+		}
+	}
+	for fps != 0 {
+		f := uint(bits.TrailingZeros64(fps))
+		fps &= fps - 1
+		if m.fregReady[f] > ready {
+			ready = m.fregReady[f]
+		}
+	}
+	// CALL_PAL serializes and implicitly reads a0.
+	if in.Op == axp.CALLPAL && m.regReady[axp.A0] > ready {
+		ready = m.regReady[axp.A0]
+	}
+
+	// Instruction fetch: an I-cache miss on the line delays issue.
+	if !m.icache.Access(pc) {
+		ready += uint64(m.cfg.MissPenalty)
+		if m.l2 != nil && !m.l2.Access(pc) {
+			ready += uint64(m.cfg.L2MissPenalty)
+		}
+	}
+
+	cls := classify(in)
+	var issue uint64
+	canPair := m.slotUsed &&
+		ready <= m.cycle &&
+		pc == m.slotPC+4 &&
+		pc&7 == 4 && // second half of the aligned quadword
+		pairOK(m.slotClass, cls)
+	if canPair {
+		issue = m.cycle
+		m.slotUsed = false
+		m.stats.DualIssued++
+		m.cycle = issue + 1
+	} else {
+		issue = ready
+		if m.slotUsed && issue == m.cycle {
+			issue++ // slot conflict: wait for the next cycle
+		}
+		if issue < m.cycle {
+			issue = m.cycle
+		}
+		m.cycle = issue
+		m.slotUsed = true
+		m.slotClass = cls
+		m.slotPC = pc
+	}
+
+	// Data cache.
+	dmiss := false
+	l2miss := false
+	if isMem {
+		dmiss = !m.dcache.Access(memAddr)
+		if dmiss && m.missHook != nil {
+			m.missHook(memAddr)
+		}
+		if dmiss && m.l2 != nil {
+			l2miss = !m.l2.Access(memAddr)
+		}
+	}
+
+	// Result availability.
+	penalty := m.cfg.MissPenalty
+	if l2miss {
+		penalty += m.cfg.L2MissPenalty
+	}
+	lat := resultLatency(in, dmiss, penalty)
+	if w := in.Writes(); w != axp.Zero {
+		m.regReady[w] = issue + lat
+	}
+	if w := in.WritesF(); w != axp.FZero {
+		m.fregReady[w] = issue + lat
+	}
+	// Stores that miss stall the write buffer briefly; model as a bump of
+	// the issue clock rather than a register stall.
+	if in.Op.IsStore() && dmiss {
+		m.cycle += 1
+	}
+
+	// Control transfers flush the issue slot and insert a bubble.
+	if taken {
+		m.stats.TakenBranch++
+		m.cycle = issue + 1 + uint64(m.cfg.TakenBranchBubble)
+		m.slotUsed = false
+	}
+}

@@ -1,0 +1,467 @@
+package spec
+
+import "repro/internal/tcc"
+
+// Floating-point benchmarks, part 1: alvinn, ear, ora, tomcatv, swm256.
+
+// alvinn models neural-net training: matrix-vector products with a sigmoid
+// through the library dexp, plus weight updates.
+func alvinn() Benchmark {
+	return Benchmark{
+		Name:      "alvinn",
+		Character: "FP; matrix-vector products and sigmoid activations (library dexp)",
+		Modules: []tcc.Source{
+			src("alv_net", `
+// 32-16-8 network, weights flattened.
+double w1[512];
+double w2[128];
+double hidden[16];
+double output[8];
+
+long net_init(long seed) {
+	double v = 0.01;
+	long i;
+	for (i = 0; i < 512; i = i + 1) {
+		w1[i] = v;
+		v = v + 0.003;
+		if (v > 0.5) { v = v - 0.49; }
+	}
+	for (i = 0; i < 128; i = i + 1) {
+		w2[i] = 0.1 + 0.002 * i;
+	}
+	return 0;
+}
+
+double sigmoid(double x) {
+	return 1.0 / (1.0 + dexp(-x));
+}
+
+long forward(double* in) {
+	long h;
+	for (h = 0; h < 16; h = h + 1) {
+		double s = 0.0;
+		long i;
+		for (i = 0; i < 32; i = i + 1) {
+			s = s + w1[h * 32 + i] * in[i];
+		}
+		hidden[h] = sigmoid(s);
+	}
+	long o;
+	for (o = 0; o < 8; o = o + 1) {
+		double s = 0.0;
+		long j;
+		for (j = 0; j < 16; j = j + 1) {
+			s = s + w2[o * 16 + j] * hidden[j];
+		}
+		output[o] = sigmoid(s);
+	}
+	return 0;
+}
+`),
+			src("alv_train", `
+extern double w1;
+extern double w2;
+extern double hidden;
+extern double output;
+long forward(double* in);
+
+double rate = 0.05;
+
+long backward(double* in, double* want) {
+	double* w2v = &w2;
+	double* w1v = &w1;
+	double* hid = &hidden;
+	double* out = &output;
+	long o;
+	for (o = 0; o < 8; o = o + 1) {
+		double err = (want[o] - out[o]) * out[o] * (1.0 - out[o]);
+		long j;
+		for (j = 0; j < 16; j = j + 1) {
+			w2v[o * 16 + j] = w2v[o * 16 + j] + rate * err * hid[j];
+		}
+	}
+	long h;
+	for (h = 0; h < 16; h = h + 1) {
+		double g = hid[h] * (1.0 - hid[h]) * 0.01;
+		long i;
+		for (i = 0; i < 32; i = i + 1) {
+			w1v[h * 32 + i] = w1v[h * 32 + i] + rate * g * in[i];
+		}
+	}
+	return 0;
+}
+`),
+			src("alv_main", `
+long net_init(long seed);
+long forward(double* in);
+long backward(double* in, double* want);
+extern double output;
+
+double input[32];
+double target[8];
+
+long main() {
+	net_init(7);
+	long i;
+	for (i = 0; i < 32; i = i + 1) { input[i] = dsin(0.2 * i); }
+	for (i = 0; i < 8; i = i + 1) { target[i] = 0.25 + 0.05 * i; }
+	long epoch;
+	for (epoch = 0; epoch < 220; epoch = epoch + 1) {
+		forward(input);
+		backward(input, target);
+		input[epoch & 31] = input[epoch & 31] * 0.999 + 0.001;
+	}
+	forward(input);
+	double* out = &output;
+	double s = 0.0;
+	for (i = 0; i < 8; i = i + 1) { s = s + out[i]; }
+	print_fixed(s);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// ear models the inner-ear filter cascade: second-order sections over a
+// generated signal.
+func ear() Benchmark {
+	return Benchmark{
+		Name:      "ear",
+		Character: "FP; a cascade of second-order filters over a generated signal",
+		Modules: []tcc.Source{
+			src("ear_filt", `
+// 16 second-order sections; coefficient and state arrays.
+double b0[16];
+double b1[16];
+double b2[16];
+double a1[16];
+double a2[16];
+double z1[16];
+double z2[16];
+
+long filt_init() {
+	long s;
+	for (s = 0; s < 16; s = s + 1) {
+		double f = 0.02 + 0.01 * s;
+		b0[s] = 1.05 - f;
+		b1[s] = 0.1 - f * 0.5;
+		b2[s] = 0.05;
+		a1[s] = 0.2 - f;
+		a2[s] = 0.05 + f * 0.2;
+		z1[s] = 0.0;
+		z2[s] = 0.0;
+	}
+	return 0;
+}
+
+// cascade processes one sample through all sections (transposed direct II).
+double cascade(double x) {
+	long s;
+	for (s = 0; s < 16; s = s + 1) {
+		double y = b0[s] * x + z1[s];
+		z1[s] = b1[s] * x - a1[s] * y + z2[s];
+		z2[s] = b2[s] * x - a2[s] * y;
+		x = y;
+	}
+	return x;
+}
+`),
+			src("ear_hair", `
+// Hair-cell stage: rectification and adaptive gain.
+double gain = 1.0;
+
+double haircell(double y) {
+	if (y < 0.0) { y = -y * 0.25; }
+	gain = gain * 0.9995 + 0.0005;
+	return y * gain;
+}
+`),
+			src("ear_main", `
+long filt_init();
+double cascade(double x);
+double haircell(double y);
+
+long main() {
+	filt_init();
+	double acc = 0.0;
+	long n;
+	for (n = 0; n < 6000; n = n + 1) {
+		double t = 0.001 * n;
+		double x = dsin(37.0 * t) + 0.5 * dsin(91.0 * t);
+		double y = haircell(cascade(x));
+		acc = acc + y * y;
+	}
+	print_fixed(acc / 6000.0);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// ora models ray tracing through an optical system: sphere intersections
+// dominated by library dsqrt.
+func ora() Benchmark {
+	return Benchmark{
+		Name:      "ora",
+		Character: "FP; ray-surface intersections dominated by dsqrt",
+		Modules: []tcc.Source{
+			src("ora_surf", `
+// Surfaces: concentric spheres, radius and curvature per element.
+double radius[8];
+double curv[8];
+
+long surf_init() {
+	long i;
+	for (i = 0; i < 8; i = i + 1) {
+		radius[i] = 4.0 + 1.5 * i;
+		curv[i] = 1.0 / radius[i];
+	}
+	return 0;
+}
+
+// intersect returns the ray parameter of the hit with sphere i, for a ray
+// from (x,y) with direction (dx,dy); -1 if it misses.
+double intersect(double x, double y, double dx, double dy, long i) {
+	double b = x * dx + y * dy;
+	double c = x * x + y * y - radius[i] * radius[i];
+	double disc = b * b - c;
+	if (disc < 0.0) { return -1.0; }
+	double root = dsqrt(disc);
+	double t = -b - root;
+	if (t < 0.0) { t = -b + root; }
+	return t;
+}
+`),
+			src("ora_trace", `
+double intersect(double x, double y, double dx, double dy, long i);
+extern double curv;
+
+// trace pushes a ray through all 8 surfaces, refracting slightly at each.
+double trace(double x, double y, double angle) {
+	double* cv = &curv;
+	double dx = dcos(angle);
+	double dy = dsin(angle);
+	long i;
+	for (i = 0; i < 8; i = i + 1) {
+		double t = intersect(x, y, dx, dy, i);
+		if (t < 0.0) { return -1.0; }
+		x = x + t * dx;
+		y = y + t * dy;
+		double bend = cv[i] * 0.05;
+		double ndx = dx - bend * x * 0.1;
+		double ndy = dy - bend * y * 0.1;
+		double norm = dsqrt(ndx * ndx + ndy * ndy);
+		dx = ndx / norm;
+		dy = ndy / norm;
+	}
+	return x * x + y * y;
+}
+`),
+			src("ora_main", `
+long surf_init();
+double trace(double x, double y, double angle);
+
+long main() {
+	surf_init();
+	double acc = 0.0;
+	long hits = 0;
+	long r;
+	for (r = 0; r < 1500; r = r + 1) {
+		double a = 0.0003 * r;
+		double v = trace(0.1, 0.05 * (r & 7), a);
+		if (v >= 0.0) {
+			acc = acc + v;
+			hits = hits + 1;
+		}
+	}
+	print(hits);
+	print_fixed(acc / 1000.0);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// tomcatv models vectorized mesh generation: relaxation sweeps over 2D
+// coordinate arrays with residual tracking.
+func tomcatv() Benchmark {
+	return Benchmark{
+		Name:      "tomcatv",
+		Character: "FP; 2D mesh relaxation sweeps (Fortran-style array code)",
+		Modules: []tcc.Source{
+			src("tom_grid", `
+// 64x64 mesh coordinates, flattened row-major.
+double xg[4096];
+double yg[4096];
+
+long grid_setup() {
+	long i;
+	for (i = 0; i < 64; i = i + 1) {
+		long j;
+		for (j = 0; j < 64; j = j + 1) {
+			double fi = i;
+			double fj = j;
+			xg[i * 64 + j] = fj + 0.08 * dsin(0.21 * fi);
+			yg[i * 64 + j] = fi + 0.08 * dsin(0.17 * fj);
+		}
+	}
+	return 0;
+}
+`),
+			src("tom_relax", `
+extern double xg;
+extern double yg;
+
+double rx = 0.0;
+double ry = 0.0;
+
+// relax performs one Jacobi-ish sweep; returns the max residual.
+double relax() {
+	double* x = &xg;
+	double* y = &yg;
+	rx = 0.0;
+	ry = 0.0;
+	long i;
+	for (i = 1; i < 63; i = i + 1) {
+		long j;
+		for (j = 1; j < 63; j = j + 1) {
+			long c = i * 64 + j;
+			double nx = 0.25 * (x[c - 1] + x[c + 1] + x[c - 64] + x[c + 64]);
+			double ny = 0.25 * (y[c - 1] + y[c + 1] + y[c - 64] + y[c + 64]);
+			double dx = nx - x[c];
+			double dy = ny - y[c];
+			if (dabs(dx) > rx) { rx = dabs(dx); }
+			if (dabs(dy) > ry) { ry = dabs(dy); }
+			x[c] = x[c] + 0.9 * dx;
+			y[c] = y[c] + 0.9 * dy;
+		}
+	}
+	if (rx > ry) { return rx; }
+	return ry;
+}
+`),
+			src("tom_main", `
+long grid_setup();
+double relax();
+extern double xg;
+extern double yg;
+
+long main() {
+	grid_setup();
+	double res = 1.0;
+	long iter = 0;
+	while (iter < 30 && res > 0.000001) {
+		res = relax();
+		iter = iter + 1;
+	}
+	double* x = &xg;
+	double* y = &yg;
+	print(iter);
+	print_fixed(res * 1000.0);
+	print_fixed(ddot(x, y, 4096) / 100000.0);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// swm256 models the shallow-water equations: stencil updates of height and
+// velocity fields with periodic halo wraps.
+func swm256() Benchmark {
+	return Benchmark{
+		Name:      "swm256",
+		Character: "FP; shallow-water stencils over height/velocity grids",
+		Modules: []tcc.Source{
+			src("swm_state", `
+// 64x64 grids: height, u-velocity, v-velocity (and next-step copies).
+double hf[4096];
+double uf[4096];
+double vf[4096];
+double hn[4096];
+
+long state_init() {
+	long i;
+	for (i = 0; i < 64; i = i + 1) {
+		long j;
+		for (j = 0; j < 64; j = j + 1) {
+			long c = i * 64 + j;
+			double di = i - 32;
+			double dj = j - 32;
+			hf[c] = 100.0 + dexp(-(di * di + dj * dj) * 0.01);
+			uf[c] = 0.1 * dsin(0.1 * i);
+			vf[c] = 0.1 * dcos(0.1 * j);
+			hn[c] = 0.0;
+		}
+	}
+	return 0;
+}
+`),
+			src("swm_step", `
+extern double hf;
+extern double uf;
+extern double vf;
+extern double hn;
+
+double dt = 0.02;
+
+// step advances height by divergence of flux; velocities relax toward the
+// height gradient.
+long step() {
+	double* h = &hf;
+	double* u = &uf;
+	double* v = &vf;
+	double* nh = &hn;
+	long i;
+	for (i = 1; i < 63; i = i + 1) {
+		long j;
+		for (j = 1; j < 63; j = j + 1) {
+			long c = i * 64 + j;
+			double div = (u[c + 1] - u[c - 1]) + (v[c + 64] - v[c - 64]);
+			nh[c] = h[c] - dt * 0.5 * div * h[c];
+		}
+	}
+	for (i = 1; i < 63; i = i + 1) {
+		long j;
+		for (j = 1; j < 63; j = j + 1) {
+			long c = i * 64 + j;
+			u[c] = u[c] - dt * (nh[c + 1] - nh[c - 1]) * 0.05;
+			v[c] = v[c] - dt * (nh[c + 64] - nh[c - 64]) * 0.05;
+			h[c] = nh[c];
+		}
+	}
+	return 0;
+}
+`),
+			src("swm_main", `
+long state_init();
+long step();
+extern double hf;
+extern double uf;
+
+long main() {
+	state_init();
+	long t;
+	for (t = 0; t < 25; t = t + 1) {
+		step();
+	}
+	double* h = &hf;
+	double* u = &uf;
+	double hsum = 0.0;
+	double usum = 0.0;
+	long i;
+	for (i = 0; i < 4096; i = i + 1) {
+		hsum = hsum + h[i];
+		usum = usum + u[i] * u[i];
+	}
+	print_fixed(hsum / 4096.0);
+	print_fixed(usum);
+	return 0;
+}
+`),
+		},
+	}
+}

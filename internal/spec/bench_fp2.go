@@ -1,0 +1,887 @@
+package spec
+
+import "repro/internal/tcc"
+
+// Floating-point benchmarks, part 2: doduc, fpppp, hydro2d, su2cor, wave5,
+// nasa7, mdljdp2, mdljsp2, spice.
+
+// doduc models a Monte Carlo reactor simulation: branchy control over
+// sizeable straight-line floating-point blocks.
+func doduc() Benchmark {
+	return Benchmark{
+		Name:      "doduc",
+		Character: "FP; Monte Carlo with large basic blocks and branchy physics cases",
+		Modules: []tcc.Source{
+			src("dod_rng", `
+static long st = 424242;
+
+long dseed(long s) {
+	st = s;
+	return 0;
+}
+
+double drand() {
+	st = st * 6364136223846793005 + 1442695040888963407;
+	long bitsv = (st >> 17) & 1048575;
+	double r = bitsv;
+	return r / 1048576.0;
+}
+`),
+			src("dod_phys", `
+double drand();
+
+// Scattering step: one large straight-line FP block per regime.
+double scatter(double e, double mu) {
+	double a = e * 0.91 + 0.02;
+	double b = mu * mu;
+	double c = a * b + e * 0.003;
+	double d = a - b * 0.25;
+	double f = c * d + 0.5;
+	double g = f * f - c * 0.125;
+	double h = g * a + d * b;
+	double p = h * 0.0625 + f * 0.25;
+	double q = p * a - g * 0.03125;
+	double r = q + h * c * 0.015625;
+	double s = r * 0.99 + p * 0.01;
+	double t = s - q * 0.002;
+	double u = t * t * 0.001 + s;
+	double v = u * a + r * b * 0.01;
+	return v * 0.5 + t * 0.1;
+}
+
+double absorb(double e) {
+	double a = 1.0 - e * 0.004;
+	double b = a * a;
+	double c = b * a;
+	double d = c * b;
+	double f = 0.3 * a + 0.2 * b + 0.1 * c + 0.05 * d;
+	double g = f * (1.0 + e * 0.001);
+	double h = g - f * f * 0.02;
+	return h;
+}
+
+double fission(double e, double w) {
+	double nu = 2.43 + e * 0.0001;
+	double a = w * nu;
+	double b = a * 0.9 + w * 0.1;
+	double c = b - a * e * 0.00005;
+	double d = c * c * 0.001;
+	return c - d + 0.001;
+}
+`),
+			src("dod_main", `
+long dseed(long s);
+double drand();
+double scatter(double e, double mu);
+double absorb(double e);
+double fission(double e, double w);
+
+long main() {
+	dseed(99991);
+	double pop = 0.0;
+	double energy = 2.0;
+	long histories = 0;
+	long n;
+	for (n = 0; n < 30000; n = n + 1) {
+		double r = drand();
+		double w = 1.0;
+		if (r < 0.6) {
+			energy = scatter(energy, 2.0 * drand() - 1.0);
+			if (energy < 0.01 || energy > 50.0) { energy = 2.0; histories = histories + 1; }
+		} else if (r < 0.9) {
+			w = w * absorb(energy);
+		} else {
+			pop = pop + fission(energy, w);
+			energy = 2.0;
+			histories = histories + 1;
+		}
+		pop = pop * 0.99999 + w * 0.00001;
+	}
+	print(histories);
+	print_fixed(pop);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// fpppp models two-electron integral evaluation: very large straight-line
+// basic blocks (the workload the paper singles out for superlinear
+// scheduling cost).
+func fpppp() Benchmark {
+	return Benchmark{
+		Name:      "fpppp",
+		Character: "FP; enormous straight-line basic blocks of polynomial evaluation",
+		Modules: []tcc.Source{
+			src("fpp_kern", `
+// One call evaluates a big unrolled integral kernel: a single basic block
+// of ~190 FP operations.
+double kernel(double x, double y, double z, double w) {
+	double t01 = x * y; double t02 = z * w; double t03 = x * z;
+	double t04 = y * w; double t05 = x * w; double t06 = y * z;
+	double t07 = t01 * t02; double t08 = t03 * t04; double t09 = t05 * t06;
+	double t10 = t01 + t02 * 0.5; double t11 = t03 + t04 * 0.25;
+	double t12 = t05 + t06 * 0.125; double t13 = t07 - t08 * 0.1;
+	double t14 = t09 * 0.2 + t13; double t15 = t10 * t11;
+	double t16 = t12 * t14; double t17 = t15 + t16;
+	double t18 = t17 * 0.9 - t07 * 0.01; double t19 = t18 * t10;
+	double t20 = t19 + t11 * t12; double t21 = t20 * 0.77 + t13;
+	double t22 = t21 * t21 * 0.001; double t23 = t21 - t22;
+	double t24 = t23 * t14 + t17 * 0.2; double t25 = t24 * 0.5 + t18 * 0.1;
+	double t26 = t25 * t01 - t02 * 0.003; double t27 = t26 + t25 * t03;
+	double t28 = t27 * 0.25 + t24; double t29 = t28 * t05 * 0.01;
+	double t30 = t28 + t29; double t31 = t30 * 0.8 + t26 * 0.05;
+	double t32 = t31 - t27 * 0.002; double t33 = t32 * t10;
+	double t34 = t33 + t31 * 0.1; double t35 = t34 * t11 * 0.03;
+	double t36 = t34 - t35; double t37 = t36 * 0.99 + t32 * 0.001;
+	double t38 = t37 * t12; double t39 = t38 + t36 * 0.2;
+	double t40 = t39 * 0.5 - t37 * 0.01; double t41 = t40 * t13 * 0.004;
+	double t42 = t40 + t41; double t43 = t42 * 0.93 + t39 * 0.02;
+	double t44 = t43 - t38 * 0.005; double t45 = t44 * t14 * 0.006;
+	double t46 = t44 + t45; double t47 = t46 * t15 * 0.0001;
+	double t48 = t46 - t47; double t49 = t48 * 0.98 + t43 * 0.01;
+	double t50 = t49 + t42 * 0.003;
+	double u01 = t50 * x + t49 * 0.5; double u02 = u01 * y - t48 * 0.25;
+	double u03 = u02 * z + t47; double u04 = u03 * w - t46 * 0.1;
+	double u05 = u04 + u01 * u02 * 0.001; double u06 = u05 * 0.5 + u03 * 0.2;
+	double u07 = u06 - u04 * 0.05; double u08 = u07 * t01 * 0.01;
+	double u09 = u07 + u08; double u10 = u09 * 0.9 + u06 * 0.04;
+	double u11 = u10 - u05 * 0.002; double u12 = u11 * t02 * 0.008;
+	double u13 = u11 + u12; double u14 = u13 * 0.97 + u10 * 0.015;
+	double u15 = u14 + u09 * 0.001; double u16 = u15 * t03 * 0.0025;
+	double u17 = u15 - u16; double u18 = u17 * 0.97 + u14 * 0.02;
+	double u19 = u18 + u13 * 0.004; double u20 = u19 * t04 * 0.0015;
+	return u19 + u20 + t50 * 0.0001;
+}
+`),
+			src("fpp_shell", `
+double kernel(double x, double y, double z, double w);
+
+// shell pairs the kernel over basis exponents; another sizable block per
+// iteration.
+double shell(double a, double b) {
+	double s = 0.0;
+	long i;
+	for (i = 0; i < 6; i = i + 1) {
+		double e = 0.3 + 0.17 * i;
+		double k1 = kernel(a + e, b, a - e * 0.5, b + e * 0.25);
+		double k2 = kernel(b + e * 0.3, a, b - e * 0.2, a + e * 0.1);
+		double cross = k1 * k2 * 0.000001;
+		s = s + k1 * 0.4 + k2 * 0.3 - cross;
+	}
+	return s;
+}
+`),
+			src("fpp_main", `
+double shell(double a, double b);
+
+long main() {
+	double total = 0.0;
+	long p;
+	for (p = 0; p < 900; p = p + 1) {
+		double a = 0.8 + 0.001 * p;
+		double b = 1.1 - 0.0005 * p;
+		total = total + shell(a, b);
+	}
+	print_fixed(total / 1000000.0);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// hydro2d models hydrodynamic conservation laws on a 2D grid.
+func hydro2d() Benchmark {
+	return Benchmark{
+		Name:      "hydro2d",
+		Character: "FP; Navier-Stokes-flavored conservation updates on a 2D grid",
+		Modules: []tcc.Source{
+			src("hyd_state", `
+// 48x48 density/momentum grids.
+double rho[2304];
+double mx[2304];
+double my[2304];
+
+long hyd_init() {
+	long i;
+	for (i = 0; i < 48; i = i + 1) {
+		long j;
+		for (j = 0; j < 48; j = j + 1) {
+			long c = i * 48 + j;
+			rho[c] = 1.0;
+			if (i > 16 && i < 32 && j > 16 && j < 32) { rho[c] = 2.0; }
+			mx[c] = 0.01 * (j - 24);
+			my[c] = 0.01 * (24 - i);
+		}
+	}
+	return 0;
+}
+`),
+			src("hyd_flux", `
+extern double rho;
+extern double mx;
+extern double my;
+
+double cs = 0.35;
+
+// flux_sweep applies one conservative update along both axes.
+long flux_sweep() {
+	double* r = &rho;
+	double* u = &mx;
+	double* v = &my;
+	long i;
+	for (i = 1; i < 47; i = i + 1) {
+		long j;
+		for (j = 1; j < 47; j = j + 1) {
+			long c = i * 48 + j;
+			double pe = cs * cs * r[c];
+			double fx = u[c + 1] - u[c - 1];
+			double fy = v[c + 48] - v[c - 48];
+			r[c] = r[c] - 0.02 * (fx + fy);
+			if (r[c] < 0.1) { r[c] = 0.1; }
+			u[c] = u[c] - 0.02 * pe * (r[c + 1] - r[c - 1]);
+			v[c] = v[c] - 0.02 * pe * (r[c + 48] - r[c - 48]);
+		}
+	}
+	return 0;
+}
+`),
+			src("hyd_main", `
+long hyd_init();
+long flux_sweep();
+extern double rho;
+
+long main() {
+	hyd_init();
+	long t;
+	for (t = 0; t < 50; t = t + 1) {
+		flux_sweep();
+	}
+	double* r = &rho;
+	double mass = 0.0;
+	double peak = 0.0;
+	long i;
+	for (i = 0; i < 2304; i = i + 1) {
+		mass = mass + r[i];
+		if (r[i] > peak) { peak = r[i]; }
+	}
+	print_fixed(mass / 2304.0);
+	print_fixed(peak);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// su2cor models a quark-propagator lattice computation: vector operations
+// over lattice sites, leaning on the library ddot.
+func su2cor() Benchmark {
+	return Benchmark{
+		Name:      "su2cor",
+		Character: "FP; lattice sweeps with library BLAS-style kernels (ddot/dscale)",
+		Modules: []tcc.Source{
+			src("su2_lat", `
+// 512 sites x 4 components, flattened.
+double phi[2048];
+double chi[2048];
+double links[2048];
+
+long lat_init(long seed) {
+	long i;
+	double v = 0.001 * seed;
+	for (i = 0; i < 2048; i = i + 1) {
+		phi[i] = dsin(v + 0.01 * i) * 0.5;
+		chi[i] = 0.0;
+		links[i] = 0.9 + 0.1 * dcos(0.02 * i);
+	}
+	return 0;
+}
+`),
+			src("su2_dirac", `
+extern double phi;
+extern double chi;
+extern double links;
+
+// apply_dirac: chi = D(phi), a nearest-neighbor stencil in the flattened
+// site ordering with link weights.
+long apply_dirac() {
+	double* p = &phi;
+	double* c = &chi;
+	double* l = &links;
+	long s;
+	for (s = 4; s < 2044; s = s + 1) {
+		c[s] = 1.8 * p[s] - l[s] * (p[s - 4] + p[s + 4]) * 0.45
+			- l[s] * (p[s - 1] + p[s + 1]) * 0.05;
+	}
+	return 0;
+}
+`),
+			src("su2_main", `
+long lat_init(long seed);
+long apply_dirac();
+extern double phi;
+extern double chi;
+
+long main() {
+	double* p = &phi;
+	double* c = &chi;
+	double corr = 0.0;
+	long sweep;
+	for (sweep = 0; sweep < 12; sweep = sweep + 1) {
+		lat_init(sweep);
+		apply_dirac();
+		double n2 = ddot(c, c, 2048);
+		double overlap = ddot(p, c, 2048);
+		dscale(c, 2048, 1.0 / dsqrt(n2 + 0.000001));
+		corr = corr + overlap / (n2 + 1.0);
+	}
+	print_fixed(corr);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// wave5 models particle-in-cell plasma simulation: particle pushes against
+// grid fields, plus a field relaxation.
+func wave5() Benchmark {
+	return Benchmark{
+		Name:      "wave5",
+		Character: "FP+integer; particle pushes with grid scatter/gather",
+		Modules: []tcc.Source{
+			src("wav_part", `
+// 4096 particles: position and velocity.
+double px[4096];
+double pv[4096];
+
+long part_init() {
+	long i;
+	for (i = 0; i < 4096; i = i + 1) {
+		px[i] = 0.03125 * (i & 1023) + 0.011;
+		pv[i] = 0.001 * dsin(0.07 * i);
+	}
+	return 0;
+}
+`),
+			src("wav_field", `
+// 128-cell field with charge accumulation.
+double ef[128];
+double qd[128];
+
+long field_clear() {
+	long i;
+	for (i = 0; i < 128; i = i + 1) { qd[i] = 0.0; }
+	return 0;
+}
+
+long deposit(long cell, double w) {
+	qd[cell & 127] = qd[cell & 127] + w;
+	return 0;
+}
+
+double field_at(long cell) {
+	return ef[cell & 127];
+}
+
+long field_solve() {
+	long i;
+	for (i = 0; i < 128; i = i + 1) {
+		long prev = (i + 127) & 127;
+		long next = (i + 1) & 127;
+		ef[i] = 0.98 * ef[i] + 0.01 * (qd[prev] - qd[next]);
+	}
+	return 0;
+}
+`),
+			src("wav_main", `
+long part_init();
+long field_clear();
+long deposit(long cell, double w);
+double field_at(long cell);
+long field_solve();
+extern double px;
+extern double pv;
+
+long main() {
+	part_init();
+	long step;
+	double ke = 0.0;
+	double* x = &px;
+	double* v = &pv;
+	for (step = 0; step < 15; step = step + 1) {
+		field_clear();
+		long i;
+		for (i = 0; i < 4096; i = i + 1) {
+			long cell = x[i] * 4.0;
+			deposit(cell, 0.25);
+		}
+		field_solve();
+		ke = 0.0;
+		for (i = 0; i < 4096; i = i + 1) {
+			long cell = x[i] * 4.0;
+			v[i] = v[i] + 0.01 * field_at(cell);
+			x[i] = x[i] + v[i];
+			if (x[i] < 0.0) { x[i] = x[i] + 32.0; }
+			if (x[i] >= 32.0) { x[i] = x[i] - 32.0; }
+			ke = ke + v[i] * v[i];
+		}
+	}
+	print_fixed(ke);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// nasa7 models the NAS kernel collection: matrix multiply, an FFT-like
+// butterfly, Cholesky-flavored elimination, and a penta-diagonal solve.
+func nasa7() Benchmark {
+	return Benchmark{
+		Name:      "nasa7",
+		Character: "FP; a collection of dense-kernel loops (matmul, butterfly, solve)",
+		Modules: []tcc.Source{
+			src("nas_mm", `
+// 24x24 matrix multiply, flattened.
+double ma[576];
+double mb[576];
+double mc[576];
+
+long mm_init() {
+	long i;
+	for (i = 0; i < 576; i = i + 1) {
+		ma[i] = 0.001 * i;
+		mb[i] = 0.002 * (576 - i);
+		mc[i] = 0.0;
+	}
+	return 0;
+}
+
+double mm_run() {
+	long i;
+	for (i = 0; i < 24; i = i + 1) {
+		long j;
+		for (j = 0; j < 24; j = j + 1) {
+			double s = 0.0;
+			long k;
+			for (k = 0; k < 24; k = k + 1) {
+				s = s + ma[i * 24 + k] * mb[k * 24 + j];
+			}
+			mc[i * 24 + j] = s;
+		}
+	}
+	return mc[0] + mc[575];
+}
+`),
+			src("nas_fft", `
+// Butterfly passes over a 512-point complex signal (re/im arrays).
+double re[512];
+double im[512];
+
+long fft_init() {
+	long i;
+	for (i = 0; i < 512; i = i + 1) {
+		re[i] = dsin(0.1 * i);
+		im[i] = 0.0;
+	}
+	return 0;
+}
+
+double fft_passes() {
+	long span = 1;
+	while (span < 512) {
+		double wr = dcos(3.14159265358979 / span);
+		double wi = dsin(3.14159265358979 / span);
+		long start;
+		for (start = 0; start < 512; start = start + 2 * span) {
+			long k;
+			for (k = 0; k < span; k = k + 1) {
+				long a = start + k;
+				long b = a + span;
+				double tr = wr * re[b] - wi * im[b];
+				double ti = wr * im[b] + wi * re[b];
+				re[b] = re[a] - tr;
+				im[b] = im[a] - ti;
+				re[a] = re[a] + tr;
+				im[a] = im[a] + ti;
+			}
+		}
+		span = span * 2;
+	}
+	return re[1] + im[1];
+}
+`),
+			src("nas_chol", `
+// Cholesky-flavored elimination on a 32x32 SPD-ish matrix.
+double am[1024];
+
+long chol_init() {
+	long i;
+	for (i = 0; i < 32; i = i + 1) {
+		long j;
+		for (j = 0; j < 32; j = j + 1) {
+			am[i * 32 + j] = 0.01;
+			if (i == j) { am[i * 32 + j] = 4.0 + 0.01 * i; }
+		}
+	}
+	return 0;
+}
+
+double chol_run() {
+	long k;
+	for (k = 0; k < 32; k = k + 1) {
+		double d = dsqrt(am[k * 32 + k]);
+		am[k * 32 + k] = d;
+		long i;
+		for (i = k + 1; i < 32; i = i + 1) {
+			am[i * 32 + k] = am[i * 32 + k] / d;
+		}
+		for (i = k + 1; i < 32; i = i + 1) {
+			long j;
+			for (j = k + 1; j <= i; j = j + 1) {
+				am[i * 32 + j] = am[i * 32 + j] - am[i * 32 + k] * am[j * 32 + k];
+			}
+		}
+	}
+	return am[1023];
+}
+`),
+			src("nas_main", `
+long mm_init();
+double mm_run();
+long fft_init();
+double fft_passes();
+long chol_init();
+double chol_run();
+
+long main() {
+	double acc = 0.0;
+	long rep;
+	for (rep = 0; rep < 10; rep = rep + 1) {
+		mm_init();
+		acc = acc + mm_run();
+		fft_init();
+		acc = acc + fft_passes();
+		chol_init();
+		acc = acc + chol_run();
+	}
+	print_fixed(acc);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// mdljdp2 models double-precision molecular dynamics with an O(n^2)
+// pairwise force computation.
+func mdljdp2() Benchmark {
+	return Benchmark{
+		Name:      "mdljdp2",
+		Character: "FP; pairwise Lennard-Jones forces with dsqrt distances",
+		Modules: []tcc.Source{
+			src("mdd_state", `
+// 160 particles in 2D.
+double qx[160];
+double qy[160];
+double fx[160];
+double fy[160];
+
+long md_init() {
+	long i;
+	for (i = 0; i < 160; i = i + 1) {
+		qx[i] = (i & 15) * 1.1 + 0.05 * (i >> 4);
+		qy[i] = (i >> 4) * 1.1;
+		fx[i] = 0.0;
+		fy[i] = 0.0;
+	}
+	return 0;
+}
+`),
+			src("mdd_force", `
+extern double qx;
+extern double qy;
+extern double fx;
+extern double fy;
+
+double cutoff = 3.0;
+
+double forces() {
+	double* x = &qx;
+	double* y = &qy;
+	double* gx = &fx;
+	double* gy = &fy;
+	double pot = 0.0;
+	long i;
+	for (i = 0; i < 160; i = i + 1) { gx[i] = 0.0; gy[i] = 0.0; }
+	for (i = 0; i < 160; i = i + 1) {
+		long j;
+		for (j = i + 1; j < 160; j = j + 1) {
+			double dx = x[i] - x[j];
+			double dy = y[i] - y[j];
+			double r2 = dx * dx + dy * dy;
+			if (r2 < cutoff * cutoff) {
+				double r = dsqrt(r2);
+				double inv = 1.0 / (r2 * r2 * r2 + 0.001);
+				double f = 24.0 * inv * (2.0 * inv - 1.0) / (r + 0.001);
+				gx[i] = gx[i] + f * dx;
+				gy[i] = gy[i] + f * dy;
+				gx[j] = gx[j] - f * dx;
+				gy[j] = gy[j] - f * dy;
+				pot = pot + 4.0 * inv * (inv - 1.0);
+			}
+		}
+	}
+	return pot;
+}
+`),
+			src("mdd_main", `
+long md_init();
+double forces();
+extern double qx;
+extern double qy;
+extern double fx;
+extern double fy;
+
+long main() {
+	md_init();
+	double* x = &qx;
+	double* y = &qy;
+	double* gx = &fx;
+	double* gy = &fy;
+	double pot = 0.0;
+	long step;
+	for (step = 0; step < 8; step = step + 1) {
+		pot = forces();
+		long i;
+		for (i = 0; i < 160; i = i + 1) {
+			x[i] = x[i] + 0.0001 * gx[i];
+			y[i] = y[i] + 0.0001 * gy[i];
+		}
+	}
+	print_fixed(pot / 100.0);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// mdljsp2 is the "single-precision" twin: same physics shape, but a
+// neighbor-list structure that makes the inner loops integer-heavier.
+func mdljsp2() Benchmark {
+	return Benchmark{
+		Name:      "mdljsp2",
+		Character: "FP; molecular dynamics with an explicit neighbor list",
+		Modules: []tcc.Source{
+			src("mds_state", `
+double sx[160];
+double sy[160];
+long nbr[8192];
+long nbrcount[160];
+
+long mds_init() {
+	long i;
+	for (i = 0; i < 160; i = i + 1) {
+		sx[i] = (i & 15) * 1.05;
+		sy[i] = (i >> 4) * 1.05 + 0.03 * (i & 3);
+		nbrcount[i] = 0;
+	}
+	return 0;
+}
+
+// rebuild the neighbor list with a distance filter.
+long build_nbrs() {
+	long total = 0;
+	long i;
+	for (i = 0; i < 160; i = i + 1) {
+		long cnt = 0;
+		long j;
+		for (j = 0; j < 160; j = j + 1) {
+			if (i == j) { continue; }
+			double dx = sx[i] - sx[j];
+			double dy = sy[i] - sy[j];
+			if (dx * dx + dy * dy < 6.25 && cnt < 50) {
+				nbr[i * 50 + cnt] = j;
+				cnt = cnt + 1;
+			}
+		}
+		nbrcount[i] = cnt;
+		total = total + cnt;
+	}
+	return total;
+}
+`),
+			src("mds_force", `
+extern double sx;
+extern double sy;
+extern long nbr;
+extern long nbrcount;
+
+double kick(long i) {
+	double* x = &sx;
+	double* y = &sy;
+	long* nb = &nbr;
+	long* nc = &nbrcount;
+	double ax = 0.0;
+	double ay = 0.0;
+	long k;
+	for (k = 0; k < nc[i]; k = k + 1) {
+		long j = nb[i * 50 + k];
+		double dx = x[i] - x[j];
+		double dy = y[i] - y[j];
+		double r2 = dx * dx + dy * dy + 0.001;
+		double inv = 1.0 / r2;
+		double f = inv * inv - 0.5 * inv;
+		ax = ax + f * dx;
+		ay = ay + f * dy;
+	}
+	x[i] = x[i] + 0.0001 * ax;
+	y[i] = y[i] + 0.0001 * ay;
+	return ax * ax + ay * ay;
+}
+`),
+			src("mds_main", `
+long mds_init();
+long build_nbrs();
+double kick(long i);
+
+long main() {
+	mds_init();
+	double acc = 0.0;
+	long pairs = 0;
+	long step;
+	for (step = 0; step < 12; step = step + 1) {
+		if (step % 4 == 0) { pairs = build_nbrs(); }
+		long i;
+		for (i = 0; i < 160; i = i + 1) {
+			acc = acc + kick(i);
+		}
+	}
+	print(pairs);
+	print_fixed(acc);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// spice models circuit simulation: device-model evaluation through library
+// dexp, a sparse solve, and heavy use of precompiled library routines —
+// reproducing the paper's observation that in spice half the calls are from
+// one library routine to another.
+func spice() Benchmark {
+	return Benchmark{
+		Name:      "spice",
+		Character: "FP; device-model evaluation and sparse solve, dominated by library calls",
+		Modules: []tcc.Source{
+			src("spi_dev", `
+// Diode/transistor model evaluation: exp-heavy library math.
+double vt = 0.02585;
+
+double diode_i(double v) {
+	double x = v / vt;
+	if (x > 20.0) { x = 20.0; }
+	if (x < -20.0) { x = -20.0; }
+	return 0.000001 * (dexp(x) - 1.0);
+}
+
+double diode_g(double v) {
+	double x = v / vt;
+	if (x > 20.0) { x = 20.0; }
+	if (x < -20.0) { x = -20.0; }
+	return 0.000001 * dexp(x) / vt;
+}
+`),
+			src("spi_mat", `
+// Tridiagonal system: 96 nodes, Thomas-algorithm solve using library
+// memcpy8-style staging.
+double diag[96];
+double lower[96];
+double upper[96];
+double rhs[96];
+double volt[96];
+
+long mat_clear() {
+	long i;
+	for (i = 0; i < 96; i = i + 1) {
+		diag[i] = 0.001;
+		lower[i] = 0.0;
+		upper[i] = 0.0;
+		rhs[i] = 0.0;
+	}
+	return 0;
+}
+
+long stamp(long n, double g, double cur) {
+	diag[n] = diag[n] + g;
+	if (n > 0) {
+		lower[n] = lower[n] - g * 0.5;
+		upper[n - 1] = upper[n - 1] - g * 0.5;
+	}
+	rhs[n] = rhs[n] + cur;
+	return 0;
+}
+
+long solve() {
+	double cp[96];
+	double dp[96];
+	cp[0] = upper[0] / diag[0];
+	dp[0] = rhs[0] / diag[0];
+	long i;
+	for (i = 1; i < 96; i = i + 1) {
+		double m = diag[i] - lower[i] * cp[i - 1];
+		cp[i] = upper[i] / m;
+		dp[i] = (rhs[i] - lower[i] * dp[i - 1]) / m;
+	}
+	volt[95] = dp[95];
+	for (i = 94; i >= 0; i = i - 1) {
+		volt[i] = dp[i] - cp[i] * volt[i + 1];
+	}
+	return 0;
+}
+`),
+			src("spi_main", `
+double diode_i(double v);
+double diode_g(double v);
+long mat_clear();
+long stamp(long n, double g, double cur);
+long solve();
+extern double volt;
+extern double rhs;
+
+long main() {
+	double* v = &volt;
+	long i;
+	for (i = 0; i < 96; i = i + 1) { v[i] = 0.1; }
+	long iter;
+	double delta = 1.0;
+	for (iter = 0; iter < 40; iter = iter + 1) {
+		mat_clear();
+		for (i = 0; i < 96; i = i + 1) {
+			double g = diode_g(v[i]) + 0.01;
+			double cur = 0.001 - diode_i(v[i]);
+			stamp(i, g, cur);
+		}
+		long prevbits = v[48] * 1000000.0;
+		solve();
+		long newbits = v[48] * 1000000.0;
+		delta = labs(newbits - prevbits);
+		if (delta < 1.0) { break; }
+	}
+	print(iter);
+	print_fixed(v[0] * 1000.0);
+	print_fixed(v[95] * 1000.0);
+	double* r = &rhs;
+	print_fixed(ddot(r, v, 96) * 1000.0);
+	return 0;
+}
+`),
+		},
+	}
+}

@@ -1,0 +1,580 @@
+package spec
+
+import "repro/internal/tcc"
+
+// Integer benchmarks: compress, eqntott, espresso, li, sc.
+
+// compress models LZW compression: a rolling synthetic input stream, an
+// open-addressed hash dictionary, and bit-width accounting.
+func compress() Benchmark {
+	return Benchmark{
+		Name:      "compress",
+		Character: "integer; hash-table probes and bit packing over a synthetic stream",
+		Modules: []tcc.Source{
+			src("cmp_io", `
+// Synthetic input stream and output-bit accounting.
+static long state = 0;
+
+long in_reset(long seed) {
+	state = seed;
+	return 0;
+}
+
+long in_byte() {
+	state = state * 1103515245 + 12345;
+	return (state >> 16) & 255;
+}
+
+long outbits = 0;
+
+long out_code(long code, long width) {
+	outbits = outbits + width;
+	return code;
+}
+`),
+			src("cmp_hash", `
+long htab[8192];
+long codetab[8192];
+
+long hash_clear() {
+	long i;
+	for (i = 0; i < 8192; i = i + 1) {
+		htab[i] = -1;
+		codetab[i] = 0;
+	}
+	return 0;
+}
+
+// hash_find probes for key; returns the code or -(slot)-1 when absent.
+long hash_find(long key) {
+	long h = (key * 40503) & 8191;
+	long probes = 0;
+	while (probes < 8192) {
+		if (htab[h] == key) { return codetab[h]; }
+		if (htab[h] == -1) { return -h - 1; }
+		h = (h + 1) & 8191;
+		probes = probes + 1;
+	}
+	return -1;
+}
+
+long hash_insert(long slot, long key, long code) {
+	htab[slot] = key;
+	codetab[slot] = code;
+	return code;
+}
+`),
+			src("cmp_main", `
+long in_reset(long seed);
+long in_byte();
+long out_code(long code, long width);
+long hash_clear();
+long hash_find(long key);
+long hash_insert(long slot, long key, long code);
+extern long outbits;
+
+long nextcode = 0;
+long width = 9;
+
+static long widen(long code) {
+	if (code >= (1 << width) && width < 13) {
+		width = width + 1;
+	}
+	return width;
+}
+
+long compress_block(long n) {
+	long prefix = in_byte();
+	long i;
+	for (i = 1; i < n; i = i + 1) {
+		long c = in_byte();
+		long key = prefix * 256 + c;
+		long found = hash_find(key);
+		if (found >= 0) {
+			prefix = found;
+		} else {
+			out_code(prefix, width);
+			long slot = -(found + 1);
+			if (nextcode < 4096) {
+				hash_insert(slot, key, nextcode + 256);
+				nextcode = nextcode + 1;
+				widen(nextcode + 256);
+			}
+			prefix = c;
+		}
+	}
+	out_code(prefix, width);
+	return outbits;
+}
+
+long main() {
+	long block;
+	long check = 0;
+	for (block = 0; block < 3; block = block + 1) {
+		in_reset(block * 7919 + 17);
+		hash_clear();
+		nextcode = 0;
+		width = 9;
+		outbits = 0;
+		check = check * 31 + compress_block(15000);
+	}
+	print(check);
+	print(nextcode);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// eqntott models truth-table generation: product terms as packed longs,
+// sorted through the library quicksort with an indirect comparator.
+func eqntott() Benchmark {
+	return Benchmark{
+		Name:      "eqntott",
+		Character: "integer; dominated by sorting product terms via an indirect comparator",
+		Modules: []tcc.Source{
+			src("eqn_gen", `
+// Generate packed product terms for a synthetic equation set.
+long terms[16384];
+long nterms = 0;
+
+static long mix(long x) {
+	x = x ^ (x >> 21);
+	x = x * 2685821657736338717;
+	x = x ^ (x >> 35);
+	return x;
+}
+
+long gen_terms(long n, long seed) {
+	long i;
+	nterms = n;
+	for (i = 0; i < n; i = i + 1) {
+		long v = mix(i * 2862933555777941757 + seed);
+		terms[i] = v & 65535;
+	}
+	return n;
+}
+`),
+			src("eqn_cmp", `
+// Term comparison: by ones-count, then value (a stand-in for eqntott's
+// cmppt which orders product terms).
+static long popcount16(long v) {
+	long n = 0;
+	while (v) {
+		n = n + (v & 1);
+		v = v >> 1;
+	}
+	return n;
+}
+
+long cmppt(long a, long b) {
+	long ca = popcount16(a);
+	long cb = popcount16(b);
+	if (ca != cb) { return ca - cb; }
+	return a - b;
+}
+`),
+			src("eqn_main", `
+extern long terms;
+extern long nterms;
+long gen_terms(long n, long seed);
+long cmppt(long a, long b);
+
+long dedup() {
+	long* t = &terms;
+	long out = 0;
+	long i;
+	for (i = 0; i < nterms; i = i + 1) {
+		if (i == 0 || t[i] != t[i-1]) {
+			t[out] = t[i];
+			out = out + 1;
+		}
+	}
+	return out;
+}
+
+long main() {
+	long* t = &terms;
+	long round;
+	long check = 0;
+	for (round = 0; round < 2; round = round + 1) {
+		gen_terms(1200, round * 104729 + 1);
+		qsort8(t, 0, nterms - 1, cmppt);
+		if (issorted(t, nterms, cmppt) == 0) {
+			print(-1);
+			return 1;
+		}
+		long uniq = dedup();
+		check = check * 37 + uniq + t[0] + t[uniq - 1];
+	}
+	print(check);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// espresso models two-level logic minimization: cubes as bit-vector
+// quadruples, with containment and intersection sweeps over a cover.
+func espresso() Benchmark {
+	return Benchmark{
+		Name:      "espresso",
+		Character: "integer; many small set-operation procedures over bit-vector cubes",
+		Modules: []tcc.Source{
+			src("esp_cube", `
+// A cube is 4 consecutive longs in the cover array.
+long cube_and(long* a, long* b, long* out) {
+	out[0] = a[0] & b[0];
+	out[1] = a[1] & b[1];
+	out[2] = a[2] & b[2];
+	out[3] = a[3] & b[3];
+	return 0;
+}
+
+long cube_or(long* a, long* b, long* out) {
+	out[0] = a[0] | b[0];
+	out[1] = a[1] | b[1];
+	out[2] = a[2] | b[2];
+	out[3] = a[3] | b[3];
+	return 0;
+}
+
+long cube_empty(long* a) {
+	return (a[0] | a[1] | a[2] | a[3]) == 0;
+}
+
+long cube_subset(long* a, long* b) {
+	// a subset of b?
+	if ((a[0] & ~b[0]) != 0) { return 0; }
+	if ((a[1] & ~b[1]) != 0) { return 0; }
+	if ((a[2] & ~b[2]) != 0) { return 0; }
+	if ((a[3] & ~b[3]) != 0) { return 0; }
+	return 1;
+}
+
+static long popc(long v) {
+	long n = 0;
+	while (v) {
+		v = v & (v - 1);
+		n = n + 1;
+	}
+	return n;
+}
+
+long cube_count(long* a) {
+	return popc(a[0]) + popc(a[1]) + popc(a[2]) + popc(a[3]);
+}
+`),
+			src("esp_cover", `
+long cube_and(long* a, long* b, long* out);
+long cube_subset(long* a, long* b);
+long cube_empty(long* a);
+long cube_count(long* a);
+
+long cover[2048];
+long covered[512];
+long ncubes = 0;
+
+long gen_cover(long n, long seed) {
+	long s = seed;
+	long i;
+	ncubes = n;
+	for (i = 0; i < n * 4; i = i + 1) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		cover[i] = s >> 17;
+	}
+	for (i = 0; i < n; i = i + 1) { covered[i] = 0; }
+	return n;
+}
+
+// irredundant marks cubes contained in another cube of the cover.
+long irredundant() {
+	long removed = 0;
+	long i;
+	for (i = 0; i < ncubes; i = i + 1) {
+		if (covered[i]) { continue; }
+		long j;
+		for (j = 0; j < ncubes; j = j + 1) {
+			if (i == j || covered[j]) { continue; }
+			if (cube_subset(&cover[i * 4], &cover[j * 4])) {
+				covered[i] = 1;
+				removed = removed + 1;
+				break;
+			}
+		}
+	}
+	return removed;
+}
+
+long sharpness() {
+	long tmp[4];
+	long total = 0;
+	long i;
+	for (i = 0; i + 1 < ncubes; i = i + 1) {
+		cube_and(&cover[i * 4], &cover[(i + 1) * 4], tmp);
+		if (!cube_empty(tmp)) {
+			total = total + cube_count(tmp);
+		}
+	}
+	return total;
+}
+`),
+			src("esp_main", `
+long gen_cover(long n, long seed);
+long irredundant();
+long sharpness();
+extern long cover;
+extern long ncubes;
+
+long main() {
+	long pass;
+	long check = 0;
+	for (pass = 0; pass < 4; pass = pass + 1) {
+		gen_cover(320, pass * 31 + 5);
+		long r = irredundant();
+		long s = sharpness();
+		check = check * 131 + r * 1000003 + s;
+	}
+	print(check);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// li models a Lisp interpreter: cons cells in parallel arrays, a recursive
+// evaluator, and indirect dispatch through procedure variables.
+func li() Benchmark {
+	return Benchmark{
+		Name:      "li",
+		Character: "integer; recursive interpreter with indirect operator dispatch",
+		Modules: []tcc.Source{
+			src("li_cell", `
+// Cons cells: car/cdr/tag arrays with a bump allocator.
+long car[32768];
+long cdr[32768];
+long tag[32768];
+long freeptr = 0;
+
+long cell_reset() {
+	freeptr = 0;
+	return 0;
+}
+
+// tags: 0 = number (car holds value), 1 = cons, 2 = op node (car = op id,
+// cdr = arg list).
+long mknum(long v) {
+	long c = freeptr;
+	freeptr = freeptr + 1;
+	tag[c] = 0;
+	car[c] = v;
+	cdr[c] = -1;
+	return c;
+}
+
+long mkcons(long a, long d) {
+	long c = freeptr;
+	freeptr = freeptr + 1;
+	tag[c] = 1;
+	car[c] = a;
+	cdr[c] = d;
+	return c;
+}
+
+long mkop(long opid, long args) {
+	long c = freeptr;
+	freeptr = freeptr + 1;
+	tag[c] = 2;
+	car[c] = opid;
+	cdr[c] = args;
+	return c;
+}
+`),
+			src("li_ops", `
+// Builtin operators, dispatched through procedure variables.
+long op_add(long a, long b) { return a + b; }
+long op_sub(long a, long b) { return a - b; }
+long op_mul(long a, long b) { return a * (b & 1023); }
+long op_max(long a, long b) {
+	if (a > b) { return a; }
+	return b;
+}
+
+fnptr optable0;
+fnptr optable1;
+fnptr optable2;
+fnptr optable3;
+
+long ops_init() {
+	optable0 = op_add;
+	optable1 = op_sub;
+	optable2 = op_mul;
+	optable3 = op_max;
+	return 0;
+}
+
+long apply_op(long opid, long a, long b) {
+	if (opid == 0) { return optable0(a, b); }
+	if (opid == 1) { return optable1(a, b); }
+	if (opid == 2) { return optable2(a, b); }
+	return optable3(a, b);
+}
+`),
+			src("li_eval", `
+extern long car;
+extern long cdr;
+extern long tag;
+long apply_op(long opid, long a, long b);
+
+// eval reduces an expression tree to a number.
+long eval(long c) {
+	long* carv = &car;
+	long* cdrv = &cdr;
+	long* tagv = &tag;
+	if (tagv[c] == 0) { return carv[c]; }
+	if (tagv[c] == 2) {
+		long args = cdrv[c];
+		long acc = eval(carv[args]);
+		args = cdrv[args];
+		while (args != -1) {
+			acc = apply_op(carv[c], acc, eval(carv[args]));
+			args = cdrv[args];
+		}
+		return acc;
+	}
+	// plain cons: sum of both sides
+	return eval(carv[c]) + eval(cdrv[c]);
+}
+`),
+			src("li_main", `
+long cell_reset();
+long mknum(long v);
+long mkcons(long a, long d);
+long mkop(long opid, long args);
+long ops_init();
+long eval(long c);
+
+// build a balanced op tree of the given depth.
+static long build(long depth, long seed) {
+	if (depth == 0) { return mknum(seed & 255); }
+	long left = build(depth - 1, seed * 2 + 1);
+	long right = build(depth - 1, seed * 3 + 7);
+	long args = mkcons(left, mkcons(right, -1));
+	return mkop(seed & 3, args);
+}
+
+long main() {
+	ops_init();
+	long round;
+	long check = 0;
+	for (round = 0; round < 10; round = round + 1) {
+		cell_reset();
+		long e = build(11, round + 1);
+		check = check * 31 + eval(e);
+	}
+	print(check);
+	return 0;
+}
+`),
+		},
+	}
+}
+
+// sc models a spreadsheet recalculation: a cell grid with formula codes,
+// swept until values stabilize.
+func sc() Benchmark {
+	return Benchmark{
+		Name:      "sc",
+		Character: "integer; formula-driven grid recalculation with library lookups",
+		Modules: []tcc.Source{
+			src("sc_grid", `
+// 64x64 grid, flattened. formula: 0 literal, 1 sum-left, 2 max-above,
+// 3 avg of two neighbors.
+long val[4096];
+long formula[4096];
+
+long grid_init(long seed) {
+	long s = seed;
+	long i;
+	for (i = 0; i < 4096; i = i + 1) {
+		s = s * 48271 % 2147483647;
+		formula[i] = s & 3;
+		val[i] = s & 1023;
+		if ((i & 63) == 0) { formula[i] = 0; }
+		if (i < 64) { formula[i] = 0; }
+	}
+	return 0;
+}
+`),
+			src("sc_eval", `
+extern long val;
+extern long formula;
+
+static long cell(long r, long c) { return r * 64 + c; }
+
+long eval_cell(long r, long c) {
+	long* v = &val;
+	long* f = &formula;
+	long idx = cell(r, c);
+	long code = f[idx];
+	if (code == 0) { return v[idx]; }
+	if (code == 1) {
+		long s = 0;
+		long j;
+		for (j = 0; j < c; j = j + 1) { s = s + v[cell(r, j)]; }
+		return s & 65535;
+	}
+	if (code == 2) {
+		long m = v[cell(r - 1, c)];
+		if (v[idx] > m) { m = v[idx]; }
+		return m;
+	}
+	return (v[cell(r - 1, c)] + v[cell(r, c - 1)]) / 2;
+}
+
+long sweep() {
+	long* v = &val;
+	long changed = 0;
+	long r;
+	for (r = 1; r < 64; r = r + 1) {
+		long c;
+		for (c = 1; c < 64; c = c + 1) {
+			long nv = eval_cell(r, c);
+			if (nv != v[cell(r, c)]) {
+				v[cell(r, c)] = nv;
+				changed = changed + 1;
+			}
+		}
+	}
+	return changed;
+}
+`),
+			src("sc_main", `
+long grid_init(long seed);
+long sweep();
+extern long val;
+
+long main() {
+	long round;
+	long check = 0;
+	for (round = 0; round < 2; round = round + 1) {
+		grid_init(round * 12345 + 7);
+		long sweeps = 0;
+		while (sweeps < 8) {
+			long ch = sweep();
+			sweeps = sweeps + 1;
+			if (ch == 0) { break; }
+		}
+		long* v = &val;
+		check = check * 131 + print_checksum(v, 4096) + sweeps;
+	}
+	print(check & 262143);
+	return 0;
+}
+`),
+		},
+	}
+}

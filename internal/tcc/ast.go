@@ -1,0 +1,229 @@
+package tcc
+
+// Type describes a Tiny C type. The language has 64-bit integers ("long"),
+// IEEE doubles, pointers to either, untyped procedure pointers ("fnptr"),
+// and one-dimensional arrays of long or double (variables only; arrays decay
+// to pointers in expressions).
+type Type uint8
+
+const (
+	TypeNone Type = iota
+	TypeLong
+	TypeDouble
+	TypePtrLong
+	TypePtrDouble
+	TypeFnptr
+	TypeArrayLong
+	TypeArrayDouble
+)
+
+// String returns the source-level spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TypeLong:
+		return "long"
+	case TypeDouble:
+		return "double"
+	case TypePtrLong:
+		return "long*"
+	case TypePtrDouble:
+		return "double*"
+	case TypeFnptr:
+		return "fnptr"
+	case TypeArrayLong:
+		return "long[]"
+	case TypeArrayDouble:
+		return "double[]"
+	}
+	return "none"
+}
+
+// IsFloat reports whether values of the type live in FP registers.
+func (t Type) IsFloat() bool { return t == TypeDouble }
+
+// IsPointer reports whether t is a data pointer.
+func (t Type) IsPointer() bool { return t == TypePtrLong || t == TypePtrDouble }
+
+// IsArray reports whether t is an array type.
+func (t Type) IsArray() bool { return t == TypeArrayLong || t == TypeArrayDouble }
+
+// Elem returns the element type of an array or pointer.
+func (t Type) Elem() Type {
+	switch t {
+	case TypePtrLong, TypeArrayLong:
+		return TypeLong
+	case TypePtrDouble, TypeArrayDouble:
+		return TypeDouble
+	}
+	return TypeNone
+}
+
+// Decay converts array types to the corresponding pointer type.
+func (t Type) Decay() Type {
+	switch t {
+	case TypeArrayLong:
+		return TypePtrLong
+	case TypeArrayDouble:
+		return TypePtrDouble
+	}
+	return t
+}
+
+// PtrTo returns the pointer type to elem.
+func PtrTo(elem Type) Type {
+	switch elem {
+	case TypeLong:
+		return TypePtrLong
+	case TypeDouble:
+		return TypePtrDouble
+	}
+	return TypeNone
+}
+
+// ExprKind discriminates expression nodes.
+type ExprKind uint8
+
+const (
+	ExprIntLit ExprKind = iota
+	ExprFloatLit
+	ExprVar     // variable reference (global, local, or param)
+	ExprFuncRef // function name used as a value (address taken)
+	ExprIndex   // base[index]
+	ExprDeref   // *ptr
+	ExprAddr    // &lvalue
+	ExprUnary   // -x, !x, ~x
+	ExprBinary  // arithmetic / comparison / logic
+	ExprAssign  // lvalue = value
+	ExprCall    // f(args) or fnptr-var(args)
+	ExprCond    // short-circuit && and ||
+)
+
+// Expr is an expression node. Type is filled by semantic analysis.
+type Expr struct {
+	Kind ExprKind
+	Pos  Pos
+	Type Type
+
+	Int  int64   // ExprIntLit
+	Flt  float64 // ExprFloatLit
+	Name string  // ExprVar, ExprFuncRef, ExprCall (direct)
+	Op   TokKind // ExprUnary, ExprBinary, ExprCond
+	X    *Expr   // operand / lhs / base / callee-variable
+	Y    *Expr   // rhs / index
+	Args []*Expr // ExprCall
+
+	// Resolved by sema:
+	Var  *VarDecl  // ExprVar: the variable referenced
+	Func *FuncDecl // ExprFuncRef / direct ExprCall: the function
+}
+
+// StmtKind discriminates statement nodes.
+type StmtKind uint8
+
+const (
+	StmtExpr StmtKind = iota
+	StmtDecl
+	StmtIf
+	StmtWhile
+	StmtFor
+	StmtReturn
+	StmtBlock
+	StmtBreak
+	StmtContinue
+	StmtEmpty
+)
+
+// Stmt is a statement node.
+type Stmt struct {
+	Kind StmtKind
+	Pos  Pos
+
+	Expr *Expr    // StmtExpr, StmtReturn (may be nil)
+	Decl *VarDecl // StmtDecl
+	Init *Stmt    // StmtFor initializer
+	Cond *Expr    // StmtIf/StmtWhile/StmtFor condition
+	Post *Expr    // StmtFor post-expression
+	Then *Stmt    // StmtIf then / loop body
+	Else *Stmt    // StmtIf else
+	Body []*Stmt  // StmtBlock
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Name     string
+	Pos      Pos
+	Type     Type
+	ArrayLen int64 // elements, for array types
+	Static   bool  // file-static (unexported)
+	Extern   bool  // declared here, defined in another module
+	Global   bool
+	Init     []*Expr // constant initializers (globals) or single expr (locals)
+	// AddrTaken marks variables whose address is taken with &; locals with
+	// this flag must live in the stack frame rather than a register.
+	AddrTaken bool
+
+	// Filled during codegen for locals:
+	Local *LocalInfo
+}
+
+// SizeBytes returns the variable's storage size.
+func (v *VarDecl) SizeBytes() int64 {
+	if v.Type.IsArray() {
+		return 8 * v.ArrayLen
+	}
+	return 8
+}
+
+// LocalInfo records where codegen placed a local variable.
+type LocalInfo struct {
+	// InReg is true when the local lives in a callee-saved register.
+	InReg bool
+	Reg   uint8 // axp.Reg or axp.FReg value, when InReg
+	// FrameOff is the byte offset from SP, when !InReg.
+	FrameOff int64
+	// AddrTaken marks locals whose address escapes; they must live on the
+	// stack.
+	AddrTaken bool
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	Name    string
+	Pos     Pos
+	Ret     Type
+	Params  []*VarDecl
+	Body    *Stmt // nil for a forward declaration
+	Static  bool
+	Builtin bool // __output / __outputc / __halt / __cycles intrinsics
+
+	// AddrTaken is set by sema when the function's name is used as a value;
+	// such functions are reachable through procedure variables and OM must
+	// keep their prologues and GAT entries.
+	AddrTaken bool
+	// Inlined marks functions eliminated entirely by the compile-all
+	// inliner (no longer emitted).
+	Inlined bool
+}
+
+// File is one parsed source file (one compilation unit in compile-each mode).
+type File struct {
+	Name  string
+	Vars  []*VarDecl
+	Funcs []*FuncDecl
+}
+
+// Unit is the sema'd unit of compilation: one or more files compiled
+// together (compile-each: a single file; compile-all: all user files).
+type Unit struct {
+	Name  string
+	Files []*File
+	// Resolved global scope:
+	Vars  map[string]*VarDecl
+	Funcs map[string]*FuncDecl
+	// Order of definition for deterministic layout.
+	VarOrder  []*VarDecl
+	FuncOrder []*FuncDecl
+	// Externs are names referenced but not defined in this unit.
+	ExternVars  map[string]*VarDecl  // synthesized decls (type known from use? no: must be declared)
+	ExternFuncs map[string]*FuncDecl // synthesized forward decls
+}

@@ -1,0 +1,207 @@
+package tcc
+
+import "repro/internal/axp"
+
+// spillRec records one temp saved across a call.
+type spillRec struct {
+	isF  bool
+	r    axp.Reg
+	fr   axp.FReg
+	slot int
+}
+
+// spillLive saves every live owned temporary to its spill slot.
+func (fg *funcgen) spillLive() []spillRec {
+	var recs []spillRec
+	for _, r := range fg.sortedLiveInt() {
+		slot, ok := fg.spillInt[r]
+		if !ok {
+			slot = fg.newSlot()
+			fg.spillInt[r] = slot
+		}
+		fg.emitFrame(axp.STQ, r, slot, 0)
+		recs = append(recs, spillRec{r: r, slot: slot})
+	}
+	for _, f := range fg.sortedLiveFP() {
+		slot, ok := fg.spillFP[f]
+		if !ok {
+			slot = fg.newSlot()
+			fg.spillFP[f] = slot
+		}
+		fg.emitFrameF(axp.STT, f, slot, 0)
+		recs = append(recs, spillRec{isF: true, fr: f, slot: slot})
+	}
+	return recs
+}
+
+// reload restores spilled temporaries after a call.
+func (fg *funcgen) reload(recs []spillRec) {
+	for _, rec := range recs {
+		if rec.isF {
+			fg.emitFrameF(axp.LDT, rec.fr, rec.slot, 0)
+		} else {
+			fg.emitFrame(axp.LDQ, rec.r, rec.slot, 0)
+		}
+	}
+}
+
+// moveArgs places evaluated argument values into the argument registers
+// (integer class to r16+i, FP class to f16+i) and frees the temps.
+func (fg *funcgen) moveArgs(args []val) {
+	for i, v := range args {
+		if v.isF {
+			fg.emit(axp.FMov(v.fr, axp.FReg(16+i)))
+		} else {
+			fg.emit(axp.Mov(v.r, axp.Reg(16+i)))
+		}
+	}
+	for _, v := range args {
+		fg.free(v)
+	}
+}
+
+// emitGPReset emits the post-call ldah/lda pair that re-establishes GP from
+// the return address.
+func (fg *funcgen) emitGPReset(callID int) {
+	pair := fg.nextPair
+	fg.nextPair++
+	hi := fg.emit(axp.MemInst(axp.LDAH, axp.GP, axp.RA, 0))
+	hi.GPD = &GPRef{PairID: pair, High: true, Anchor: AnchorAfterCall, CallID: callID}
+	lo := fg.emit(axp.MemInst(axp.LDA, axp.GP, axp.GP, 0))
+	lo.GPD = &GPRef{PairID: pair, Anchor: AnchorAfterCall, CallID: callID}
+}
+
+// callResult copies the return-value register into a fresh owned temp.
+func (fg *funcgen) callResult(retF bool, pos Pos) (val, error) {
+	if retF {
+		t, err := fg.ownedFP(pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.FMov(axp.FV0, t.fr))
+		return t, nil
+	}
+	t, err := fg.ownedInt(pos)
+	if err != nil {
+		return val{}, err
+	}
+	fg.emit(axp.Mov(axp.V0, t.r))
+	return t, nil
+}
+
+// emitCallSym emits a direct call to the named procedure. When localEntry is
+// true (file-static callee, same unit) it uses a bsr to the local entry
+// point, skipping the PV load and the GP reset — the compile-time
+// optimization the paper's compilers performed for unexported procedures.
+func (fg *funcgen) emitCallSym(sym string, args []val, retF, localEntry bool, pos Pos) (val, error) {
+	fg.isLeaf = false
+	fg.moveArgs(args)
+	recs := fg.spillLive()
+	fg.nextCall++
+	callID := fg.nextCall
+	if localEntry {
+		mi := fg.emit(axp.BranchInst(axp.BSR, axp.RA, 0))
+		mi.CallSym = sym
+		mi.CallLocalEntry = true
+		mi.CallID = callID
+	} else {
+		litID := fg.emitLitLoad(sym, 0, axp.PV)
+		jsr := fg.emit(axp.JumpInst(axp.JSR, axp.RA, axp.PV))
+		jsr.Use = &UseRef{LitID: litID, JSR: true}
+		jsr.CallID = callID
+		fg.emitGPReset(callID)
+	}
+	fg.reload(recs)
+	return fg.callResult(retF, pos)
+}
+
+// emitCallIndirect emits a call through a procedure variable: the callee
+// address is a runtime value moved into PV, so there is no LITUSE_JSR and
+// link-time analysis cannot identify the destination.
+func (fg *funcgen) emitCallIndirect(callee val, args []val, pos Pos) (val, error) {
+	fg.isLeaf = false
+	fg.moveArgs(args)
+	fg.emit(axp.Mov(callee.r, axp.PV))
+	fg.free(callee)
+	recs := fg.spillLive()
+	fg.nextCall++
+	callID := fg.nextCall
+	jsr := fg.emit(axp.JumpInst(axp.JSR, axp.RA, axp.PV))
+	jsr.CallID = callID
+	fg.emitGPReset(callID)
+	fg.reload(recs)
+	return fg.callResult(false, pos)
+}
+
+// genCall compiles a call expression: builtin, direct, or through an fnptr.
+func (fg *funcgen) genCall(e *Expr) (val, error) {
+	if e.Func != nil && e.Func.Builtin {
+		return fg.genBuiltin(e)
+	}
+
+	// Evaluate arguments into temps first; nested calls spill around them.
+	args := make([]val, 0, len(e.Args))
+	for i, a := range e.Args {
+		v, err := fg.genExpr(a)
+		if err != nil {
+			return val{}, err
+		}
+		wantF := v.isF
+		if e.Func != nil {
+			wantF = e.Func.Params[i].Type.IsFloat()
+		}
+		v, err = fg.coerce(v, wantF, a.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		args = append(args, v)
+	}
+
+	if e.Func == nil {
+		// Indirect call through the fnptr variable resolved by sema.
+		callee, err := fg.genExpr(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		return fg.emitCallIndirect(callee, args, e.Pos)
+	}
+
+	sym := fg.cg.symForFunc(e.Func)
+	localEntry := e.Func.Static && e.Func.Body != nil && fg.cg.opts.OptimizeStaticCalls
+	return fg.emitCallSym(sym, args, e.Func.Ret.IsFloat(), localEntry, e.Pos)
+}
+
+// genBuiltin inlines the CALL_PAL intrinsics.
+func (fg *funcgen) genBuiltin(e *Expr) (val, error) {
+	switch e.Func.Name {
+	case "__cycles":
+		fg.emit(axp.Pal(axp.PalCycles))
+		t, err := fg.ownedInt(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.Mov(axp.V0, t.r))
+		return t, nil
+	case "__output", "__outputc", "__halt":
+		v, err := fg.genExpr(e.Args[0])
+		if err != nil {
+			return val{}, err
+		}
+		v, err = fg.coerce(v, false, e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.Mov(v.r, axp.A0))
+		fg.free(v)
+		switch e.Func.Name {
+		case "__output":
+			fg.emit(axp.Pal(axp.PalOutput))
+		case "__outputc":
+			fg.emit(axp.Pal(axp.PalOutputChar))
+		case "__halt":
+			fg.emit(axp.Pal(axp.PalHalt))
+		}
+		return val{r: axp.Zero}, nil
+	}
+	return val{}, errf(e.Pos, "unknown builtin %s", e.Func.Name)
+}

@@ -1,0 +1,593 @@
+package tcc
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+)
+
+// Options control compilation.
+type Options struct {
+	// Schedule enables the compile-time basic-block pipeline scheduler
+	// (part of -O2). It is this pass that displaces prologue GP-setup pairs.
+	Schedule bool
+	// OptimizeStaticCalls lets the compiler call file-static procedures in
+	// the same unit with a bsr to a local entry point, skipping PV load and
+	// GP reset (the paper's footnote-2 optimization).
+	OptimizeStaticCalls bool
+	// Inline enables the compile-all interprocedural inliner for trivial
+	// functions.
+	Inline bool
+	// SmallDataBytes is the size threshold under which initialized data and
+	// static bss go to .sdata/.sbss (near-GAT candidates).
+	SmallDataBytes int64
+	// OptimisticGP enables optimistic compilation (the paper's §6
+	// alternative, like the MIPS -G convention): data items no larger than
+	// this many bytes are assumed GP-reachable and accessed with a direct
+	// 16-bit GP-relative reference; the linker verifies the assumption and
+	// refuses to link when it fails. 0 disables.
+	OptimisticGP int64
+}
+
+// DefaultOptions mirrors "cc -O2": scheduling and static-call optimization
+// on, interprocedural inlining off.
+func DefaultOptions() Options {
+	return Options{Schedule: true, OptimizeStaticCalls: true, SmallDataBytes: 64}
+}
+
+// InterprocOptions mirrors "cc -O4 -ifo": everything in DefaultOptions plus
+// inlining across the (whole-program) unit.
+func InterprocOptions() Options {
+	o := DefaultOptions()
+	o.Inline = true
+	return o
+}
+
+// Source is one named source file.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Compile parses, analyzes, and compiles the sources as a single unit,
+// producing one relocatable object module.
+func Compile(unitName string, sources []Source, opts Options) (*objfile.Object, error) {
+	files := make([]*File, 0, len(sources))
+	for _, src := range sources {
+		f, err := ParseFile(src.Name, src.Text)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	unit, err := Analyze(unitName, files)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Inline {
+		InlineUnit(unit)
+	}
+	return Generate(unit, opts)
+}
+
+// codegen holds per-unit code generation state.
+type codegen struct {
+	unit *Unit
+	opts Options
+	mb   *moduleBuilder
+
+	varSym  map[*VarDecl]string
+	funcSym map[*FuncDecl]string
+	// constPool interns anonymous 8-byte constants placed in .sdata.
+	constPool map[uint64]string
+	constData []uint64
+	constSyms []string
+	nextConst int
+}
+
+// Generate compiles an analyzed unit into an object module.
+func Generate(unit *Unit, opts Options) (*objfile.Object, error) {
+	if opts.SmallDataBytes == 0 {
+		opts.SmallDataBytes = 64
+	}
+	cg := &codegen{
+		unit:      unit,
+		opts:      opts,
+		mb:        newModuleBuilder(unit.Name),
+		varSym:    make(map[*VarDecl]string),
+		funcSym:   make(map[*FuncDecl]string),
+		constPool: make(map[uint64]string),
+	}
+	cg.assignNames()
+
+	// Compile every defined function, in declaration order.
+	for _, fn := range unit.FuncOrder {
+		if fn.Body == nil {
+			return nil, errf(fn.Pos, "static function %s declared but never defined", fn.Name)
+		}
+		fg := newFuncgen(cg, fn)
+		frag, err := fg.generate()
+		if err != nil {
+			return nil, err
+		}
+		peepholeFrag(frag)
+		if opts.Schedule {
+			scheduleFrag(frag)
+		}
+		if err := cg.mb.emitFrag(frag, !fn.Static); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := cg.emitData(); err != nil {
+		return nil, err
+	}
+	cg.mb.finishLita()
+	if err := cg.mb.obj.Validate(); err != nil {
+		return nil, fmt.Errorf("tcc: generated invalid object: %w", err)
+	}
+	return cg.mb.obj, nil
+}
+
+// assignNames picks link-time symbol names for every declaration.
+func (cg *codegen) assignNames() {
+	for _, f := range cg.unit.Files {
+		for _, v := range f.Vars {
+			if v.Extern {
+				continue
+			}
+			if v.Static {
+				cg.varSym[v] = mangle(f, v.Name)
+			} else {
+				cg.varSym[v] = v.Name
+			}
+		}
+		for _, fn := range f.Funcs {
+			if fn.Static {
+				cg.funcSym[fn] = mangle(f, fn.Name)
+			} else {
+				cg.funcSym[fn] = fn.Name
+			}
+		}
+	}
+}
+
+// symForVar returns the link symbol for a global variable decl.
+func (cg *codegen) symForVar(v *VarDecl) string {
+	if s, ok := cg.varSym[v]; ok {
+		return s
+	}
+	return v.Name // extern
+}
+
+// symForFunc returns the link symbol for a function decl.
+func (cg *codegen) symForFunc(fn *FuncDecl) string {
+	if s, ok := cg.funcSym[fn]; ok {
+		return s
+	}
+	return fn.Name // extern
+}
+
+// optimistic reports whether the variable is accessed GP-relatively under
+// optimistic compilation.
+func (cg *codegen) optimistic(v *VarDecl) bool {
+	return cg.opts.OptimisticGP > 0 && v.SizeBytes() <= cg.opts.OptimisticGP
+}
+
+// constSym interns an anonymous 8-byte constant and returns its symbol.
+func (cg *codegen) constSym(bits uint64) string {
+	if s, ok := cg.constPool[bits]; ok {
+		return s
+	}
+	s := fmt.Sprintf("%s$.lc%d", cg.unit.Name, cg.nextConst)
+	cg.nextConst++
+	cg.constPool[bits] = s
+	cg.constData = append(cg.constData, bits)
+	cg.constSyms = append(cg.constSyms, s)
+	return s
+}
+
+// emitData lays out every global variable and pool constant into the data
+// sections and defines their symbols.
+func (cg *codegen) emitData() error {
+	// Pool constants first: they are hot and tiny, so .sdata.
+	for i, bits := range cg.constData {
+		var b [8]byte
+		objfile.PutUint64(b[:], 0, bits)
+		off := cg.mb.addData(objfile.SecSData, b[:])
+		cg.mb.defineSymbol(objfile.Symbol{
+			Name: cg.constSyms[i], Kind: objfile.SymData, Section: objfile.SecSData,
+			Value: off, Size: 8, Align: 8,
+		})
+	}
+	for _, v := range cg.unit.VarOrder {
+		sym := cg.symForVar(v)
+		size := uint64(v.SizeBytes())
+		small := int64(size) <= cg.opts.SmallDataBytes
+		switch {
+		case len(v.Init) > 0:
+			elem := v.Type
+			if v.Type.IsArray() {
+				elem = v.Type.Elem()
+			}
+			data := make([]byte, size)
+			for i, e := range v.Init {
+				bits, err := ConstInitValue(e, elem)
+				if err != nil {
+					return err
+				}
+				objfile.PutUint64(data, uint64(i*8), bits)
+			}
+			sec := objfile.SecData
+			if small {
+				sec = objfile.SecSData
+			}
+			off := cg.mb.addData(sec, data)
+			cg.mb.defineSymbol(objfile.Symbol{
+				Name: sym, Kind: objfile.SymData, Section: sec,
+				Value: off, Size: size, Align: 8, Exported: !v.Static,
+			})
+		case v.Static:
+			sec := objfile.SecBss
+			if small {
+				sec = objfile.SecSBss
+			}
+			off := cg.mb.addBss(sec, size)
+			cg.mb.defineSymbol(objfile.Symbol{
+				Name: sym, Kind: objfile.SymData, Section: sec,
+				Value: off, Size: size, Align: 8,
+			})
+		case cg.optimistic(v):
+			// Optimistic compilation places small exported bss in .sbss
+			// (not a common), where the -G convention assumes GP reaches it.
+			off := cg.mb.addBss(objfile.SecSBss, size)
+			cg.mb.defineSymbol(objfile.Symbol{
+				Name: sym, Kind: objfile.SymData, Section: objfile.SecSBss,
+				Value: off, Size: size, Align: 8, Exported: true,
+			})
+		default:
+			// Uninitialized exported global: a common, placed by the linker.
+			cg.mb.defineSymbol(objfile.Symbol{
+				Name: sym, Kind: objfile.SymCommon, Section: objfile.SecNone,
+				Size: size, Align: 8, Exported: true,
+			})
+		}
+	}
+	return nil
+}
+
+// Register pools for expression temporaries (caller-saved).
+var intTempPool = []axp.Reg{
+	axp.T0, axp.T1, axp.T2, axp.T3, axp.T4, axp.T5, axp.T6, axp.T7,
+	axp.T8, axp.T9, axp.T10, axp.T11,
+}
+
+var fpTempPool = []axp.FReg{1, 10, 11, 12, 13, 14, 15, 22, 23, 24, 25, 26, 27, 28}
+
+// Callee-saved homes for register-allocated locals.
+var intSavedPool = []axp.Reg{axp.S0, axp.S1, axp.S2, axp.S3, axp.S4, axp.S5}
+
+var fpSavedPool = []axp.FReg{2, 3, 4, 5, 6, 7, 8, 9}
+
+// val is a value held in a register during expression evaluation.
+type val struct {
+	isF   bool
+	r     axp.Reg
+	fr    axp.FReg
+	owned bool // owned temporaries return to the pool when freed
+}
+
+// funcgen compiles one function body into a Frag.
+type funcgen struct {
+	cg   *codegen
+	fn   *FuncDecl
+	name string
+
+	insts []*MInst
+
+	nextLabel int
+	nextLit   int
+	nextPair  int
+	nextCall  int
+
+	freeInt  []axp.Reg
+	freeFP   []axp.FReg
+	liveInt  map[axp.Reg]bool
+	liveFP   map[axp.FReg]bool
+	spillInt map[axp.Reg]int
+	spillFP  map[axp.FReg]int
+
+	nextSlot int
+	convSlot int
+
+	usedS  []axp.Reg
+	usedFS []axp.FReg
+	sNext  int
+	fsNext int
+
+	isLeaf bool
+	retLbl int
+
+	breakLbls []int
+	contLbls  []int
+
+	pendingLabels []int
+}
+
+func newFuncgen(cg *codegen, fn *FuncDecl) *funcgen {
+	fg := &funcgen{
+		cg:       cg,
+		fn:       fn,
+		name:     cg.symForFunc(fn),
+		freeInt:  append([]axp.Reg(nil), intTempPool...),
+		freeFP:   append([]axp.FReg(nil), fpTempPool...),
+		liveInt:  make(map[axp.Reg]bool),
+		liveFP:   make(map[axp.FReg]bool),
+		spillInt: make(map[axp.Reg]int),
+		spillFP:  make(map[axp.FReg]int),
+		convSlot: -1,
+		isLeaf:   true,
+	}
+	fg.retLbl = fg.newLabel()
+	return fg
+}
+
+func (fg *funcgen) newLabel() int { l := fg.nextLabel; fg.nextLabel++; return l }
+
+func (fg *funcgen) newSlot() int { s := fg.nextSlot; fg.nextSlot++; return s }
+
+func (fg *funcgen) emit(in axp.Inst) *MInst {
+	mi := newMInst(in)
+	if len(fg.pendingLabels) > 0 {
+		mi.Labels = append(mi.Labels, fg.pendingLabels...)
+		fg.pendingLabels = nil
+	}
+	fg.insts = append(fg.insts, mi)
+	return mi
+}
+
+// emitFrame emits an SP-relative memory instruction whose displacement is a
+// frame slot resolved at finalization.
+func (fg *funcgen) emitFrame(op axp.Op, r axp.Reg, slot int, extra int32) *MInst {
+	mi := fg.emit(axp.MemInst(op, r, axp.SP, extra))
+	mi.FrameSlot = slot
+	return mi
+}
+
+func (fg *funcgen) emitFrameF(op axp.Op, f axp.FReg, slot int, extra int32) *MInst {
+	mi := fg.emit(axp.MemFInst(op, f, axp.SP, extra))
+	mi.FrameSlot = slot
+	return mi
+}
+
+func (fg *funcgen) label(l int) {
+	// Attach to the next instruction emitted; record as pending.
+	fg.pendingLabels = append(fg.pendingLabels, l)
+}
+
+func (fg *funcgen) allocInt(pos Pos) (axp.Reg, error) {
+	if len(fg.freeInt) == 0 {
+		return 0, errf(pos, "expression too complex: out of integer temporaries in %s", fg.fn.Name)
+	}
+	r := fg.freeInt[0]
+	fg.freeInt = fg.freeInt[1:]
+	fg.liveInt[r] = true
+	return r, nil
+}
+
+func (fg *funcgen) allocFP(pos Pos) (axp.FReg, error) {
+	if len(fg.freeFP) == 0 {
+		return 0, errf(pos, "expression too complex: out of FP temporaries in %s", fg.fn.Name)
+	}
+	f := fg.freeFP[0]
+	fg.freeFP = fg.freeFP[1:]
+	fg.liveFP[f] = true
+	return f, nil
+}
+
+func (fg *funcgen) free(v val) {
+	if !v.owned {
+		return
+	}
+	if v.isF {
+		if fg.liveFP[v.fr] {
+			delete(fg.liveFP, v.fr)
+			fg.freeFP = append(fg.freeFP, v.fr)
+		}
+	} else {
+		if fg.liveInt[v.r] {
+			delete(fg.liveInt, v.r)
+			fg.freeInt = append(fg.freeInt, v.r)
+		}
+	}
+}
+
+// ownedInt allocates an owned integer temp as a val.
+func (fg *funcgen) ownedInt(pos Pos) (val, error) {
+	r, err := fg.allocInt(pos)
+	return val{r: r, owned: true}, err
+}
+
+func (fg *funcgen) ownedFP(pos Pos) (val, error) {
+	f, err := fg.allocFP(pos)
+	return val{isF: true, fr: f, owned: true}, err
+}
+
+// generate compiles the function and returns its finalized fragment.
+func (fg *funcgen) generate() (*Frag, error) {
+	// Assign homes to parameters.
+	for _, p := range fg.fn.Params {
+		fg.assignHome(p)
+	}
+	// Compile the body into fg.insts.
+	if err := fg.genStmt(fg.fn.Body); err != nil {
+		return nil, err
+	}
+	// Terminate with the epilogue at the return label.
+	fg.label(fg.retLbl)
+	body := fg.insts
+	pendingRet := fg.pendingLabels
+	fg.pendingLabels = nil
+
+	return fg.finalize(body, pendingRet)
+}
+
+// assignHome places a local or parameter in a callee-saved register or a
+// frame slot.
+func (fg *funcgen) assignHome(v *VarDecl) {
+	li := &LocalInfo{}
+	v.Local = li
+	if v.Type.IsArray() {
+		li.AddrTaken = true
+		n := int(v.ArrayLen)
+		base := fg.nextSlot
+		fg.nextSlot += n
+		li.FrameOff = int64(base)
+		return
+	}
+	if v.AddrTaken {
+		li.AddrTaken = true
+		li.FrameOff = int64(fg.newSlot())
+		return
+	}
+	if v.Type.IsFloat() {
+		if fg.fsNext < len(fpSavedPool) {
+			li.InReg = true
+			li.Reg = uint8(fpSavedPool[fg.fsNext])
+			fg.usedFS = append(fg.usedFS, fpSavedPool[fg.fsNext])
+			fg.fsNext++
+			return
+		}
+	} else {
+		if fg.sNext < len(intSavedPool) {
+			li.InReg = true
+			li.Reg = uint8(intSavedPool[fg.sNext])
+			fg.usedS = append(fg.usedS, intSavedPool[fg.sNext])
+			fg.sNext++
+			return
+		}
+	}
+	li.FrameOff = int64(fg.newSlot())
+}
+
+// finalize computes the frame layout, builds the prologue and epilogue, and
+// resolves frame-slot displacements.
+func (fg *funcgen) finalize(body []*MInst, retLabels []int) (*Frag, error) {
+	// Frame layout: [ra][saved s][saved fs][slots...], rounded to 16.
+	off := int64(0)
+	raOff := int64(-1)
+	if !fg.isLeaf {
+		raOff = off
+		off += 8
+	}
+	sOff := make(map[axp.Reg]int64)
+	for _, r := range fg.usedS {
+		sOff[r] = off
+		off += 8
+	}
+	fsOff := make(map[axp.FReg]int64)
+	for _, f := range fg.usedFS {
+		fsOff[f] = off
+		off += 8
+	}
+	slotBase := off
+	off += int64(fg.nextSlot) * 8
+	frameSize := (off + 15) &^ 15
+
+	// Resolve frame-slot displacements in the body.
+	for _, mi := range body {
+		if mi.FrameSlot >= 0 {
+			d := slotBase + int64(mi.FrameSlot)*8 + int64(mi.In.Disp)
+			if d > axp.MemDispMax {
+				return nil, errf(fg.fn.Pos, "frame of %s too large", fg.fn.Name)
+			}
+			mi.In.Disp = int32(d)
+			mi.FrameSlot = -1
+		}
+	}
+
+	localEntry := fg.fn.Static && fg.cg.opts.OptimizeStaticCalls
+
+	var pro []*MInst
+	pair := fg.nextPair
+	fg.nextPair++
+	hi := newMInst(axp.MemInst(axp.LDAH, axp.GP, axp.PV, 0))
+	hi.GPD = &GPRef{PairID: pair, High: true, Anchor: AnchorEntry}
+	hi.Pinned = localEntry
+	lo := newMInst(axp.MemInst(axp.LDA, axp.GP, axp.GP, 0))
+	lo.GPD = &GPRef{PairID: pair, Anchor: AnchorEntry}
+	lo.Pinned = localEntry
+	pro = append(pro, hi, lo)
+	if frameSize > 0 {
+		pro = append(pro, newMInst(axp.MemInst(axp.LDA, axp.SP, axp.SP, int32(-frameSize))))
+	}
+	if !fg.isLeaf {
+		pro = append(pro, newMInst(axp.MemInst(axp.STQ, axp.RA, axp.SP, int32(raOff))))
+	}
+	for _, r := range fg.usedS {
+		pro = append(pro, newMInst(axp.MemInst(axp.STQ, r, axp.SP, int32(sOff[r]))))
+	}
+	for _, f := range fg.usedFS {
+		pro = append(pro, newMInst(axp.MemFInst(axp.STT, f, axp.SP, int32(fsOff[f]))))
+	}
+	// Move parameters to their homes.
+	for i, p := range fg.fn.Params {
+		li := p.Local
+		switch {
+		case p.Type.IsFloat() && li.InReg:
+			pro = append(pro, newMInst(axp.FMov(axp.FReg(16+i), axp.FReg(li.Reg))))
+		case p.Type.IsFloat():
+			mi := newMInst(axp.MemFInst(axp.STT, axp.FReg(16+i), axp.SP, int32(slotBase+li.FrameOff*8)))
+			pro = append(pro, mi)
+		case li.InReg:
+			pro = append(pro, newMInst(axp.Mov(axp.Reg(16+i), axp.Reg(li.Reg))))
+		default:
+			mi := newMInst(axp.MemInst(axp.STQ, axp.Reg(16+i), axp.SP, int32(slotBase+li.FrameOff*8)))
+			pro = append(pro, mi)
+		}
+	}
+
+	var epi []*MInst
+	if !fg.isLeaf {
+		epi = append(epi, newMInst(axp.MemInst(axp.LDQ, axp.RA, axp.SP, int32(raOff))))
+	}
+	for _, r := range fg.usedS {
+		epi = append(epi, newMInst(axp.MemInst(axp.LDQ, r, axp.SP, int32(sOff[r]))))
+	}
+	for _, f := range fg.usedFS {
+		epi = append(epi, newMInst(axp.MemFInst(axp.LDT, f, axp.SP, int32(fsOff[f]))))
+	}
+	if frameSize > 0 {
+		epi = append(epi, newMInst(axp.MemInst(axp.LDA, axp.SP, axp.SP, int32(frameSize))))
+	}
+	epi = append(epi, newMInst(axp.JumpInst(axp.RET, axp.Zero, axp.RA)))
+	// Attach the return label to the first epilogue instruction.
+	epi[0].Labels = append(epi[0].Labels, retLabels...)
+
+	all := make([]*MInst, 0, len(pro)+len(body)+len(epi))
+	all = append(all, pro...)
+	all = append(all, body...)
+	all = append(all, epi...)
+	return &Frag{Name: fg.name, Insts: all, LocalEntry: localEntry}, nil
+}
+
+// sortedLiveInt returns the live integer temps in fixed order.
+func (fg *funcgen) sortedLiveInt() []axp.Reg {
+	regs := make([]axp.Reg, 0, len(fg.liveInt))
+	for r := range fg.liveInt {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs
+}
+
+func (fg *funcgen) sortedLiveFP() []axp.FReg {
+	regs := make([]axp.FReg, 0, len(fg.liveFP))
+	for f := range fg.liveFP {
+		regs = append(regs, f)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	return regs
+}

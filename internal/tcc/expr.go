@@ -1,0 +1,1031 @@
+package tcc
+
+import (
+	"math"
+
+	"repro/internal/axp"
+)
+
+// lvKind classifies assignable locations.
+type lvKind uint8
+
+const (
+	lvIntReg lvKind = iota // local in a callee-saved integer register
+	lvFPReg                // local in a callee-saved FP register
+	lvFrame                // stack-frame slot
+	lvMem                  // memory through a base-register temp
+	lvGPRel                // direct GP-relative datum (optimistic compilation)
+)
+
+// lvalue describes an assignable location during codegen.
+type lvalue struct {
+	kind   lvKind
+	reg    axp.Reg
+	freg   axp.FReg
+	slot   int   // lvFrame
+	extra  int32 // lvFrame: extra byte displacement
+	base   val   // lvMem
+	disp   int32
+	use    *UseRef
+	gprSym string // lvGPRel
+	gprOff int64  // lvGPRel: byte offset beyond the symbol
+	isF    bool
+}
+
+// emitLitLoad emits an address load from the GAT into dst and returns the
+// literal id for LITUSE chaining.
+func (fg *funcgen) emitLitLoad(sym string, addend int64, dst axp.Reg) int {
+	id := fg.nextLit
+	fg.nextLit++
+	mi := fg.emit(axp.MemInst(axp.LDQ, dst, axp.GP, 0))
+	mi.Lit = &LitRef{ID: id, Sym: sym, Addend: addend}
+	return id
+}
+
+// addrOfGlobal loads the address of a global symbol into a fresh temp.
+func (fg *funcgen) addrOfGlobal(sym string, addend int64, pos Pos) (val, int, error) {
+	t, err := fg.ownedInt(pos)
+	if err != nil {
+		return val{}, 0, err
+	}
+	id := fg.emitLitLoad(sym, addend, t.r)
+	return t, id, nil
+}
+
+// genLValue compiles the location of an assignable expression.
+func (fg *funcgen) genLValue(e *Expr) (lvalue, error) {
+	isF := e.Type.IsFloat()
+	switch e.Kind {
+	case ExprVar:
+		v := e.Var
+		if v.Global {
+			if fg.cg.optimistic(v) {
+				return lvalue{kind: lvGPRel, gprSym: fg.cg.symForVar(v), isF: isF}, nil
+			}
+			base, id, err := fg.addrOfGlobal(fg.cg.symForVar(v), 0, e.Pos)
+			if err != nil {
+				return lvalue{}, err
+			}
+			return lvalue{kind: lvMem, base: base, use: &UseRef{LitID: id}, isF: isF}, nil
+		}
+		li := v.Local
+		if li.InReg {
+			if isF {
+				return lvalue{kind: lvFPReg, freg: axp.FReg(li.Reg), isF: true}, nil
+			}
+			return lvalue{kind: lvIntReg, reg: axp.Reg(li.Reg)}, nil
+		}
+		return lvalue{kind: lvFrame, slot: int(li.FrameOff), isF: isF}, nil
+	case ExprDeref:
+		p, err := fg.genExpr(e.X)
+		if err != nil {
+			return lvalue{}, err
+		}
+		return lvalue{kind: lvMem, base: p, isF: isF}, nil
+	case ExprIndex:
+		return fg.genIndexLV(e)
+	}
+	return lvalue{}, errf(e.Pos, "not an lvalue")
+}
+
+// genIndexLV compiles base[index] into a location.
+func (fg *funcgen) genIndexLV(e *Expr) (lvalue, error) {
+	isF := e.Type.IsFloat()
+	constIdx, hasConst := constIndex(e.Y)
+
+	// Global array indexed directly.
+	if e.X.Kind == ExprVar && e.X.Var != nil && e.X.Var.Global && e.X.Var.Type.IsArray() {
+		sym := fg.cg.symForVar(e.X.Var)
+		if fg.cg.optimistic(e.X.Var) {
+			if hasConst {
+				return lvalue{kind: lvGPRel, gprSym: sym, gprOff: constIdx * 8, isF: isF}, nil
+			}
+			base, err := fg.gprelAddr(sym, 0, e.Pos)
+			if err != nil {
+				return lvalue{}, err
+			}
+			return fg.scaledIndex(base, e.Y, isF)
+		}
+		if hasConst {
+			base, id, err := fg.addrOfGlobal(sym, 0, e.Pos)
+			if err != nil {
+				return lvalue{}, err
+			}
+			return lvalue{kind: lvMem, base: base, disp: int32(constIdx * 8), use: &UseRef{LitID: id}, isF: isF}, nil
+		}
+		base, _, err := fg.addrOfGlobal(sym, 0, e.Pos)
+		if err != nil {
+			return lvalue{}, err
+		}
+		return fg.scaledIndex(base, e.Y, isF)
+	}
+
+	// Local array.
+	if e.X.Kind == ExprVar && e.X.Var != nil && !e.X.Var.Global && e.X.Var.Type.IsArray() {
+		li := e.X.Var.Local
+		if hasConst {
+			return lvalue{kind: lvFrame, slot: int(li.FrameOff), extra: int32(constIdx * 8), isF: isF}, nil
+		}
+		t, err := fg.ownedInt(e.Pos)
+		if err != nil {
+			return lvalue{}, err
+		}
+		fg.emitFrame(axp.LDA, t.r, int(li.FrameOff), 0)
+		return fg.scaledIndex(t, e.Y, isF)
+	}
+
+	// Pointer value.
+	p, err := fg.genExpr(e.X)
+	if err != nil {
+		return lvalue{}, err
+	}
+	if hasConst {
+		d := constIdx * 8
+		if d >= axp.MemDispMin && d <= axp.MemDispMax {
+			return lvalue{kind: lvMem, base: p, disp: int32(d), isF: isF}, nil
+		}
+	}
+	return fg.scaledIndex(p, e.Y, isF)
+}
+
+// scaledIndex computes base + 8*index into a fresh temp location.
+func (fg *funcgen) scaledIndex(base val, idx *Expr, isF bool) (lvalue, error) {
+	iv, err := fg.genExpr(idx)
+	if err != nil {
+		return lvalue{}, err
+	}
+	t, err := fg.ownedInt(idx.Pos)
+	if err != nil {
+		return lvalue{}, err
+	}
+	fg.emit(axp.OpInst(axp.S8ADDQ, iv.r, base.r, t.r))
+	fg.free(iv)
+	fg.free(base)
+	return lvalue{kind: lvMem, base: t, isF: isF}, nil
+}
+
+// constIndex reports whether e is an integer literal index (possibly
+// negated) in a reasonable range.
+func constIndex(e *Expr) (int64, bool) {
+	if e.Kind == ExprIntLit {
+		if e.Int >= -4000 && e.Int <= 4000 {
+			return e.Int, true
+		}
+	}
+	if e.Kind == ExprUnary && e.Op == TokMinus && e.X.Kind == ExprIntLit {
+		v := -e.X.Int
+		if v >= -4000 && v <= 4000 {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// loadLV loads the value at the location.
+func (fg *funcgen) loadLV(lv lvalue, pos Pos) (val, error) {
+	switch lv.kind {
+	case lvIntReg:
+		return val{r: lv.reg}, nil
+	case lvFPReg:
+		return val{isF: true, fr: lv.freg}, nil
+	case lvFrame:
+		if lv.isF {
+			t, err := fg.ownedFP(pos)
+			if err != nil {
+				return val{}, err
+			}
+			fg.emitFrameF(axp.LDT, t.fr, lv.slot, lv.extra)
+			return t, nil
+		}
+		t, err := fg.ownedInt(pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emitFrame(axp.LDQ, t.r, lv.slot, lv.extra)
+		return t, nil
+	case lvMem:
+		if lv.isF {
+			t, err := fg.ownedFP(pos)
+			if err != nil {
+				return val{}, err
+			}
+			mi := fg.emit(axp.MemFInst(axp.LDT, t.fr, lv.base.r, lv.disp))
+			mi.Use = lv.use
+			fg.free(lv.base)
+			return t, nil
+		}
+		t, err := fg.ownedInt(pos)
+		if err != nil {
+			return val{}, err
+		}
+		mi := fg.emit(axp.MemInst(axp.LDQ, t.r, lv.base.r, lv.disp))
+		mi.Use = lv.use
+		fg.free(lv.base)
+		return t, nil
+	case lvGPRel:
+		if lv.isF {
+			t, err := fg.ownedFP(pos)
+			if err != nil {
+				return val{}, err
+			}
+			mi := fg.emit(axp.MemFInst(axp.LDT, t.fr, axp.GP, 0))
+			mi.GPR = &GPRelRef{Sym: lv.gprSym, Addend: lv.gprOff}
+			return t, nil
+		}
+		t, err := fg.ownedInt(pos)
+		if err != nil {
+			return val{}, err
+		}
+		mi := fg.emit(axp.MemInst(axp.LDQ, t.r, axp.GP, 0))
+		mi.GPR = &GPRelRef{Sym: lv.gprSym, Addend: lv.gprOff}
+		return t, nil
+	}
+	return val{}, errf(pos, "bad lvalue")
+}
+
+// storeLV writes v into the location (classes must already match).
+func (fg *funcgen) storeLV(lv lvalue, v val) {
+	switch lv.kind {
+	case lvIntReg:
+		fg.emit(axp.Mov(v.r, lv.reg))
+	case lvFPReg:
+		fg.emit(axp.FMov(v.fr, lv.freg))
+	case lvFrame:
+		if lv.isF {
+			fg.emitFrameF(axp.STT, v.fr, lv.slot, lv.extra)
+		} else {
+			fg.emitFrame(axp.STQ, v.r, lv.slot, lv.extra)
+		}
+	case lvMem:
+		if lv.isF {
+			mi := fg.emit(axp.MemFInst(axp.STT, v.fr, lv.base.r, lv.disp))
+			mi.Use = lv.use
+		} else {
+			mi := fg.emit(axp.MemInst(axp.STQ, v.r, lv.base.r, lv.disp))
+			mi.Use = lv.use
+		}
+		fg.free(lv.base)
+	case lvGPRel:
+		if lv.isF {
+			mi := fg.emit(axp.MemFInst(axp.STT, v.fr, axp.GP, 0))
+			mi.GPR = &GPRelRef{Sym: lv.gprSym, Addend: lv.gprOff}
+		} else {
+			mi := fg.emit(axp.MemInst(axp.STQ, v.r, axp.GP, 0))
+			mi.GPR = &GPRelRef{Sym: lv.gprSym, Addend: lv.gprOff}
+		}
+	}
+}
+
+// addrOfLV materializes the address of a memory location into a temp.
+func (fg *funcgen) addrOfLV(lv lvalue, pos Pos) (val, error) {
+	switch lv.kind {
+	case lvFrame:
+		t, err := fg.ownedInt(pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emitFrame(axp.LDA, t.r, lv.slot, lv.extra)
+		return t, nil
+	case lvMem:
+		if lv.disp == 0 && lv.base.owned {
+			return lv.base, nil
+		}
+		t, err := fg.ownedInt(pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.MemInst(axp.LDA, t.r, lv.base.r, lv.disp))
+		fg.free(lv.base)
+		return t, nil
+	case lvGPRel:
+		return fg.gprelAddr(lv.gprSym, lv.gprOff, pos)
+	}
+	return val{}, errf(pos, "cannot take the address of a register variable")
+}
+
+// gprelAddr materializes the address of a small datum with one lda through
+// GP (optimistic compilation).
+func (fg *funcgen) gprelAddr(sym string, addend int64, pos Pos) (val, error) {
+	t, err := fg.ownedInt(pos)
+	if err != nil {
+		return val{}, err
+	}
+	mi := fg.emit(axp.MemInst(axp.LDA, t.r, axp.GP, 0))
+	mi.GPR = &GPRelRef{Sym: sym, Addend: addend}
+	return t, nil
+}
+
+// convFrameSlot returns the scratch slot used for int<->float conversions.
+func (fg *funcgen) convFrameSlot() int {
+	if fg.convSlot < 0 {
+		fg.convSlot = fg.newSlot()
+	}
+	return fg.convSlot
+}
+
+// coerce converts v to the requested register class (Alpha has no direct
+// integer<->FP register moves in this subset, so conversions go through a
+// stack scratch slot, as real pre-BWX Alpha code did).
+func (fg *funcgen) coerce(v val, wantF bool, pos Pos) (val, error) {
+	if v.isF == wantF {
+		return v, nil
+	}
+	slot := fg.convFrameSlot()
+	if wantF {
+		fg.emitFrame(axp.STQ, v.r, slot, 0)
+		fg.free(v)
+		f, err := fg.ownedFP(pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emitFrameF(axp.LDT, f.fr, slot, 0)
+		fg.emit(axp.OpFInst(axp.CVTQT, axp.FZero, f.fr, f.fr))
+		return f, nil
+	}
+	ft, err := fg.ownedFP(pos)
+	if err != nil {
+		return val{}, err
+	}
+	fg.emit(axp.OpFInst(axp.CVTTQ, axp.FZero, v.fr, ft.fr))
+	fg.free(v)
+	fg.emitFrameF(axp.STT, ft.fr, slot, 0)
+	fg.free(ft)
+	t, err := fg.ownedInt(pos)
+	if err != nil {
+		return val{}, err
+	}
+	fg.emitFrame(axp.LDQ, t.r, slot, 0)
+	return t, nil
+}
+
+// loadConst materializes an integer constant.
+func (fg *funcgen) loadConst(n int64, pos Pos) (val, error) {
+	if n == 0 {
+		return val{r: axp.Zero}, nil
+	}
+	t, err := fg.ownedInt(pos)
+	if err != nil {
+		return val{}, err
+	}
+	if n >= axp.MemDispMin && n <= axp.MemDispMax {
+		fg.emit(axp.MemInst(axp.LDA, t.r, axp.Zero, int32(n)))
+		return t, nil
+	}
+	if hi, lo, ok := axp.SplitDisp32(n); ok {
+		fg.emit(axp.MemInst(axp.LDAH, t.r, axp.Zero, int32(hi)))
+		if lo != 0 {
+			fg.emit(axp.MemInst(axp.LDA, t.r, t.r, int32(lo)))
+		}
+		return t, nil
+	}
+	// 64-bit constant: placed in the unit's literal data and loaded.
+	sym := fg.cg.constSym(uint64(n))
+	if fg.cg.opts.OptimisticGP > 0 {
+		mi := fg.emit(axp.MemInst(axp.LDQ, t.r, axp.GP, 0))
+		mi.GPR = &GPRelRef{Sym: sym}
+		return t, nil
+	}
+	id := fg.emitLitLoad(sym, 0, t.r)
+	mi := fg.emit(axp.MemInst(axp.LDQ, t.r, t.r, 0))
+	mi.Use = &UseRef{LitID: id}
+	return t, nil
+}
+
+// genExpr compiles an expression into a register value.
+func (fg *funcgen) genExpr(e *Expr) (val, error) {
+	// Constant folding (-O2 behavior): exact, so semantics are unchanged.
+	if e.Kind != ExprIntLit && e.Kind != ExprFloatLit {
+		if e.Type == TypeLong {
+			if v, ok := foldInt(e); ok {
+				return fg.loadConst(v, e.Pos)
+			}
+		} else if e.Type == TypeDouble {
+			if v, ok := foldDbl(e); ok {
+				return fg.genExpr(&Expr{Kind: ExprFloatLit, Pos: e.Pos, Type: TypeDouble, Flt: v})
+			}
+		}
+	}
+	switch e.Kind {
+	case ExprIntLit:
+		return fg.loadConst(e.Int, e.Pos)
+	case ExprFloatLit:
+		if math.Float64bits(e.Flt) == 0 {
+			return val{isF: true, fr: axp.FZero}, nil
+		}
+		sym := fg.cg.constSym(math.Float64bits(e.Flt))
+		if fg.cg.opts.OptimisticGP > 0 {
+			// One gp-relative load instead of a GAT load plus a use.
+			f, err := fg.ownedFP(e.Pos)
+			if err != nil {
+				return val{}, err
+			}
+			mi := fg.emit(axp.MemFInst(axp.LDT, f.fr, axp.GP, 0))
+			mi.GPR = &GPRelRef{Sym: sym}
+			return f, nil
+		}
+		base, id, err := fg.addrOfGlobal(sym, 0, e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		f, err := fg.ownedFP(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		mi := fg.emit(axp.MemFInst(axp.LDT, f.fr, base.r, 0))
+		mi.Use = &UseRef{LitID: id}
+		fg.free(base)
+		return f, nil
+	case ExprVar:
+		v := e.Var
+		if v.Type.IsArray() {
+			// Array decays to its address.
+			if v.Global {
+				if fg.cg.optimistic(v) {
+					return fg.gprelAddr(fg.cg.symForVar(v), 0, e.Pos)
+				}
+				base, _, err := fg.addrOfGlobal(fg.cg.symForVar(v), 0, e.Pos)
+				return base, err
+			}
+			t, err := fg.ownedInt(e.Pos)
+			if err != nil {
+				return val{}, err
+			}
+			fg.emitFrame(axp.LDA, t.r, int(v.Local.FrameOff), 0)
+			return t, nil
+		}
+		lv, err := fg.genLValue(e)
+		if err != nil {
+			return val{}, err
+		}
+		return fg.loadLV(lv, e.Pos)
+	case ExprFuncRef:
+		base, _, err := fg.addrOfGlobal(fg.cg.symForFunc(e.Func), 0, e.Pos)
+		return base, err
+	case ExprIndex, ExprDeref:
+		lv, err := fg.genLValue(e)
+		if err != nil {
+			return val{}, err
+		}
+		return fg.loadLV(lv, e.Pos)
+	case ExprAddr:
+		switch e.X.Kind {
+		case ExprVar:
+			v := e.X.Var
+			if v.Type.IsArray() {
+				return fg.genExpr(e.X) // decay
+			}
+			if v.Global {
+				if fg.cg.optimistic(v) {
+					return fg.gprelAddr(fg.cg.symForVar(v), 0, e.Pos)
+				}
+				base, _, err := fg.addrOfGlobal(fg.cg.symForVar(v), 0, e.Pos)
+				return base, err
+			}
+			t, err := fg.ownedInt(e.Pos)
+			if err != nil {
+				return val{}, err
+			}
+			fg.emitFrame(axp.LDA, t.r, int(v.Local.FrameOff), 0)
+			return t, nil
+		default:
+			lv, err := fg.genLValue(e.X)
+			if err != nil {
+				return val{}, err
+			}
+			return fg.addrOfLV(lv, e.Pos)
+		}
+	case ExprUnary:
+		return fg.genUnary(e)
+	case ExprBinary:
+		return fg.genBinary(e)
+	case ExprCond:
+		return fg.genCondValue(e)
+	case ExprAssign:
+		lv, err := fg.genLValue(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		v, err := fg.genExpr(e.Y)
+		if err != nil {
+			return val{}, err
+		}
+		v, err = fg.coerce(v, lv.isF || e.X.Type.IsFloat(), e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.storeLV(lv, v)
+		return v, nil
+	case ExprCall:
+		return fg.genCall(e)
+	}
+	return val{}, errf(e.Pos, "unhandled expression")
+}
+
+func (fg *funcgen) genUnary(e *Expr) (val, error) {
+	x, err := fg.genExpr(e.X)
+	if err != nil {
+		return val{}, err
+	}
+	switch e.Op {
+	case TokMinus:
+		if x.isF {
+			t, err := fg.ownedFP(e.Pos)
+			if err != nil {
+				return val{}, err
+			}
+			fg.emit(axp.OpFInst(axp.SUBT, axp.FZero, x.fr, t.fr))
+			fg.free(x)
+			return t, nil
+		}
+		t, err := fg.ownedInt(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.OpInst(axp.SUBQ, axp.Zero, x.r, t.r))
+		fg.free(x)
+		return t, nil
+	case TokBang:
+		t, err := fg.ownedInt(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.OpLitInst(axp.CMPEQ, x.r, 0, t.r))
+		fg.free(x)
+		return t, nil
+	case TokTilde:
+		t, err := fg.ownedInt(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.OpInst(axp.ORNOT, axp.Zero, x.r, t.r))
+		fg.free(x)
+		return t, nil
+	}
+	return val{}, errf(e.Pos, "bad unary operator")
+}
+
+var intBinOp = map[TokKind]axp.Op{
+	TokPlus: axp.ADDQ, TokMinus: axp.SUBQ, TokStar: axp.MULQ,
+	TokAmp: axp.AND, TokPipe: axp.BIS, TokCaret: axp.XOR,
+	TokShl: axp.SLL, TokShr: axp.SRA,
+}
+
+var fpBinOp = map[TokKind]axp.Op{
+	TokPlus: axp.ADDT, TokMinus: axp.SUBT, TokStar: axp.MULT, TokSlash: axp.DIVT,
+}
+
+// evalPair evaluates both operands of a binary expression, choosing the
+// Sethi-Ullman order: when both sides are side-effect free, the deeper
+// subtree goes first so fewer temporaries stay live. Results are returned
+// in (x, y) source order.
+func (fg *funcgen) evalPair(ex, ey *Expr) (val, val, error) {
+	if pure(ex) && pure(ey) && exprSize(ey) > exprSize(ex) {
+		y, err := fg.genExpr(ey)
+		if err != nil {
+			return val{}, val{}, err
+		}
+		x, err := fg.genExpr(ex)
+		if err != nil {
+			return val{}, val{}, err
+		}
+		return x, y, nil
+	}
+	x, err := fg.genExpr(ex)
+	if err != nil {
+		return val{}, val{}, err
+	}
+	y, err := fg.genExpr(ey)
+	if err != nil {
+		return val{}, val{}, err
+	}
+	return x, y, nil
+}
+
+func (fg *funcgen) genBinary(e *Expr) (val, error) {
+	switch e.Op {
+	case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+		return fg.genCompareValue(e)
+	}
+	if e.Type == TypeDouble {
+		x, err := fg.genExpr(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		x, err = fg.coerce(x, true, e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		y, err := fg.genExpr(e.Y)
+		if err != nil {
+			return val{}, err
+		}
+		y, err = fg.coerce(y, true, e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		op, ok := fpBinOp[e.Op]
+		if !ok {
+			return val{}, errf(e.Pos, "bad FP operator %v", e.Op)
+		}
+		t, err := fg.ownedFP(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.OpFInst(op, x.fr, y.fr, t.fr))
+		fg.free(x)
+		fg.free(y)
+		return t, nil
+	}
+
+	// Integer division and remainder go through the runtime library.
+	if e.Op == TokSlash || e.Op == TokPercent {
+		name := "__divq"
+		if e.Op == TokPercent {
+			name = "__remq"
+		}
+		x, err := fg.genExpr(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		y, err := fg.genExpr(e.Y)
+		if err != nil {
+			return val{}, err
+		}
+		return fg.emitCallSym(name, []val{x, y}, false, false, e.Pos)
+	}
+
+	// Multiplication by a power of two becomes a shift; small constants use
+	// the operate-literal form. Both consume only the left operand.
+	if e.Op == TokStar {
+		if k, ok := constIndex(e.Y); ok && k > 0 && k&(k-1) == 0 {
+			x, err := fg.genExpr(e.X)
+			if err != nil {
+				return val{}, err
+			}
+			sh := uint8(bitsTrailingZeros(uint64(k)))
+			t, err := fg.ownedInt(e.Pos)
+			if err != nil {
+				return val{}, err
+			}
+			fg.emit(axp.OpLitInst(axp.SLL, x.r, sh, t.r))
+			fg.free(x)
+			return t, nil
+		}
+	}
+
+	op, ok := intBinOp[e.Op]
+	if !ok {
+		return val{}, errf(e.Pos, "bad integer operator %v", e.Op)
+	}
+
+	if e.Y.Kind == ExprIntLit && e.Y.Int >= 0 && e.Y.Int <= 255 {
+		x, err := fg.genExpr(e.X)
+		if err != nil {
+			return val{}, err
+		}
+		t, err := fg.ownedInt(e.Pos)
+		if err != nil {
+			return val{}, err
+		}
+		fg.emit(axp.OpLitInst(op, x.r, uint8(e.Y.Int), t.r))
+		fg.free(x)
+		return t, nil
+	}
+
+	x, y, err := fg.evalPair(e.X, e.Y)
+	if err != nil {
+		return val{}, err
+	}
+	t, err := fg.ownedInt(e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	fg.emit(axp.OpInst(op, x.r, y.r, t.r))
+	fg.free(x)
+	fg.free(y)
+	return t, nil
+}
+
+func bitsTrailingZeros(v uint64) int {
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// genCompareValue compiles a comparison producing 0 or 1 in a register.
+func (fg *funcgen) genCompareValue(e *Expr) (val, error) {
+	if e.X.Type == TypeDouble || e.Y.Type == TypeDouble {
+		return fg.genFPCompareValue(e)
+	}
+	x, y, err := fg.evalPair(e.X, e.Y)
+	if err != nil {
+		return val{}, err
+	}
+	t, err := fg.ownedInt(e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	neg := false
+	switch e.Op {
+	case TokEq:
+		fg.emit(axp.OpInst(axp.CMPEQ, x.r, y.r, t.r))
+	case TokNe:
+		fg.emit(axp.OpInst(axp.CMPEQ, x.r, y.r, t.r))
+		neg = true
+	case TokLt:
+		fg.emit(axp.OpInst(axp.CMPLT, x.r, y.r, t.r))
+	case TokLe:
+		fg.emit(axp.OpInst(axp.CMPLE, x.r, y.r, t.r))
+	case TokGt:
+		fg.emit(axp.OpInst(axp.CMPLT, y.r, x.r, t.r))
+	case TokGe:
+		fg.emit(axp.OpInst(axp.CMPLE, y.r, x.r, t.r))
+	}
+	if neg {
+		fg.emit(axp.OpLitInst(axp.XOR, t.r, 1, t.r))
+	}
+	fg.free(x)
+	fg.free(y)
+	return t, nil
+}
+
+func (fg *funcgen) genFPCompareValue(e *Expr) (val, error) {
+	ft, err := fg.genFPCompare(e)
+	if err != nil {
+		return val{}, err
+	}
+	// Convert the FP truth value (0.0 / 2.0) into an integer 0/1.
+	t, err := fg.ownedInt(e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	trueVal, branchOp := int32(1), axp.FBNE
+	if e.Op == TokNe {
+		// ft holds cmpteq; invert.
+		branchOp = axp.FBEQ
+	}
+	end := fg.newLabel()
+	fg.emit(axp.MemInst(axp.LDA, t.r, axp.Zero, trueVal))
+	mi := fg.emit(axp.BranchFInst(branchOp, ft.fr, 0))
+	mi.Target = end
+	fg.emit(axp.Mov(axp.Zero, t.r))
+	fg.label(end)
+	fg.free(ft)
+	return t, nil
+}
+
+// genFPCompare emits the cmptXX for a comparison and returns the FP truth
+// register. For TokNe the caller must interpret the result inverted
+// (register holds cmpteq).
+func (fg *funcgen) genFPCompare(e *Expr) (val, error) {
+	x, err := fg.genExpr(e.X)
+	if err != nil {
+		return val{}, err
+	}
+	x, err = fg.coerce(x, true, e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	y, err := fg.genExpr(e.Y)
+	if err != nil {
+		return val{}, err
+	}
+	y, err = fg.coerce(y, true, e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	t, err := fg.ownedFP(e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	switch e.Op {
+	case TokEq, TokNe:
+		fg.emit(axp.OpFInst(axp.CMPTEQ, x.fr, y.fr, t.fr))
+	case TokLt:
+		fg.emit(axp.OpFInst(axp.CMPTLT, x.fr, y.fr, t.fr))
+	case TokLe:
+		fg.emit(axp.OpFInst(axp.CMPTLE, x.fr, y.fr, t.fr))
+	case TokGt:
+		fg.emit(axp.OpFInst(axp.CMPTLT, y.fr, x.fr, t.fr))
+	case TokGe:
+		fg.emit(axp.OpFInst(axp.CMPTLE, y.fr, x.fr, t.fr))
+	}
+	fg.free(x)
+	fg.free(y)
+	return t, nil
+}
+
+// genCondValue materializes a short-circuit && / || as 0 or 1.
+func (fg *funcgen) genCondValue(e *Expr) (val, error) {
+	t, err := fg.ownedInt(e.Pos)
+	if err != nil {
+		return val{}, err
+	}
+	falseLbl := fg.newLabel()
+	endLbl := fg.newLabel()
+	if err := fg.genBranch(e, falseLbl, false); err != nil {
+		return val{}, err
+	}
+	fg.emit(axp.MemInst(axp.LDA, t.r, axp.Zero, 1))
+	fg.emitBr(endLbl)
+	fg.label(falseLbl)
+	fg.emit(axp.Mov(axp.Zero, t.r))
+	fg.label(endLbl)
+	return t, nil
+}
+
+// Branch opcodes for register-vs-zero comparisons, by operator.
+var zeroBranchTrue = map[TokKind]axp.Op{
+	TokEq: axp.BEQ, TokNe: axp.BNE, TokLt: axp.BLT,
+	TokLe: axp.BLE, TokGt: axp.BGT, TokGe: axp.BGE,
+}
+
+var zeroBranchFalse = map[TokKind]axp.Op{
+	TokEq: axp.BNE, TokNe: axp.BEQ, TokLt: axp.BGE,
+	TokLe: axp.BGT, TokGt: axp.BLE, TokGe: axp.BLT,
+}
+
+// mirrorOp flips a comparison for swapped operands (a OP b == b mirror(OP) a).
+var mirrorOp = map[TokKind]TokKind{
+	TokEq: TokEq, TokNe: TokNe, TokLt: TokGt, TokLe: TokGe, TokGt: TokLt, TokGe: TokLe,
+}
+
+// genBranch branches to lbl when the truth of e equals whenTrue.
+func (fg *funcgen) genBranch(e *Expr, lbl int, whenTrue bool) error {
+	switch e.Kind {
+	case ExprUnary:
+		if e.Op == TokBang {
+			return fg.genBranch(e.X, lbl, !whenTrue)
+		}
+	case ExprCond:
+		if e.Op == TokAndAnd {
+			if whenTrue {
+				skip := fg.newLabel()
+				if err := fg.genBranch(e.X, skip, false); err != nil {
+					return err
+				}
+				if err := fg.genBranch(e.Y, lbl, true); err != nil {
+					return err
+				}
+				fg.label(skip)
+				return nil
+			}
+			if err := fg.genBranch(e.X, lbl, false); err != nil {
+				return err
+			}
+			return fg.genBranch(e.Y, lbl, false)
+		}
+		// ||
+		if whenTrue {
+			if err := fg.genBranch(e.X, lbl, true); err != nil {
+				return err
+			}
+			return fg.genBranch(e.Y, lbl, true)
+		}
+		skip := fg.newLabel()
+		if err := fg.genBranch(e.X, skip, true); err != nil {
+			return err
+		}
+		if err := fg.genBranch(e.Y, lbl, false); err != nil {
+			return err
+		}
+		fg.label(skip)
+		return nil
+	case ExprBinary:
+		switch e.Op {
+		case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+			return fg.genCompareBranch(e, lbl, whenTrue)
+		}
+	case ExprIntLit:
+		truth := e.Int != 0
+		if truth == whenTrue {
+			fg.emitBr(lbl)
+		}
+		return nil
+	}
+	// General value test.
+	v, err := fg.genExpr(e)
+	if err != nil {
+		return err
+	}
+	if v.isF {
+		ft, err := fg.ownedFP(e.Pos)
+		if err != nil {
+			return err
+		}
+		fg.emit(axp.OpFInst(axp.CMPTEQ, v.fr, axp.FZero, ft.fr))
+		op := axp.FBEQ // value != 0 <=> cmpteq == 0
+		if !whenTrue {
+			op = axp.FBNE
+		}
+		mi := fg.emit(axp.BranchFInst(op, ft.fr, 0))
+		mi.Target = lbl
+		fg.free(ft)
+		fg.free(v)
+		return nil
+	}
+	op := axp.BNE
+	if !whenTrue {
+		op = axp.BEQ
+	}
+	mi := fg.emit(axp.BranchInst(op, v.r, 0))
+	mi.Target = lbl
+	fg.free(v)
+	return nil
+}
+
+func (fg *funcgen) genCompareBranch(e *Expr, lbl int, whenTrue bool) error {
+	if e.X.Type == TypeDouble || e.Y.Type == TypeDouble {
+		ft, err := fg.genFPCompare(e)
+		if err != nil {
+			return err
+		}
+		sense := whenTrue
+		if e.Op == TokNe {
+			sense = !sense // register holds cmpteq
+		}
+		op := axp.FBNE
+		if !sense {
+			op = axp.FBEQ
+		}
+		mi := fg.emit(axp.BranchFInst(op, ft.fr, 0))
+		mi.Target = lbl
+		fg.free(ft)
+		return nil
+	}
+
+	// Compare against zero folds into the branch.
+	if isZeroLit(e.Y) {
+		x, err := fg.genExpr(e.X)
+		if err != nil {
+			return err
+		}
+		tbl := zeroBranchTrue
+		if !whenTrue {
+			tbl = zeroBranchFalse
+		}
+		mi := fg.emit(axp.BranchInst(tbl[e.Op], x.r, 0))
+		mi.Target = lbl
+		fg.free(x)
+		return nil
+	}
+	if isZeroLit(e.X) {
+		x, err := fg.genExpr(e.Y)
+		if err != nil {
+			return err
+		}
+		tbl := zeroBranchTrue
+		if !whenTrue {
+			tbl = zeroBranchFalse
+		}
+		mi := fg.emit(axp.BranchInst(tbl[mirrorOp[e.Op]], x.r, 0))
+		mi.Target = lbl
+		fg.free(x)
+		return nil
+	}
+
+	// General: cmp then branch on the boolean.
+	x, err := fg.genExpr(e.X)
+	if err != nil {
+		return err
+	}
+	y, err := fg.genExpr(e.Y)
+	if err != nil {
+		return err
+	}
+	t, err := fg.ownedInt(e.Pos)
+	if err != nil {
+		return err
+	}
+	sense := whenTrue
+	switch e.Op {
+	case TokEq:
+		fg.emit(axp.OpInst(axp.CMPEQ, x.r, y.r, t.r))
+	case TokNe:
+		fg.emit(axp.OpInst(axp.CMPEQ, x.r, y.r, t.r))
+		sense = !sense
+	case TokLt:
+		fg.emit(axp.OpInst(axp.CMPLT, x.r, y.r, t.r))
+	case TokLe:
+		fg.emit(axp.OpInst(axp.CMPLE, x.r, y.r, t.r))
+	case TokGt:
+		fg.emit(axp.OpInst(axp.CMPLT, y.r, x.r, t.r))
+	case TokGe:
+		fg.emit(axp.OpInst(axp.CMPLE, y.r, x.r, t.r))
+	}
+	op := axp.BNE
+	if !sense {
+		op = axp.BEQ
+	}
+	mi := fg.emit(axp.BranchInst(op, t.r, 0))
+	mi.Target = lbl
+	fg.free(x)
+	fg.free(y)
+	fg.free(t)
+	return nil
+}
+
+func isZeroLit(e *Expr) bool { return e.Kind == ExprIntLit && e.Int == 0 }

@@ -1,0 +1,129 @@
+package tcc
+
+// Compile-time constant folding, as -O2 would do. Folding is exact: integer
+// arithmetic uses the same wrapping int64 semantics as the simulator, and
+// double arithmetic the same IEEE float64 operations, so a folded program
+// behaves identically to an unfolded one.
+
+// foldInt evaluates e if it is a constant long expression.
+func foldInt(e *Expr) (int64, bool) {
+	switch e.Kind {
+	case ExprIntLit:
+		return e.Int, true
+	case ExprUnary:
+		x, ok := foldInt(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case TokMinus:
+			return -x, true
+		case TokTilde:
+			return ^x, true
+		case TokBang:
+			if x == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+	case ExprBinary:
+		if e.Type != TypeLong {
+			return 0, false
+		}
+		x, ok := foldInt(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := foldInt(e.Y)
+		if !ok {
+			return 0, false
+		}
+		b2i := func(b bool) (int64, bool) {
+			if b {
+				return 1, true
+			}
+			return 0, true
+		}
+		switch e.Op {
+		case TokPlus:
+			return x + y, true
+		case TokMinus:
+			return x - y, true
+		case TokStar:
+			return x * y, true
+		case TokSlash:
+			if y == 0 {
+				return 0, false // leave division by zero to the runtime
+			}
+			return x / y, true
+		case TokPercent:
+			if y == 0 {
+				return 0, false
+			}
+			return x % y, true
+		case TokAmp:
+			return x & y, true
+		case TokPipe:
+			return x | y, true
+		case TokCaret:
+			return x ^ y, true
+		case TokShl:
+			return x << (uint64(y) & 63), true // matches the SLL semantics
+		case TokShr:
+			return x >> (uint64(y) & 63), true
+		case TokEq:
+			return b2i(x == y)
+		case TokNe:
+			return b2i(x != y)
+		case TokLt:
+			return b2i(x < y)
+		case TokLe:
+			return b2i(x <= y)
+		case TokGt:
+			return b2i(x > y)
+		case TokGe:
+			return b2i(x >= y)
+		}
+	}
+	return 0, false
+}
+
+// foldDbl evaluates e if it is a constant double expression.
+func foldDbl(e *Expr) (float64, bool) {
+	switch e.Kind {
+	case ExprFloatLit:
+		return e.Flt, true
+	case ExprIntLit:
+		// Only used beneath a double context; conversion is exact per cvtqt.
+		return float64(e.Int), true
+	case ExprUnary:
+		if e.Op == TokMinus && e.Type == TypeDouble {
+			if x, ok := foldDbl(e.X); ok {
+				return 0 - x, true // matches SUBT f31, x
+			}
+		}
+	case ExprBinary:
+		if e.Type != TypeDouble {
+			return 0, false
+		}
+		x, ok := foldDbl(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := foldDbl(e.Y)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case TokPlus:
+			return x + y, true
+		case TokMinus:
+			return x - y, true
+		case TokStar:
+			return x * y, true
+		case TokSlash:
+			return x / y, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,206 @@
+package tcc
+
+// InlineUnit performs the compile-all interprocedural inlining pass: direct
+// calls to trivial functions (a body of exactly "return <expr>;") are
+// replaced by the callee expression with parameters substituted. This
+// mirrors what the paper observes about compile-time interprocedural
+// optimization: it inlines user routines but can do nothing about calls to
+// previously compiled library routines.
+//
+// Substitution is only performed when it is obviously safe: each parameter
+// occurs at most once in the callee expression, and every argument is free
+// of side effects.
+func InlineUnit(u *Unit) int {
+	count := 0
+	for _, fn := range u.FuncOrder {
+		if fn.Body == nil {
+			continue
+		}
+		count += inlineStmt(fn, fn.Body)
+	}
+	return count
+}
+
+// inlinableBody returns the returned expression if fn is a trivial
+// single-return function, else nil.
+func inlinableBody(fn *FuncDecl) *Expr {
+	if fn == nil || fn.Builtin || fn.Body == nil || fn.Body.Kind != StmtBlock {
+		return nil
+	}
+	if len(fn.Body.Body) != 1 {
+		return nil
+	}
+	ret := fn.Body.Body[0]
+	if ret.Kind != StmtReturn || ret.Expr == nil {
+		return nil
+	}
+	if exprSize(ret.Expr) > 12 {
+		return nil
+	}
+	return ret.Expr
+}
+
+func exprSize(e *Expr) int {
+	if e == nil {
+		return 0
+	}
+	n := 1 + exprSize(e.X) + exprSize(e.Y)
+	for _, a := range e.Args {
+		n += exprSize(a)
+	}
+	return n
+}
+
+// pure reports whether evaluating e has no side effects.
+func pure(e *Expr) bool {
+	if e == nil {
+		return true
+	}
+	switch e.Kind {
+	case ExprAssign, ExprCall:
+		return false
+	}
+	if !pure(e.X) || !pure(e.Y) {
+		return false
+	}
+	for _, a := range e.Args {
+		if !pure(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// paramUses counts occurrences of each parameter in the expression.
+func paramUses(e *Expr, fn *FuncDecl, counts map[*VarDecl]int) bool {
+	if e == nil {
+		return true
+	}
+	switch e.Kind {
+	case ExprVar:
+		if e.Var != nil {
+			isParam := false
+			for _, p := range fn.Params {
+				if e.Var == p {
+					isParam = true
+					break
+				}
+			}
+			if !isParam {
+				// References a callee-scope global are fine; callee locals
+				// cannot appear in a single-return body without a decl.
+				if !e.Var.Global {
+					return false
+				}
+			} else {
+				counts[e.Var]++
+			}
+		}
+	case ExprAddr:
+		// Taking addresses inside an inlined body risks aliasing parameter
+		// temps; skip such candidates.
+		return false
+	}
+	if !paramUses(e.X, fn, counts) || !paramUses(e.Y, fn, counts) {
+		return false
+	}
+	for _, a := range e.Args {
+		if !paramUses(a, fn, counts) {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneSubst deep-copies expr, replacing parameter references with the
+// corresponding argument expressions.
+func cloneSubst(e *Expr, subst map[*VarDecl]*Expr) *Expr {
+	if e == nil {
+		return nil
+	}
+	if e.Kind == ExprVar && e.Var != nil {
+		if arg, ok := subst[e.Var]; ok {
+			return arg
+		}
+	}
+	c := *e
+	c.X = cloneSubst(e.X, subst)
+	c.Y = cloneSubst(e.Y, subst)
+	if len(e.Args) > 0 {
+		c.Args = make([]*Expr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = cloneSubst(a, subst)
+		}
+	}
+	return &c
+}
+
+func inlineStmt(caller *FuncDecl, s *Stmt) int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	n += inlineExpr(caller, &s.Expr)
+	n += inlineExpr(caller, &s.Cond)
+	n += inlineExpr(caller, &s.Post)
+	if s.Decl != nil && len(s.Decl.Init) == 1 {
+		n += inlineExpr(caller, &s.Decl.Init[0])
+	}
+	n += inlineStmt(caller, s.Init)
+	n += inlineStmt(caller, s.Then)
+	n += inlineStmt(caller, s.Else)
+	for _, st := range s.Body {
+		n += inlineStmt(caller, st)
+	}
+	return n
+}
+
+func inlineExpr(caller *FuncDecl, ep **Expr) int {
+	e := *ep
+	if e == nil {
+		return 0
+	}
+	n := 0
+	n += inlineExpr(caller, &e.X)
+	n += inlineExpr(caller, &e.Y)
+	for i := range e.Args {
+		n += inlineExpr(caller, &e.Args[i])
+	}
+	if e.Kind != ExprCall || e.Func == nil || e.Func == caller {
+		return n
+	}
+	body := inlinableBody(e.Func)
+	if body == nil {
+		return n
+	}
+	counts := make(map[*VarDecl]int)
+	if !paramUses(body, e.Func, counts) {
+		return n
+	}
+	for _, c := range counts {
+		if c > 1 {
+			return n
+		}
+	}
+	for _, a := range e.Args {
+		if !pure(a) {
+			return n
+		}
+	}
+	subst := make(map[*VarDecl]*Expr, len(e.Func.Params))
+	for i, p := range e.Func.Params {
+		arg := e.Args[i]
+		// Match the parameter's register class.
+		if p.Type.IsFloat() != arg.Type.IsFloat() {
+			return n
+		}
+		subst[p] = arg
+	}
+	inlined := cloneSubst(body, subst)
+	if inlined.Type != e.Type {
+		// Result conversion would be needed; only inline exact matches.
+		return n
+	}
+	*ep = inlined
+	return n + 1
+}

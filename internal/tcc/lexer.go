@@ -1,0 +1,250 @@
+package tcc
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer tokenizes Tiny C source text.
+type Lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src, reporting positions against file.
+func NewLexer(file, src string) *Lexer {
+	return &Lexer{src: src, file: file, line: 1, col: 1}
+}
+
+func (lx *Lexer) at() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos < len(lx.src) {
+		return lx.src[lx.pos]
+	}
+	return 0
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 < len(lx.src) {
+		return lx.src[lx.pos+1]
+	}
+	return 0
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.at()
+			lx.advance()
+			lx.advance()
+			for {
+				if lx.pos >= len(lx.src) {
+					return errf(start, "unterminated block comment")
+				}
+				if lx.peekByte() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					break
+				}
+				lx.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.at()
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && (isIdentStart(lx.peekByte()) || isDigit(lx.peekByte())) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.pos]
+		if kw, ok := keywords[text]; ok {
+			return Token{Kind: kw, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case isDigit(c):
+		return lx.number(pos)
+	}
+	lx.advance()
+	two := func(next byte, both, one TokKind) Token {
+		if lx.peekByte() == next {
+			lx.advance()
+			return Token{Kind: both, Pos: pos}
+		}
+		return Token{Kind: one, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: pos}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: pos}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: pos}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: pos}, nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokBang), nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp), nil
+	case '|':
+		return two('|', TokOrOr, TokPipe), nil
+	case '<':
+		if lx.peekByte() == '<' {
+			lx.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if lx.peekByte() == '>' {
+			lx.advance()
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return two('=', TokGe, TokGt), nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", c)
+}
+
+func (lx *Lexer) number(pos Pos) (Token, error) {
+	start := lx.pos
+	isFloat := false
+	if lx.peekByte() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.pos < len(lx.src) && isHexDigit(lx.peekByte()) {
+			lx.advance()
+		}
+	} else {
+		for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+			lx.advance()
+		}
+		if lx.peekByte() == '.' && isDigit(lx.peek2()) {
+			isFloat = true
+			lx.advance()
+			for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+				lx.advance()
+			}
+		}
+		if c := lx.peekByte(); c == 'e' || c == 'E' {
+			save := lx.pos
+			lx.advance()
+			if lx.peekByte() == '+' || lx.peekByte() == '-' {
+				lx.advance()
+			}
+			if isDigit(lx.peekByte()) {
+				isFloat = true
+				for lx.pos < len(lx.src) && isDigit(lx.peekByte()) {
+					lx.advance()
+				}
+			} else {
+				lx.pos = save
+			}
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad float literal %q: %v", text, err)
+		}
+		return Token{Kind: TokFloat, Flt: f, Pos: pos}, nil
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "0X") {
+		v, err = strconv.ParseUint(text[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(text, 10, 64)
+	}
+	if err != nil {
+		return Token{}, errf(pos, "bad integer literal %q: %v", text, err)
+	}
+	return Token{Kind: TokInt, Int: int64(v), Pos: pos}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// LexAll tokenizes the whole input, for tests and tools.
+func LexAll(file, src string) ([]Token, error) {
+	lx := NewLexer(file, src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,644 @@
+package tcc
+
+// Parser builds a File AST from Tiny C source.
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	peek *Token
+	file *File
+}
+
+// ParseFile parses one source file into a File AST. Semantic analysis is a
+// separate pass (see Analyze).
+func ParseFile(name, src string) (*File, error) {
+	p := &Parser{lx: NewLexer(name, src), file: &File{Name: name}}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	for p.tok.Kind != TokEOF {
+		if err := p.parseTop(); err != nil {
+			return nil, err
+		}
+	}
+	return p.file, nil
+}
+
+func (p *Parser) next() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lx.Next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %v, found %v", k, p.tok.Kind)
+	}
+	t := p.tok
+	return t, p.next()
+}
+
+func (p *Parser) accept(k TokKind) (bool, error) {
+	if p.tok.Kind == k {
+		return true, p.next()
+	}
+	return false, nil
+}
+
+// parseType parses "long", "double", "long*", "double*", or "fnptr".
+func (p *Parser) parseType() (Type, error) {
+	var base Type
+	switch p.tok.Kind {
+	case TokLong:
+		base = TypeLong
+	case TokDouble:
+		base = TypeDouble
+	case TokFnptr:
+		if err := p.next(); err != nil {
+			return TypeNone, err
+		}
+		return TypeFnptr, nil
+	default:
+		return TypeNone, errf(p.tok.Pos, "expected type, found %v", p.tok.Kind)
+	}
+	if err := p.next(); err != nil {
+		return TypeNone, err
+	}
+	if p.tok.Kind == TokStar {
+		if err := p.next(); err != nil {
+			return TypeNone, err
+		}
+		return PtrTo(base), nil
+	}
+	return base, nil
+}
+
+func (p *Parser) parseTop() error {
+	static := false
+	extern := false
+	switch p.tok.Kind {
+	case TokStatic:
+		static = true
+		if err := p.next(); err != nil {
+			return err
+		}
+	case TokExtern:
+		extern = true
+		if err := p.next(); err != nil {
+			return err
+		}
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return err
+	}
+	if p.tok.Kind == TokLParen {
+		if extern {
+			return errf(name.Pos, "extern applies to variables; use a forward declaration for functions")
+		}
+		return p.parseFunc(typ, name, static)
+	}
+	return p.parseGlobalVar(typ, name, static, extern)
+}
+
+func (p *Parser) parseGlobalVar(typ Type, name Token, static, extern bool) error {
+	v := &VarDecl{Name: name.Text, Pos: name.Pos, Type: typ, Static: static, Global: true}
+	if extern {
+		v.Static = false
+	}
+	if ok, err := p.accept(TokLBracket); err != nil {
+		return err
+	} else if ok {
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return err
+		}
+		if n.Int <= 0 {
+			return errf(n.Pos, "array length must be positive")
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return err
+		}
+		switch typ {
+		case TypeLong:
+			v.Type = TypeArrayLong
+		case TypeDouble:
+			v.Type = TypeArrayDouble
+		default:
+			return errf(name.Pos, "array of %v not supported", typ)
+		}
+		v.ArrayLen = n.Int
+	}
+	if ok, err := p.accept(TokAssign); err != nil {
+		return err
+	} else if ok {
+		if extern {
+			return errf(name.Pos, "extern declaration cannot have an initializer")
+		}
+		if ok, err := p.accept(TokLBrace); err != nil {
+			return err
+		} else if ok {
+			if !v.Type.IsArray() {
+				return errf(name.Pos, "brace initializer requires an array")
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				v.Init = append(v.Init, e)
+				if ok, err := p.accept(TokComma); err != nil {
+					return err
+				} else if !ok {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBrace); err != nil {
+				return err
+			}
+			if int64(len(v.Init)) > v.ArrayLen {
+				return errf(name.Pos, "too many initializers for %s[%d]", v.Name, v.ArrayLen)
+			}
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			v.Init = []*Expr{e}
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return err
+	}
+	if extern {
+		// Record as an extern reference via a synthetic zero-size decl; sema
+		// distinguishes it by Global && Init==nil && ArrayLen recorded.
+		v.Init = nil
+	}
+	v.Extern = extern
+	p.file.Vars = append(p.file.Vars, v)
+	return nil
+}
+
+func (p *Parser) parseFunc(ret Type, name Token, static bool) error {
+	fn := &FuncDecl{Name: name.Text, Pos: name.Pos, Ret: ret, Static: static}
+	if _, err := p.expect(TokLParen); err != nil {
+		return err
+	}
+	if p.tok.Kind != TokRParen {
+		for {
+			typ, err := p.parseType()
+			if err != nil {
+				return err
+			}
+			if typ.IsArray() {
+				return errf(p.tok.Pos, "array parameters not supported; use a pointer")
+			}
+			pn, err := p.expect(TokIdent)
+			if err != nil {
+				return err
+			}
+			fn.Params = append(fn.Params, &VarDecl{Name: pn.Text, Pos: pn.Pos, Type: typ})
+			if ok, err := p.accept(TokComma); err != nil {
+				return err
+			} else if !ok {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return err
+	}
+	if len(fn.Params) > 6 {
+		return errf(name.Pos, "function %s has %d parameters; at most 6 supported (register-only calling convention)", fn.Name, len(fn.Params))
+	}
+	if ok, err := p.accept(TokSemi); err != nil {
+		return err
+	} else if ok {
+		// Forward declaration.
+		p.file.Funcs = append(p.file.Funcs, fn)
+		return nil
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fn.Body = body
+	p.file.Funcs = append(p.file.Funcs, fn)
+	return nil
+}
+
+func (p *Parser) parseBlock() (*Stmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &Stmt{Kind: StmtBlock, Pos: lb.Pos}
+	for p.tok.Kind != TokRBrace {
+		if p.tok.Kind == TokEOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Body = append(blk.Body, s)
+	}
+	return blk, p.next()
+}
+
+func (p *Parser) parseStmt() (*Stmt, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokSemi:
+		return &Stmt{Kind: StmtEmpty, Pos: pos}, p.next()
+	case TokLBrace:
+		return p.parseBlock()
+	case TokLong, TokDouble, TokFnptr:
+		return p.parseLocalDecl()
+	case TokIf:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &Stmt{Kind: StmtIf, Pos: pos, Cond: cond, Then: then}
+		if ok, err := p.accept(TokElse); err != nil {
+			return nil, err
+		} else if ok {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case TokWhile:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtWhile, Pos: pos, Cond: cond, Then: body}, nil
+	case TokFor:
+		return p.parseFor(pos)
+	case TokReturn:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		st := &Stmt{Kind: StmtReturn, Pos: pos}
+		if p.tok.Kind != TokSemi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Expr = e
+		}
+		_, err := p.expect(TokSemi)
+		return st, err
+	case TokBreak:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokSemi)
+		return &Stmt{Kind: StmtBreak, Pos: pos}, err
+	case TokContinue:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		_, err := p.expect(TokSemi)
+		return &Stmt{Kind: StmtContinue, Pos: pos}, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: StmtExpr, Pos: pos, Expr: e}, nil
+}
+
+func (p *Parser) parseFor(pos Pos) (*Stmt, error) {
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	st := &Stmt{Kind: StmtFor, Pos: pos}
+	if p.tok.Kind != TokSemi {
+		if p.tok.Kind == TokLong || p.tok.Kind == TokDouble || p.tok.Kind == TokFnptr {
+			d, err := p.parseLocalDecl() // consumes the semicolon
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &Stmt{Kind: StmtExpr, Pos: e.Pos, Expr: e}
+			if _, err := p.expect(TokSemi); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := p.next(); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokSemi {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = c
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokRParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = e
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Then = body
+	return st, nil
+}
+
+func (p *Parser) parseLocalDecl() (*Stmt, error) {
+	pos := p.tok.Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	v := &VarDecl{Name: name.Text, Pos: name.Pos, Type: typ}
+	if ok, err := p.accept(TokLBracket); err != nil {
+		return nil, err
+	} else if ok {
+		n, err := p.expect(TokInt)
+		if err != nil {
+			return nil, err
+		}
+		if n.Int <= 0 {
+			return nil, errf(n.Pos, "array length must be positive")
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		switch typ {
+		case TypeLong:
+			v.Type = TypeArrayLong
+		case TypeDouble:
+			v.Type = TypeArrayDouble
+		default:
+			return nil, errf(name.Pos, "array of %v not supported", typ)
+		}
+		v.ArrayLen = n.Int
+	}
+	if ok, err := p.accept(TokAssign); err != nil {
+		return nil, err
+	} else if ok {
+		if v.Type.IsArray() {
+			return nil, errf(name.Pos, "local array initializers not supported")
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		v.Init = []*Expr{e}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	return &Stmt{Kind: StmtDecl, Pos: pos, Decl: v}, nil
+}
+
+// Binary operator precedence, higher binds tighter.
+var binPrec = map[TokKind]int{
+	TokOrOr: 1, TokAndAnd: 2,
+	TokPipe: 3, TokCaret: 4, TokAmp: 5,
+	TokEq: 6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+func (p *Parser) parseExpr() (*Expr, error) { return p.parseAssign() }
+
+func (p *Parser) parseAssign() (*Expr, error) {
+	lhs, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokAssign {
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseAssign()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprAssign, Pos: pos, X: lhs, Y: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (*Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		kind := ExprBinary
+		if op == TokAndAnd || op == TokOrOr {
+			kind = ExprCond
+		}
+		lhs = &Expr{Kind: kind, Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (*Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokMinus, TokBang, TokTilde:
+		op := p.tok.Kind
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprUnary, Pos: pos, Op: op, X: x}, nil
+	case TokStar:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprDeref, Pos: pos, X: x}, nil
+	case TokAmp:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Expr{Kind: ExprAddr, Pos: pos, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (*Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.tok.Kind {
+		case TokLBracket:
+			pos := p.tok.Pos
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &Expr{Kind: ExprIndex, Pos: pos, X: e, Y: idx}
+		case TokLParen:
+			pos := p.tok.Pos
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			call := &Expr{Kind: ExprCall, Pos: pos}
+			if e.Kind == ExprVar {
+				// Direct call by name or call through an fnptr variable;
+				// sema decides which.
+				call.Name = e.Name
+				call.X = e
+			} else {
+				return nil, errf(pos, "call target must be a name")
+			}
+			if p.tok.Kind != TokRParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if ok, err := p.accept(TokComma); err != nil {
+						return nil, err
+					} else if !ok {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			if len(call.Args) > 6 {
+				return nil, errf(pos, "call with %d arguments; at most 6 supported", len(call.Args))
+			}
+			e = call
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (*Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokInt:
+		v := p.tok.Int
+		return &Expr{Kind: ExprIntLit, Pos: pos, Int: v}, p.next()
+	case TokFloat:
+		v := p.tok.Flt
+		return &Expr{Kind: ExprFloatLit, Pos: pos, Flt: v}, p.next()
+	case TokIdent:
+		name := p.tok.Text
+		return &Expr{Kind: ExprVar, Pos: pos, Name: name}, p.next()
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(TokRParen)
+		return e, err
+	}
+	return nil, errf(pos, "unexpected %v in expression", p.tok.Kind)
+}

@@ -1,0 +1,72 @@
+package tcc
+
+import "repro/internal/axp"
+
+// peepholeFrag removes branches that target the immediately following
+// instruction (a return at the end of a function jumps to the epilogue it
+// falls into anyway).
+func peepholeFrag(f *Frag) {
+	out := f.Insts[:0]
+	for i, mi := range f.Insts {
+		if mi.In.Op == axp.BR && mi.Target >= 0 && len(mi.Labels) == 0 && i+1 < len(f.Insts) {
+			next := f.Insts[i+1]
+			skip := false
+			for _, l := range next.Labels {
+				if l == mi.Target {
+					skip = true
+				}
+			}
+			if skip {
+				continue
+			}
+		}
+		out = append(out, mi)
+	}
+	f.Insts = out
+}
+
+// isBlockEnd reports whether the instruction terminates a scheduling block.
+func isBlockEnd(in axp.Inst) bool {
+	return in.Op.IsBranch() || in.Op.IsJump() || in.Op == axp.CALLPAL
+}
+
+// scheduleFrag reorders instructions within basic blocks to hide latencies,
+// in the manner of the compile-time pipeline scheduler of the DEC compilers.
+// Pinned instructions (the prologue GP pair of local-entry procedures) act
+// as immovable boundaries. Labels stay attached to block entry.
+func scheduleFrag(f *Frag) {
+	insts := f.Insts
+	out := make([]*MInst, 0, len(insts))
+	start := 0
+	flush := func(end int) {
+		if end > start {
+			seg := insts[start:end]
+			labels := seg[0].Labels
+			seg[0].Labels = nil
+			raw := make([]axp.Inst, len(seg))
+			for i, mi := range seg {
+				raw[i] = mi.In
+			}
+			order := axp.ScheduleOrder(raw)
+			scheduled := make([]*MInst, len(seg))
+			for pos, idx := range order {
+				scheduled[pos] = seg[idx]
+			}
+			scheduled[0].Labels = append(labels, scheduled[0].Labels...)
+			out = append(out, scheduled...)
+		}
+		start = end
+	}
+	for i, mi := range insts {
+		if len(mi.Labels) > 0 {
+			flush(i)
+		}
+		if mi.Pinned || isBlockEnd(mi.In) {
+			flush(i)
+			out = append(out, mi)
+			start = i + 1
+		}
+	}
+	flush(len(insts))
+	f.Insts = out
+}

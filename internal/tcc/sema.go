@@ -1,0 +1,723 @@
+package tcc
+
+import (
+	"fmt"
+	"math"
+	"path"
+	"strings"
+)
+
+// Builtins are the compiler intrinsics that bottom out in CALL_PAL. The
+// runtime library wraps them; user code normally calls the library.
+var builtinDecls = []*FuncDecl{
+	{Name: "__output", Ret: TypeLong, Params: []*VarDecl{{Name: "x", Type: TypeLong}}, Builtin: true},
+	{Name: "__outputc", Ret: TypeLong, Params: []*VarDecl{{Name: "x", Type: TypeLong}}, Builtin: true},
+	{Name: "__halt", Ret: TypeLong, Params: []*VarDecl{{Name: "x", Type: TypeLong}}, Builtin: true},
+	{Name: "__cycles", Ret: TypeLong, Builtin: true},
+}
+
+// stdDecls predeclares the runtime-library API (internal/rtlib) so user
+// code can call it without writing forward declarations, as pre-ANSI C
+// compilers allowed. A user definition of the same name takes precedence.
+var stdDecls = func() map[string]*FuncDecl {
+	l, d := TypeLong, TypeDouble
+	pl, pd := TypePtrLong, TypePtrDouble
+	mk := func(name string, ret Type, params ...Type) *FuncDecl {
+		fn := &FuncDecl{Name: name, Ret: ret}
+		for i, p := range params {
+			fn.Params = append(fn.Params, &VarDecl{Name: fmt.Sprintf("p%d", i), Type: p})
+		}
+		return fn
+	}
+	decls := []*FuncDecl{
+		mk("print", l, l),
+		mk("exit", l, l),
+		mk("labs", l, l),
+		mk("lmin", l, l, l),
+		mk("lmax", l, l, l),
+		mk("__divq", l, l, l),
+		mk("__remq", l, l, l),
+		mk("memcpy8", l, pl, pl, l),
+		mk("memset8", l, pl, l, l),
+		mk("lsum", l, pl, l),
+		mk("lrev", l, pl, l),
+		mk("ddot", d, pd, pd, l),
+		mk("dscale", l, pd, l, d),
+		mk("dmaxv", d, pd, l),
+		mk("dabs", d, d),
+		mk("dsqrt", d, d),
+		mk("dsin", d, d),
+		mk("dcos", d, d),
+		mk("dexp", d, d),
+		mk("dpowi", d, d, l),
+		mk("srand48", l, l),
+		mk("xrand", l),
+		mk("lhash", l, l),
+		mk("binsearch", l, pl, l, l),
+		mk("qsort8", l, pl, l, l, TypeFnptr),
+		mk("issorted", l, pl, l, TypeFnptr),
+		mk("print_array", l, pl, l),
+		mk("print_pair", l, l, l),
+		mk("print_fixed", l, d),
+		mk("print_checksum", l, pl, l),
+	}
+	m := make(map[string]*FuncDecl, len(decls))
+	for _, fn := range decls {
+		m[fn.Name] = fn
+	}
+	return m
+}()
+
+type scope struct {
+	vars   map[string]*VarDecl
+	parent *scope
+}
+
+func (s *scope) lookup(name string) *VarDecl {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.vars[name]; ok {
+			return v
+		}
+	}
+	return nil
+}
+
+type analyzer struct {
+	unit *Unit
+	// fileStatics maps file -> name -> decl for file-scope statics.
+	fileStatics map[*File]map[string]*VarDecl
+	fileFuncs   map[*File]map[string]*FuncDecl
+	curFile     *File
+	curFunc     *FuncDecl
+	loopDepth   int
+}
+
+// Analyze resolves names and types across the given files, which together
+// form one compilation unit. It returns the analyzed Unit.
+func Analyze(name string, files []*File) (*Unit, error) {
+	u := &Unit{
+		Name:        name,
+		Files:       files,
+		Vars:        make(map[string]*VarDecl),
+		Funcs:       make(map[string]*FuncDecl),
+		ExternVars:  make(map[string]*VarDecl),
+		ExternFuncs: make(map[string]*FuncDecl),
+	}
+	a := &analyzer{
+		unit:        u,
+		fileStatics: make(map[*File]map[string]*VarDecl),
+		fileFuncs:   make(map[*File]map[string]*FuncDecl),
+	}
+
+	// Pass 1: collect global declarations.
+	for _, f := range files {
+		a.fileStatics[f] = make(map[string]*VarDecl)
+		a.fileFuncs[f] = make(map[string]*FuncDecl)
+		for _, v := range f.Vars {
+			if err := a.declareVar(f, v); err != nil {
+				return nil, err
+			}
+		}
+		for _, fn := range f.Funcs {
+			if err := a.declareFunc(f, fn); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Pass 2: check bodies and global initializers.
+	for _, f := range files {
+		a.curFile = f
+		for _, v := range f.Vars {
+			if v.Extern {
+				continue
+			}
+			for i, e := range v.Init {
+				if err := a.checkConstInit(v, e); err != nil {
+					return nil, err
+				}
+				_ = i
+			}
+		}
+		for _, fn := range f.Funcs {
+			if fn.Body == nil {
+				continue
+			}
+			if err := a.checkFunc(fn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return u, nil
+}
+
+// mangle produces the link-time symbol name for a file-static declaration.
+func mangle(file *File, name string) string {
+	base := path.Base(file.Name)
+	base = strings.TrimSuffix(base, path.Ext(base))
+	return base + "$" + name
+}
+
+func (a *analyzer) declareVar(f *File, v *VarDecl) error {
+	if v.Extern {
+		// A definition elsewhere in the unit wins; otherwise record extern.
+		if _, ok := a.unit.Vars[v.Name]; !ok {
+			if prev, ok := a.unit.ExternVars[v.Name]; ok {
+				if prev.Type != v.Type {
+					return errf(v.Pos, "conflicting extern declarations for %s: %v vs %v", v.Name, prev.Type, v.Type)
+				}
+			} else {
+				a.unit.ExternVars[v.Name] = v
+			}
+		}
+		return nil
+	}
+	if v.Static {
+		if _, ok := a.fileStatics[f][v.Name]; ok {
+			return errf(v.Pos, "duplicate static variable %s", v.Name)
+		}
+		a.fileStatics[f][v.Name] = v
+		a.unit.VarOrder = append(a.unit.VarOrder, v)
+		return nil
+	}
+	if prev, ok := a.unit.Vars[v.Name]; ok {
+		return errf(v.Pos, "duplicate global variable %s (previous at %s)", v.Name, prev.Pos)
+	}
+	if _, ok := a.unit.Funcs[v.Name]; ok {
+		return errf(v.Pos, "%s already declared as a function", v.Name)
+	}
+	a.unit.Vars[v.Name] = v
+	a.unit.VarOrder = append(a.unit.VarOrder, v)
+	delete(a.unit.ExternVars, v.Name)
+	return nil
+}
+
+func (a *analyzer) declareFunc(f *File, fn *FuncDecl) error {
+	if len(fn.Params) > 6 {
+		return errf(fn.Pos, "function %s: more than 6 parameters", fn.Name)
+	}
+	if fn.Static {
+		prev := a.fileFuncs[f][fn.Name]
+		if prev != nil {
+			if prev.Body != nil && fn.Body != nil {
+				return errf(fn.Pos, "duplicate static function %s", fn.Name)
+			}
+			if fn.Body != nil {
+				*prev = *fn // definition replaces forward declaration
+			}
+			return nil
+		}
+		a.fileFuncs[f][fn.Name] = fn
+		if fn.Body != nil {
+			a.unit.FuncOrder = append(a.unit.FuncOrder, fn)
+		} else {
+			// static forward declarations must be defined later; track so we
+			// can emit in definition order when the body arrives.
+			a.unit.FuncOrder = append(a.unit.FuncOrder, fn)
+		}
+		return nil
+	}
+	prev := a.unit.Funcs[fn.Name]
+	if prev != nil {
+		if prev.Body != nil && fn.Body != nil {
+			return errf(fn.Pos, "duplicate function %s (previous at %s)", fn.Name, prev.Pos)
+		}
+		if !sameSignature(prev, fn) {
+			return errf(fn.Pos, "conflicting declarations for %s", fn.Name)
+		}
+		if fn.Body != nil {
+			prev.Body = fn.Body
+			prev.Pos = fn.Pos
+			delete(a.unit.ExternFuncs, fn.Name)
+			// Re-point the file's entry so codegen sees one node.
+			for i, g := range f.Funcs {
+				if g == fn {
+					f.Funcs[i] = prev
+				}
+			}
+			a.unit.FuncOrder = append(a.unit.FuncOrder, prev)
+		}
+		return nil
+	}
+	if _, ok := a.unit.Vars[fn.Name]; ok {
+		return errf(fn.Pos, "%s already declared as a variable", fn.Name)
+	}
+	a.unit.Funcs[fn.Name] = fn
+	if fn.Body != nil {
+		a.unit.FuncOrder = append(a.unit.FuncOrder, fn)
+	} else {
+		a.unit.ExternFuncs[fn.Name] = fn
+	}
+	return nil
+}
+
+func sameSignature(a, b *FuncDecl) bool {
+	if a.Ret != b.Ret || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for i := range a.Params {
+		if a.Params[i].Type != b.Params[i].Type {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *analyzer) checkConstInit(v *VarDecl, e *Expr) error {
+	val, isFloat, ok := constFold(e)
+	if !ok {
+		return errf(e.Pos, "initializer for %s must be a constant expression", v.Name)
+	}
+	elem := v.Type
+	if v.Type.IsArray() {
+		elem = v.Type.Elem()
+	}
+	switch {
+	case elem == TypeDouble:
+		e.Type = TypeDouble
+	case elem == TypeLong || elem.IsPointer() || elem == TypeFnptr:
+		if isFloat {
+			return errf(e.Pos, "float initializer for integer variable %s", v.Name)
+		}
+		e.Type = TypeLong
+	}
+	_ = val
+	return nil
+}
+
+// constFold evaluates a constant expression of int/float literals with unary
+// minus and basic arithmetic. Returns the value as float64 plus a flag for
+// floatness.
+func constFold(e *Expr) (val float64, isFloat, ok bool) {
+	switch e.Kind {
+	case ExprIntLit:
+		return float64(e.Int), false, true
+	case ExprFloatLit:
+		return e.Flt, true, true
+	case ExprUnary:
+		if e.Op == TokMinus {
+			v, f, ok := constFold(e.X)
+			return -v, f, ok
+		}
+	case ExprBinary:
+		lv, lf, lok := constFold(e.X)
+		rv, rf, rok := constFold(e.Y)
+		if !lok || !rok {
+			return 0, false, false
+		}
+		f := lf || rf
+		switch e.Op {
+		case TokPlus:
+			return lv + rv, f, true
+		case TokMinus:
+			return lv - rv, f, true
+		case TokStar:
+			return lv * rv, f, true
+		}
+	}
+	return 0, false, false
+}
+
+// ConstInitValue returns the encoded 64-bit initializer value for a checked
+// constant initializer expression of the given element type.
+func ConstInitValue(e *Expr, elem Type) (uint64, error) {
+	v, isFloat, ok := constFold(e)
+	if !ok {
+		return 0, errf(e.Pos, "not a constant initializer")
+	}
+	if elem == TypeDouble {
+		return math.Float64bits(v), nil
+	}
+	if isFloat {
+		return 0, errf(e.Pos, "float initializer for integer data")
+	}
+	return uint64(int64(v)), nil
+}
+
+func (a *analyzer) checkFunc(fn *FuncDecl) error {
+	a.curFunc = fn
+	sc := &scope{vars: make(map[string]*VarDecl)}
+	for _, p := range fn.Params {
+		if _, ok := sc.vars[p.Name]; ok {
+			return errf(p.Pos, "duplicate parameter %s", p.Name)
+		}
+		sc.vars[p.Name] = p
+	}
+	return a.checkStmt(fn.Body, sc)
+}
+
+func (a *analyzer) checkStmt(s *Stmt, sc *scope) error {
+	switch s.Kind {
+	case StmtEmpty:
+		return nil
+	case StmtExpr:
+		_, err := a.checkExpr(s.Expr, sc)
+		return err
+	case StmtDecl:
+		v := s.Decl
+		if _, ok := sc.vars[v.Name]; ok {
+			return errf(v.Pos, "duplicate local %s", v.Name)
+		}
+		if len(v.Init) == 1 {
+			t, err := a.checkExpr(v.Init[0], sc)
+			if err != nil {
+				return err
+			}
+			if err := checkAssignable(v.Type, t, v.Init[0].Pos); err != nil {
+				return err
+			}
+		}
+		sc.vars[v.Name] = v
+		return nil
+	case StmtBlock:
+		inner := &scope{vars: make(map[string]*VarDecl), parent: sc}
+		for _, st := range s.Body {
+			if err := a.checkStmt(st, inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case StmtIf:
+		if err := a.checkCond(s.Cond, sc); err != nil {
+			return err
+		}
+		if err := a.checkStmt(s.Then, sc); err != nil {
+			return err
+		}
+		if s.Else != nil {
+			return a.checkStmt(s.Else, sc)
+		}
+		return nil
+	case StmtWhile:
+		if err := a.checkCond(s.Cond, sc); err != nil {
+			return err
+		}
+		a.loopDepth++
+		err := a.checkStmt(s.Then, sc)
+		a.loopDepth--
+		return err
+	case StmtFor:
+		inner := &scope{vars: make(map[string]*VarDecl), parent: sc}
+		if s.Init != nil {
+			if err := a.checkStmt(s.Init, inner); err != nil {
+				return err
+			}
+		}
+		if s.Cond != nil {
+			if err := a.checkCond(s.Cond, inner); err != nil {
+				return err
+			}
+		}
+		if s.Post != nil {
+			if _, err := a.checkExpr(s.Post, inner); err != nil {
+				return err
+			}
+		}
+		a.loopDepth++
+		err := a.checkStmt(s.Then, inner)
+		a.loopDepth--
+		return err
+	case StmtReturn:
+		if s.Expr == nil {
+			return nil
+		}
+		t, err := a.checkExpr(s.Expr, sc)
+		if err != nil {
+			return err
+		}
+		return checkAssignable(a.curFunc.Ret, t, s.Expr.Pos)
+	case StmtBreak, StmtContinue:
+		if a.loopDepth == 0 {
+			return errf(s.Pos, "break/continue outside a loop")
+		}
+		return nil
+	}
+	return errf(s.Pos, "unhandled statement kind %d", s.Kind)
+}
+
+func (a *analyzer) checkCond(e *Expr, sc *scope) error {
+	t, err := a.checkExpr(e, sc)
+	if err != nil {
+		return err
+	}
+	if t.IsArray() {
+		return errf(e.Pos, "array used as a condition")
+	}
+	return nil
+}
+
+// checkAssignable verifies that a value of type src can be stored into dst,
+// allowing the implicit long<->double conversions.
+func checkAssignable(dst, src Type, pos Pos) error {
+	if dst == src {
+		return nil
+	}
+	if (dst == TypeLong && src == TypeDouble) || (dst == TypeDouble && src == TypeLong) {
+		return nil
+	}
+	if dst.IsPointer() && src.IsArray() && dst.Elem() == src.Elem() {
+		return nil
+	}
+	return errf(pos, "cannot assign %v to %v", src, dst)
+}
+
+func (a *analyzer) lookupFunc(name string) *FuncDecl {
+	if fn, ok := a.fileFuncs[a.curFile][name]; ok {
+		return fn
+	}
+	if fn, ok := a.unit.Funcs[name]; ok {
+		return fn
+	}
+	if fn, ok := a.unit.ExternFuncs[name]; ok {
+		return fn
+	}
+	for _, b := range builtinDecls {
+		if b.Name == name {
+			return b
+		}
+	}
+	if fn, ok := stdDecls[name]; ok {
+		return fn
+	}
+	return nil
+}
+
+func (a *analyzer) lookupVar(name string, sc *scope) *VarDecl {
+	if v := sc.lookup(name); v != nil {
+		return v
+	}
+	if v, ok := a.fileStatics[a.curFile][name]; ok {
+		return v
+	}
+	if v, ok := a.unit.Vars[name]; ok {
+		return v
+	}
+	if v, ok := a.unit.ExternVars[name]; ok {
+		return v
+	}
+	return nil
+}
+
+func (a *analyzer) checkExpr(e *Expr, sc *scope) (Type, error) {
+	switch e.Kind {
+	case ExprIntLit:
+		e.Type = TypeLong
+		return TypeLong, nil
+	case ExprFloatLit:
+		e.Type = TypeDouble
+		return TypeDouble, nil
+	case ExprVar:
+		if v := a.lookupVar(e.Name, sc); v != nil {
+			e.Var = v
+			e.Type = v.Type
+			return v.Type, nil
+		}
+		if fn := a.lookupFunc(e.Name); fn != nil {
+			if fn.Builtin {
+				return TypeNone, errf(e.Pos, "builtin %s cannot be used as a value", e.Name)
+			}
+			e.Kind = ExprFuncRef
+			e.Func = fn
+			e.Type = TypeFnptr
+			fn.AddrTaken = true
+			return TypeFnptr, nil
+		}
+		return TypeNone, errf(e.Pos, "undefined name %s", e.Name)
+	case ExprIndex:
+		bt, err := a.checkExpr(e.X, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		it, err := a.checkExpr(e.Y, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		if it != TypeLong {
+			return TypeNone, errf(e.Y.Pos, "array index must be long, got %v", it)
+		}
+		elem := bt.Elem()
+		if elem == TypeNone {
+			return TypeNone, errf(e.Pos, "cannot index %v", bt)
+		}
+		e.Type = elem
+		return elem, nil
+	case ExprDeref:
+		t, err := a.checkExpr(e.X, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		if !t.Decay().IsPointer() {
+			return TypeNone, errf(e.Pos, "cannot dereference %v", t)
+		}
+		e.Type = t.Decay().Elem()
+		return e.Type, nil
+	case ExprAddr:
+		t, err := a.checkExpr(e.X, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		switch e.X.Kind {
+		case ExprVar:
+			if e.X.Var != nil && !e.X.Var.Global {
+				e.X.Var.AddrTaken = true
+			}
+			if t.IsArray() {
+				e.Type = t.Decay()
+				return e.Type, nil
+			}
+			if t == TypeFnptr {
+				return TypeNone, errf(e.Pos, "cannot take the address of an fnptr variable")
+			}
+			e.Type = PtrTo(t)
+		case ExprIndex:
+			e.Type = PtrTo(t)
+		case ExprDeref:
+			e.Type = PtrTo(t)
+		default:
+			return TypeNone, errf(e.Pos, "cannot take the address of this expression")
+		}
+		if e.Type == TypeNone {
+			return TypeNone, errf(e.Pos, "cannot take the address of a %v", t)
+		}
+		return e.Type, nil
+	case ExprUnary:
+		t, err := a.checkExpr(e.X, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		switch e.Op {
+		case TokMinus:
+			if t != TypeLong && t != TypeDouble {
+				return TypeNone, errf(e.Pos, "cannot negate %v", t)
+			}
+			e.Type = t
+		case TokBang, TokTilde:
+			if t != TypeLong {
+				return TypeNone, errf(e.Pos, "operator %v requires long, got %v", e.Op, t)
+			}
+			e.Type = TypeLong
+		default:
+			return TypeNone, errf(e.Pos, "bad unary operator %v", e.Op)
+		}
+		return e.Type, nil
+	case ExprBinary:
+		lt, err := a.checkExpr(e.X, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		rt, err := a.checkExpr(e.Y, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		lt, rt = lt.Decay(), rt.Decay()
+		switch e.Op {
+		case TokPlus, TokMinus, TokStar, TokSlash:
+			if lt.IsPointer() || rt.IsPointer() {
+				return TypeNone, errf(e.Pos, "pointer arithmetic is limited to indexing")
+			}
+			if lt == TypeDouble || rt == TypeDouble {
+				if (lt != TypeDouble && lt != TypeLong) || (rt != TypeDouble && rt != TypeLong) {
+					return TypeNone, errf(e.Pos, "bad operands %v, %v for %v", lt, rt, e.Op)
+				}
+				e.Type = TypeDouble
+			} else if lt == TypeLong && rt == TypeLong {
+				e.Type = TypeLong
+			} else {
+				return TypeNone, errf(e.Pos, "bad operands %v, %v for %v", lt, rt, e.Op)
+			}
+		case TokPercent, TokShl, TokShr, TokAmp, TokPipe, TokCaret:
+			if lt != TypeLong || rt != TypeLong {
+				return TypeNone, errf(e.Pos, "operator %v requires long operands, got %v, %v", e.Op, lt, rt)
+			}
+			e.Type = TypeLong
+		case TokEq, TokNe, TokLt, TokLe, TokGt, TokGe:
+			comparable := (lt == rt) ||
+				(lt == TypeLong && rt == TypeDouble) || (lt == TypeDouble && rt == TypeLong)
+			if !comparable {
+				return TypeNone, errf(e.Pos, "cannot compare %v with %v", lt, rt)
+			}
+			if lt == TypeFnptr && e.Op != TokEq && e.Op != TokNe {
+				return TypeNone, errf(e.Pos, "fnptr supports only == and !=")
+			}
+			e.Type = TypeLong
+		default:
+			return TypeNone, errf(e.Pos, "bad binary operator %v", e.Op)
+		}
+		return e.Type, nil
+	case ExprCond:
+		if err := a.checkCond(e.X, sc); err != nil {
+			return TypeNone, err
+		}
+		if err := a.checkCond(e.Y, sc); err != nil {
+			return TypeNone, err
+		}
+		e.Type = TypeLong
+		return TypeLong, nil
+	case ExprAssign:
+		lt, err := a.checkExpr(e.X, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		if !isLvalue(e.X) {
+			return TypeNone, errf(e.X.Pos, "not an lvalue")
+		}
+		rt, err := a.checkExpr(e.Y, sc)
+		if err != nil {
+			return TypeNone, err
+		}
+		if err := checkAssignable(lt, rt, e.Pos); err != nil {
+			return TypeNone, err
+		}
+		e.Type = lt
+		return lt, nil
+	case ExprCall:
+		// Prefer a variable of type fnptr in scope (indirect call); fall
+		// back to a function name (direct call).
+		if v := a.lookupVar(e.Name, sc); v != nil && v.Type == TypeFnptr {
+			e.X.Var = v
+			e.X.Type = TypeFnptr
+			e.Func = nil
+			for _, arg := range e.Args {
+				t, err := a.checkExpr(arg, sc)
+				if err != nil {
+					return TypeNone, err
+				}
+				if t.IsArray() {
+					arg.Type = t.Decay()
+				}
+			}
+			e.Type = TypeLong // indirect calls return long by convention
+			return e.Type, nil
+		}
+		fn := a.lookupFunc(e.Name)
+		if fn == nil {
+			return TypeNone, errf(e.Pos, "call to undefined function %s", e.Name)
+		}
+		if len(e.Args) != len(fn.Params) {
+			return TypeNone, errf(e.Pos, "%s expects %d arguments, got %d", fn.Name, len(fn.Params), len(e.Args))
+		}
+		for i, arg := range e.Args {
+			t, err := a.checkExpr(arg, sc)
+			if err != nil {
+				return TypeNone, err
+			}
+			if err := checkAssignable(fn.Params[i].Type, t, arg.Pos); err != nil {
+				return TypeNone, fmt.Errorf("argument %d of %s: %w", i+1, fn.Name, err)
+			}
+		}
+		e.Func = fn
+		e.Type = fn.Ret
+		return fn.Ret, nil
+	}
+	return TypeNone, errf(e.Pos, "unhandled expression kind %d", e.Kind)
+}
+
+func isLvalue(e *Expr) bool {
+	switch e.Kind {
+	case ExprVar:
+		return e.Var != nil && !e.Type.IsArray()
+	case ExprDeref, ExprIndex:
+		return true
+	}
+	return false
+}

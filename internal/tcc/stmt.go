@@ -1,0 +1,180 @@
+package tcc
+
+import "repro/internal/axp"
+
+// genStmt compiles one statement.
+func (fg *funcgen) genStmt(s *Stmt) error {
+	switch s.Kind {
+	case StmtEmpty:
+		return nil
+	case StmtBlock:
+		for _, st := range s.Body {
+			if err := fg.genStmt(st); err != nil {
+				return err
+			}
+		}
+		return nil
+	case StmtExpr:
+		v, err := fg.genExpr(s.Expr)
+		if err != nil {
+			return err
+		}
+		fg.free(v)
+		return nil
+	case StmtDecl:
+		return fg.genDecl(s.Decl)
+	case StmtIf:
+		return fg.genIf(s)
+	case StmtWhile:
+		return fg.genWhile(s)
+	case StmtFor:
+		return fg.genFor(s)
+	case StmtReturn:
+		return fg.genReturn(s)
+	case StmtBreak:
+		fg.emitBr(fg.breakLbls[len(fg.breakLbls)-1])
+		return nil
+	case StmtContinue:
+		fg.emitBr(fg.contLbls[len(fg.contLbls)-1])
+		return nil
+	}
+	return errf(s.Pos, "unhandled statement")
+}
+
+// emitBr emits an unconditional branch to label l.
+func (fg *funcgen) emitBr(l int) {
+	mi := fg.emit(axp.BranchInst(axp.BR, axp.Zero, 0))
+	mi.Target = l
+}
+
+func (fg *funcgen) genDecl(v *VarDecl) error {
+	fg.assignHome(v)
+	if len(v.Init) != 1 {
+		return nil
+	}
+	rv, err := fg.genExpr(v.Init[0])
+	if err != nil {
+		return err
+	}
+	rv, err = fg.coerce(rv, v.Type.IsFloat(), v.Pos)
+	if err != nil {
+		return err
+	}
+	fg.storeLocal(v, rv)
+	fg.free(rv)
+	return nil
+}
+
+// storeLocal writes rv (already the right class) into the local's home.
+func (fg *funcgen) storeLocal(v *VarDecl, rv val) {
+	li := v.Local
+	switch {
+	case li.InReg && v.Type.IsFloat():
+		fg.emit(axp.FMov(rv.fr, axp.FReg(li.Reg)))
+	case li.InReg:
+		fg.emit(axp.Mov(rv.r, axp.Reg(li.Reg)))
+	case v.Type.IsFloat():
+		fg.emitFrameF(axp.STT, rv.fr, int(li.FrameOff), 0)
+	default:
+		fg.emitFrame(axp.STQ, rv.r, int(li.FrameOff), 0)
+	}
+}
+
+func (fg *funcgen) genIf(s *Stmt) error {
+	elseLbl := fg.newLabel()
+	if err := fg.genBranch(s.Cond, elseLbl, false); err != nil {
+		return err
+	}
+	if err := fg.genStmt(s.Then); err != nil {
+		return err
+	}
+	if s.Else != nil {
+		endLbl := fg.newLabel()
+		fg.emitBr(endLbl)
+		fg.label(elseLbl)
+		if err := fg.genStmt(s.Else); err != nil {
+			return err
+		}
+		fg.label(endLbl)
+	} else {
+		fg.label(elseLbl)
+	}
+	return nil
+}
+
+func (fg *funcgen) genWhile(s *Stmt) error {
+	condLbl := fg.newLabel()
+	endLbl := fg.newLabel()
+	fg.label(condLbl)
+	if err := fg.genBranch(s.Cond, endLbl, false); err != nil {
+		return err
+	}
+	fg.breakLbls = append(fg.breakLbls, endLbl)
+	fg.contLbls = append(fg.contLbls, condLbl)
+	err := fg.genStmt(s.Then)
+	fg.breakLbls = fg.breakLbls[:len(fg.breakLbls)-1]
+	fg.contLbls = fg.contLbls[:len(fg.contLbls)-1]
+	if err != nil {
+		return err
+	}
+	fg.emitBr(condLbl)
+	fg.label(endLbl)
+	return nil
+}
+
+func (fg *funcgen) genFor(s *Stmt) error {
+	if s.Init != nil {
+		if err := fg.genStmt(s.Init); err != nil {
+			return err
+		}
+	}
+	condLbl := fg.newLabel()
+	contLbl := fg.newLabel()
+	endLbl := fg.newLabel()
+	fg.label(condLbl)
+	if s.Cond != nil {
+		if err := fg.genBranch(s.Cond, endLbl, false); err != nil {
+			return err
+		}
+	}
+	fg.breakLbls = append(fg.breakLbls, endLbl)
+	fg.contLbls = append(fg.contLbls, contLbl)
+	err := fg.genStmt(s.Then)
+	fg.breakLbls = fg.breakLbls[:len(fg.breakLbls)-1]
+	fg.contLbls = fg.contLbls[:len(fg.contLbls)-1]
+	if err != nil {
+		return err
+	}
+	fg.label(contLbl)
+	if s.Post != nil {
+		v, err := fg.genExpr(s.Post)
+		if err != nil {
+			return err
+		}
+		fg.free(v)
+	}
+	fg.emitBr(condLbl)
+	fg.label(endLbl)
+	return nil
+}
+
+func (fg *funcgen) genReturn(s *Stmt) error {
+	if s.Expr != nil {
+		v, err := fg.genExpr(s.Expr)
+		if err != nil {
+			return err
+		}
+		v, err = fg.coerce(v, fg.fn.Ret.IsFloat(), s.Pos)
+		if err != nil {
+			return err
+		}
+		if v.isF {
+			fg.emit(axp.FMov(v.fr, axp.FV0))
+		} else {
+			fg.emit(axp.Mov(v.r, axp.V0))
+		}
+		fg.free(v)
+	}
+	fg.emitBr(fg.retLbl)
+	return nil
+}

@@ -1,0 +1,130 @@
+// Package tcc implements the compiler substrate for the OM reproduction: a
+// compiler for "Tiny C", a small C-like language, targeting the Alpha AXP
+// subset in internal/axp and emitting relocatable objects in the
+// internal/objfile format.
+//
+// The generated code follows the conservative 64-bit code model the paper
+// describes: every global variable and procedure is reached through an
+// address load from the module's global address table (.lita) via GP, and
+// procedure calling conventions re-establish GP on entry and after every
+// call. A compile-time basic-block scheduler (like the one in the DEC
+// compilers) reorders instructions for the dual-issue pipeline — and in
+// doing so routinely displaces the prologue GP-setup pair, which is exactly
+// the obstacle OM-simple trips over and OM-full repairs.
+package tcc
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+
+	// Keywords.
+	TokLong
+	TokDouble
+	TokFnptr
+	TokStatic
+	TokExtern
+	TokIf
+	TokElse
+	TokWhile
+	TokFor
+	TokReturn
+	TokBreak
+	TokContinue
+
+	// Punctuation and operators.
+	TokLParen
+	TokRParen
+	TokLBrace
+	TokRBrace
+	TokLBracket
+	TokRBracket
+	TokComma
+	TokSemi
+	TokAssign
+	TokPlus
+	TokMinus
+	TokStar
+	TokSlash
+	TokPercent
+	TokAmp
+	TokPipe
+	TokCaret
+	TokTilde
+	TokBang
+	TokShl
+	TokShr
+	TokEq
+	TokNe
+	TokLt
+	TokLe
+	TokGt
+	TokGe
+	TokAndAnd
+	TokOrOr
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "EOF", TokIdent: "identifier", TokInt: "integer", TokFloat: "float",
+	TokLong: "long", TokDouble: "double", TokFnptr: "fnptr", TokStatic: "static", TokExtern: "extern",
+	TokIf: "if", TokElse: "else", TokWhile: "while", TokFor: "for",
+	TokReturn: "return", TokBreak: "break", TokContinue: "continue",
+	TokLParen: "(", TokRParen: ")", TokLBrace: "{", TokRBrace: "}",
+	TokLBracket: "[", TokRBracket: "]", TokComma: ",", TokSemi: ";",
+	TokAssign: "=", TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/",
+	TokPercent: "%", TokAmp: "&", TokPipe: "|", TokCaret: "^", TokTilde: "~",
+	TokBang: "!", TokShl: "<<", TokShr: ">>", TokEq: "==", TokNe: "!=",
+	TokLt: "<", TokLe: "<=", TokGt: ">", TokGe: ">=", TokAndAnd: "&&", TokOrOr: "||",
+}
+
+// String returns a human-readable token name.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok(%d)", uint8(k))
+}
+
+var keywords = map[string]TokKind{
+	"long": TokLong, "double": TokDouble, "fnptr": TokFnptr, "static": TokStatic, "extern": TokExtern,
+	"if": TokIf, "else": TokElse, "while": TokWhile, "for": TokFor,
+	"return": TokReturn, "break": TokBreak, "continue": TokContinue,
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string  // identifier spelling
+	Int  int64   // TokInt value
+	Flt  float64 // TokFloat value
+	Pos  Pos
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String renders the position as file:line:col.
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Error is a compile error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error renders the diagnostic with its source position.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
