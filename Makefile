@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race verify fmt-check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel harness and OM's concurrent analysis must stay race-clean.
+race:
+	$(GO) test -race ./internal/harness ./internal/om
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# verify is the tier-1 gate: everything CI runs.
+verify: build vet test race fmt-check
+
+clean:
+	$(GO) clean ./...

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,16 +27,17 @@ func main() {
 	nostdlib := flag.Bool("nostdlib", false, "do not link the runtime library")
 	shared := flag.String("shared", "", "comma-separated module names to treat as a dynamically-linked shared library")
 	stats := flag.Bool("stats", false, "print static optimization statistics")
+	jobs := flag.Int("j", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	opts := om.Options{Schedule: *sched}
+	var lvl om.Level
 	switch *level {
 	case "none":
-		opts.Level = om.LevelNone
+		lvl = om.LevelNone
 	case "simple":
-		opts.Level = om.LevelSimple
+		lvl = om.LevelSimple
 	case "full":
-		opts.Level = om.LevelFull
+		lvl = om.LevelFull
 	default:
 		fmt.Fprintf(os.Stderr, "om: unknown level %q\n", *level)
 		os.Exit(2)
@@ -77,13 +79,15 @@ func main() {
 	if *shared != "" {
 		p.MarkShared(strings.Split(*shared, ",")...)
 	}
-	im, st, err := om.Optimize(p, opts)
+	res, err := om.Run(context.Background(), p,
+		om.WithLevel(lvl), om.WithSchedule(*sched), om.WithParallelism(*jobs))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "om:", err)
 		os.Exit(1)
 	}
+	im := res.Image
 	if *stats {
-		fmt.Fprintln(os.Stderr, st)
+		fmt.Fprintln(os.Stderr, res.Stats)
 	}
 	f, err := os.Create(*out)
 	if err != nil {

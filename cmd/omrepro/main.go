@@ -4,35 +4,60 @@
 // measures static code properties and simulated execution time, and prints
 // the paper-style tables.
 //
+// Matrix cells run concurrently on a bounded worker pool (-j), and a
+// content-addressed build cache (-cache, or the OMREPRO_CACHE environment
+// variable) lets repeated runs skip compilation of unchanged sources.
+// Results are deterministic: any -j produces identical figures.
+//
 // Usage:
 //
-//	omrepro [-fig 3|4|5|6|7|gat|size|all] [-bench name,name,...] [-v]
+//	omrepro [-fig 3|4|5|6|7|gat|size|all] [-bench name,name,...]
+//	        [-j N] [-cache dir|off] [-v]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 	"strings"
 
+	"repro/internal/buildcache"
 	"repro/internal/harness"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 3, 4, 5, 6, 7, gat, size, ablate, or all")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent build/measure jobs")
+	cacheDir := flag.String("cache", os.Getenv("OMREPRO_CACHE"),
+		"build cache directory ('' = in-memory only, 'off' = disabled; default $OMREPRO_CACHE)")
 	verbose := flag.Bool("v", false, "print per-variant progress")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	r, err := harness.NewRunner()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "omrepro:", err)
 		os.Exit(1)
 	}
+	r.Parallelism = *jobs
 	if *verbose {
-		r.Log = func(format string, args ...any) {
+		r.Logger = harness.LoggerFunc(func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+	}
+	if *cacheDir != "off" {
+		cache, err := buildcache.New(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omrepro:", err)
+			os.Exit(1)
 		}
+		r.Cache = cache
 	}
 
 	var names []string
@@ -41,16 +66,17 @@ func main() {
 	}
 
 	if *fig == "ablate" {
-		rows, err := r.RunAblations(names)
+		rows, err := r.RunAblations(ctx, names)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "omrepro:", err)
 			os.Exit(1)
 		}
 		fmt.Println(harness.AblationTable(rows))
+		reportCache(r, *verbose)
 		return
 	}
 
-	results, err := r.RunSuite(names)
+	results, err := r.RunSuite(ctx, names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "omrepro:", err)
 		os.Exit(1)
@@ -68,4 +94,14 @@ func main() {
 	emit("7", harness.Figure7(results))
 	emit("gat", harness.GATTable(results))
 	emit("size", harness.CodeSizeTable(results))
+	reportCache(r, *verbose)
+}
+
+func reportCache(r *harness.Runner, verbose bool) {
+	if r.Cache == nil || !verbose {
+		return
+	}
+	st := r.Cache.Stats()
+	fmt.Fprintf(os.Stderr, "build cache: %d hits (%d from disk), %d compiles\n",
+		st.Hits, st.DiskHits, st.Misses)
 }

@@ -1,0 +1,94 @@
+package buildcache
+
+import (
+	"testing"
+
+	"repro/internal/tcc"
+)
+
+var testSrc = []tcc.Source{{Name: "a.tc", Text: `
+long main() {
+	return 41 + 1;
+}
+`}}
+
+func TestKeyDistinguishesInputs(t *testing.T) {
+	base := Key("u", testSrc, tcc.DefaultOptions())
+	if k := Key("v", testSrc, tcc.DefaultOptions()); k == base {
+		t.Error("unit name not in key")
+	}
+	other := []tcc.Source{{Name: "a.tc", Text: testSrc[0].Text + "\n"}}
+	if k := Key("u", other, tcc.DefaultOptions()); k == base {
+		t.Error("source text not in key")
+	}
+	if k := Key("u", testSrc, tcc.InterprocOptions()); k == base {
+		t.Error("compile options not in key")
+	}
+	// Length-framing: moving a boundary between name and text must change
+	// the key even though the concatenation is identical.
+	ab := []tcc.Source{{Name: "ab", Text: "c"}}
+	ac := []tcc.Source{{Name: "a", Text: "bc"}}
+	if Key("u", ab, tcc.DefaultOptions()) == Key("u", ac, tcc.DefaultOptions()) {
+		t.Error("key is not length-framed")
+	}
+}
+
+func TestCompileHitAndMiss(t *testing.T) {
+	c, err := New("") // memory-only
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj1, err := c.Compile("u", testSrc, tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2, err := c.Compile("u", testSrc, tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj1 == obj2 {
+		t.Error("cache returned a shared object; each Get must decode a fresh one")
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 1 miss and 1 hit", st)
+	}
+}
+
+func TestDiskPersistenceAcrossInstances(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := c1.Compile("u", testSrc, tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Compile("u", testSrc, tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.Misses != 0 || st.Hits != 1 || st.DiskHits != 1 {
+		t.Errorf("stats = %+v, want a single disk hit and no compiles", st)
+	}
+	if len(got.Symbols) != len(want.Symbols) {
+		t.Errorf("decoded object has %d symbols, want %d", len(got.Symbols), len(want.Symbols))
+	}
+}
+
+func TestNilCacheCompiles(t *testing.T) {
+	var c *Cache
+	if _, err := c.Compile("u", testSrc, tcc.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st != (Stats{}) {
+		t.Errorf("nil cache stats = %+v", st)
+	}
+}

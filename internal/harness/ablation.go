@@ -1,8 +1,10 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/link"
 	"repro/internal/objfile"
@@ -22,60 +24,95 @@ type AblationRow struct {
 }
 
 // RunAblations measures OM-full with each component disabled, over the
-// named benchmarks (compile-each mode).
-func (r *Runner) RunAblations(names []string) ([]AblationRow, error) {
-	benches := spec.All()
-	if len(names) > 0 {
-		var sel []spec.Benchmark
-		for _, n := range names {
-			b, ok := spec.ByName(n)
-			if !ok {
-				return nil, fmt.Errorf("harness: unknown benchmark %q", n)
+// named benchmarks (compile-each mode). Benchmarks fan out across the
+// runner's worker pool; rows come back in deterministic bench-major,
+// ablation-declaration order regardless of scheduling.
+func (r *Runner) RunAblations(ctx context.Context, names []string) ([]AblationRow, error) {
+	benches, err := selectBenchmarks(names)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.libObjects(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s := r.newSem()
+	perBench := make([][]AblationRow, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b spec.Benchmark) {
+			defer wg.Done()
+			if err := s.acquire(ctx); err != nil {
+				errs[i] = err
+				return
 			}
-			sel = append(sel, b)
-		}
-		benches = sel
+			defer s.release()
+			perBench[i], errs[i] = r.ablateBenchmark(ctx, b)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
 	}
 	var rows []AblationRow
-	for _, b := range benches {
-		objs, _, err := r.compile(b, CompileEach)
+	for _, br := range perBench {
+		rows = append(rows, br...)
+	}
+	return rows, nil
+}
+
+// ablateBenchmark measures every ablation configuration of one benchmark
+// against its standard-link baseline.
+func (r *Runner) ablateBenchmark(ctx context.Context, b spec.Benchmark) ([]AblationRow, error) {
+	objs, _, err := r.compile(b, CompileEach)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := r.libObjects()
+	if err != nil {
+		return nil, err
+	}
+	all := append(append([]*objfile.Object(nil), objs...), lib...)
+	baseIm, err := link.Link(all)
+	if err != nil {
+		return nil, err
+	}
+	baseRun, err := sim.RunContext(ctx, baseIm, r.SimConfig)
+	if err != nil {
+		return nil, err
+	}
+	ref := fmt.Sprint(baseRun.Exit, baseRun.Output)
+	var rows []AblationRow
+	for _, ab := range om.Ablations() {
+		p, err := link.Merge(all)
 		if err != nil {
 			return nil, err
 		}
-		all := append(append([]*objfile.Object(nil), objs...), r.lib...)
-		baseIm, err := link.Link(all)
+		res, err := om.Run(ctx, p, om.WithAblation(ab))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s %s: %w", b.Name, ab.Name(), err)
 		}
-		baseRun, err := sim.Run(baseIm, r.SimConfig)
+		im, st := res.Image, res.Stats
+		run, err := sim.RunContext(ctx, im, r.SimConfig)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%s %s: %w", b.Name, ab.Name(), err)
 		}
-		ref := fmt.Sprint(baseRun.Exit, baseRun.Output)
-		for _, ab := range om.Ablations() {
-			p, err := link.Merge(all)
-			if err != nil {
-				return nil, err
-			}
-			im, st, err := om.OptimizeFullAblated(p, ab, false)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", b.Name, ab.Name(), err)
-			}
-			run, err := sim.Run(im, r.SimConfig)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", b.Name, ab.Name(), err)
-			}
-			if got := fmt.Sprint(run.Exit, run.Output); got != ref {
-				return nil, fmt.Errorf("%s %s: output diverged", b.Name, ab.Name())
-			}
-			imp := 100 * (float64(baseRun.Stats.Cycles) - float64(run.Stats.Cycles)) /
-				float64(baseRun.Stats.Cycles)
-			rows = append(rows, AblationRow{
-				Bench: b.Name, Ablation: ab, Improvement: imp,
-				Deleted: st.Deleted, GATBytes: st.GATBytesAfter,
-			})
-			r.Log("  %-10s %-18s improvement=%6.2f%% deleted=%d", b.Name, ab.Name(), imp, st.Deleted)
+		if got := fmt.Sprint(run.Exit, run.Output); got != ref {
+			return nil, fmt.Errorf("%s %s: output diverged", b.Name, ab.Name())
 		}
+		imp := 100 * (float64(baseRun.Stats.Cycles) - float64(run.Stats.Cycles)) /
+			float64(baseRun.Stats.Cycles)
+		rows = append(rows, AblationRow{
+			Bench: b.Name, Ablation: ab, Improvement: imp,
+			Deleted: st.Deleted, GATBytes: st.GATBytesAfter,
+		})
+		r.logf("  %-10s %-18s improvement=%6.2f%% deleted=%d", b.Name, ab.Name(), imp, st.Deleted)
 	}
 	return rows, nil
 }

@@ -3,12 +3,25 @@
 // standard linker and with OM at each level, run in the timing simulator,
 // and measured statically and dynamically. The figure generators then
 // reproduce the rows of Figures 3-7 and the GAT-size observation of §5.1.
+//
+// The matrix is embarrassingly parallel — each benchmark's user sources are
+// compiled once per build mode, then every (build, link) cell fans out as
+// an independent link+simulate job — so the runner schedules cells across a
+// bounded worker pool (Runner.Parallelism) and merges the measurements
+// deterministically: results are identical to a serial run, only faster.
+// An optional content-addressed build cache (Runner.Cache) lets repeated
+// runs skip compilation of unchanged sources entirely.
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/buildcache"
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/om"
@@ -87,43 +100,124 @@ type Result struct {
 	M           map[Variant]*Measurement
 }
 
+// Logger receives the runner's progress output.
+type Logger interface {
+	Logf(format string, args ...any)
+}
+
+// LoggerFunc adapts a printf-style function to the Logger interface.
+type LoggerFunc func(format string, args ...any)
+
+// Logf calls f.
+func (f LoggerFunc) Logf(format string, args ...any) { f(format, args...) }
+
 // Runner executes the matrix.
 type Runner struct {
 	// SimConfig is the timing configuration for dynamic measurements.
 	SimConfig sim.Config
-	// Verbose prints progress lines.
-	Verbose bool
-	// Log receives progress output when Verbose.
-	Log func(format string, args ...any)
+	// Parallelism bounds the number of concurrently executing jobs
+	// (compiles and link+simulate cells). <= 0 selects GOMAXPROCS.
+	Parallelism int
+	// Logger receives progress lines; nil discards them.
+	Logger Logger
+	// Cache, when non-nil, memoizes compiled objects by content hash so
+	// repeated runs with unchanged sources skip compilation.
+	Cache *buildcache.Cache
 
-	lib []*objfile.Object
+	libOnce sync.Once
+	lib     []*objfile.Object
+	libErr  error
 }
 
 // NewRunner builds a runner with the default timing model.
 func NewRunner() (*Runner, error) {
-	lib, err := rtlib.StandardObjects()
-	if err != nil {
-		return nil, err
-	}
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = 2_000_000_000
-	return &Runner{SimConfig: cfg, lib: lib, Log: func(string, ...any) {}}, nil
+	return &Runner{SimConfig: cfg}, nil
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Logger != nil {
+		r.Logger.Logf(format, args...)
+	}
+}
+
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// libObjects returns the precompiled standard library, compiling it at most
+// once per runner (through the build cache when one is configured; the
+// process-wide rtlib memoization otherwise).
+func (r *Runner) libObjects() ([]*objfile.Object, error) {
+	r.libOnce.Do(func() {
+		if r.Cache != nil {
+			r.lib, r.libErr = rtlib.ObjectsVia(r.Cache.Compile, tcc.DefaultOptions())
+			return
+		}
+		r.lib, r.libErr = rtlib.StandardObjects()
+	})
+	return r.lib, r.libErr
+}
+
+// sem is a counting semaphore bounding concurrently executing jobs. Parent
+// jobs never hold a slot while waiting on children, so the nested
+// suite→benchmark→cell fan-out cannot deadlock.
+type sem chan struct{}
+
+func (r *Runner) newSem() sem { return make(sem, r.workers()) }
+
+func (s sem) acquire(ctx context.Context) error {
+	select {
+	case s <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s sem) release() { <-s }
+
+// firstError returns the lowest-index non-nil error, making the reported
+// failure deterministic regardless of which parallel job failed first.
+// Cancellation errors only count when nothing failed for a real reason:
+// when one job fails the pool cancels its siblings, and those secondary
+// context errors must not mask the root cause.
+func firstError(errs []error) error {
+	var canceled error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if canceled == nil {
+				canceled = err
+			}
+			continue
+		}
+		return err
+	}
+	return canceled
 }
 
 // compile produces the user objects for the given mode, timing the step.
+// With a cache configured, a hit costs a hash and a decode, no compile.
 func (r *Runner) compile(b spec.Benchmark, mode BuildMode) ([]*objfile.Object, time.Duration, error) {
 	start := time.Now()
 	var objs []*objfile.Object
 	if mode == CompileEach {
 		for _, m := range b.Modules {
-			obj, err := tcc.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions())
+			obj, err := r.Cache.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions())
 			if err != nil {
 				return nil, 0, fmt.Errorf("%s: %w", b.Name, err)
 			}
 			objs = append(objs, obj)
 		}
 	} else {
-		obj, err := tcc.Compile(b.Name+"_all", b.Modules, tcc.InterprocOptions())
+		obj, err := r.Cache.Compile(b.Name+"_all", b.Modules, tcc.InterprocOptions())
 		if err != nil {
 			return nil, 0, fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -133,28 +227,38 @@ func (r *Runner) compile(b spec.Benchmark, mode BuildMode) ([]*objfile.Object, t
 }
 
 // linkVariant produces the image (and OM stats) for one link mode.
-func (r *Runner) linkVariant(objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, time.Duration, error) {
-	all := append(append([]*objfile.Object(nil), objs...), r.lib...)
+func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, time.Duration, error) {
+	lib, err := r.libObjects()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	all := append(append([]*objfile.Object(nil), objs...), lib...)
 	start := time.Now()
 	switch mode {
 	case LinkStandard:
 		im, err := link.Link(all)
 		return im, nil, time.Since(start), err
 	default:
-		opts := om.Options{}
+		opts := []om.Option{}
 		switch mode {
 		case OMNone:
-			opts.Level = om.LevelNone
+			opts = append(opts, om.WithLevel(om.LevelNone))
 		case OMSimple:
-			opts.Level = om.LevelSimple
+			opts = append(opts, om.WithLevel(om.LevelSimple))
 		case OMFull:
-			opts.Level = om.LevelFull
+			opts = append(opts, om.WithLevel(om.LevelFull))
 		case OMFullSched:
-			opts.Level = om.LevelFull
-			opts.Schedule = true
+			opts = append(opts, om.WithLevel(om.LevelFull), om.WithSchedule(true))
 		}
-		im, st, err := om.OptimizeObjects(all, opts)
-		return im, st, time.Since(start), err
+		p, err := link.Merge(all)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		res, err := om.Run(ctx, p, opts...)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		return res.Image, res.Stats, time.Since(start), nil
 	}
 }
 
@@ -170,57 +274,149 @@ func AllVariants() []Variant {
 }
 
 // RunBenchmark measures one benchmark across the whole matrix, verifying
-// that every variant produces identical program output.
-func (r *Runner) RunBenchmark(b spec.Benchmark) (*Result, error) {
+// that every variant produces identical program output. Cells run
+// concurrently up to Runner.Parallelism.
+func (r *Runner) RunBenchmark(ctx context.Context, b spec.Benchmark) (*Result, error) {
+	return r.runBenchmark(ctx, r.newSem(), b)
+}
+
+// measureCell links and simulates one matrix cell.
+func (r *Runner) measureCell(ctx context.Context, b spec.Benchmark, v Variant, objs []*objfile.Object) (*Measurement, error) {
+	im, st, dt, err := r.linkVariant(ctx, objs, v.Link)
+	if err != nil {
+		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
+	}
+	run, err := sim.RunContext(ctx, im, r.SimConfig)
+	if err != nil {
+		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
+	}
+	r.logf("  %-10s %-12s %-13s cycles=%-11d insts=%-10d link=%v",
+		b.Name, v.Build, v.Link, run.Stats.Cycles, run.Stats.Instructions, dt.Round(time.Millisecond))
+	return &Measurement{
+		Static:    st,
+		Run:       run.Stats,
+		Exit:      run.Exit,
+		Output:    run.Output,
+		BuildTime: dt,
+		TextBytes: len(im.TextSegment().Data),
+		GATBytes:  im.GATBytes(),
+	}, nil
+}
+
+func (r *Runner) runBenchmark(ctx context.Context, s sem, b spec.Benchmark) (*Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	res := &Result{
 		Name:        b.Name,
 		CompileTime: make(map[BuildMode]time.Duration),
 		M:           make(map[Variant]*Measurement),
 	}
-	objsByMode := make(map[BuildMode][]*objfile.Object)
-	for _, mode := range []BuildMode{CompileEach, CompileAll} {
-		objs, dt, err := r.compile(b, mode)
-		if err != nil {
-			return nil, err
-		}
-		objsByMode[mode] = objs
-		res.CompileTime[mode] = dt
+
+	// Compile once per build mode; the two modes compile concurrently.
+	modes := []BuildMode{CompileEach, CompileAll}
+	objsByMode := make([][]*objfile.Object, len(modes))
+	times := make([]time.Duration, len(modes))
+	errs := make([]error, len(modes))
+	var wg sync.WaitGroup
+	for i, mode := range modes {
+		wg.Add(1)
+		go func(i int, mode BuildMode) {
+			defer wg.Done()
+			if err := s.acquire(ctx); err != nil {
+				errs[i] = err
+				return
+			}
+			defer s.release()
+			objsByMode[i], times[i], errs[i] = r.compile(b, mode)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, mode)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		res.CompileTime[mode] = times[i]
 	}
 
-	var refOutput string
-	for _, v := range AllVariants() {
-		im, st, dt, err := r.linkVariant(objsByMode[v.Build], v.Link)
-		if err != nil {
-			return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
-		}
-		run, err := sim.Run(im, r.SimConfig)
-		if err != nil {
-			return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
-		}
-		out := fmt.Sprint(run.Exit, run.Output)
-		if refOutput == "" {
-			refOutput = out
-		} else if out != refOutput {
+	// Fan every matrix cell out as an independent link+simulate job.
+	vs := AllVariants()
+	ms := make([]*Measurement, len(vs))
+	cellErrs := make([]error, len(vs))
+	for i, v := range vs {
+		wg.Add(1)
+		go func(i int, v Variant) {
+			defer wg.Done()
+			if err := s.acquire(ctx); err != nil {
+				cellErrs[i] = err
+				return
+			}
+			defer s.release()
+			ms[i], cellErrs[i] = r.measureCell(ctx, b, v, objsByMode[v.Build])
+			if cellErrs[i] != nil {
+				cancel()
+			}
+		}(i, v)
+	}
+	wg.Wait()
+	if err := firstError(cellErrs); err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge and output verification, in matrix order, against
+	// the standard-link cell.
+	refOutput := fmt.Sprint(ms[0].Exit, ms[0].Output)
+	for i, v := range vs {
+		if out := fmt.Sprint(ms[i].Exit, ms[i].Output); out != refOutput {
 			return nil, fmt.Errorf("%s %v/%v: output diverged: %s vs %s",
 				b.Name, v.Build, v.Link, out, refOutput)
 		}
-		res.M[v] = &Measurement{
-			Static:    st,
-			Run:       run.Stats,
-			Exit:      run.Exit,
-			Output:    run.Output,
-			BuildTime: dt,
-			TextBytes: len(im.TextSegment().Data),
-			GATBytes:  im.GATBytes(),
-		}
-		r.Log("  %-10s %-12s %-13s cycles=%-11d insts=%-10d link=%v",
-			b.Name, v.Build, v.Link, run.Stats.Cycles, run.Stats.Instructions, dt.Round(time.Millisecond))
+		res.M[v] = ms[i]
 	}
 	return res, nil
 }
 
-// RunSuite measures every benchmark (or the named subset).
-func (r *Runner) RunSuite(names []string) ([]*Result, error) {
+// RunSuite measures every benchmark (or the named subset), scheduling all
+// benchmarks' matrix cells across one shared worker pool.
+func (r *Runner) RunSuite(ctx context.Context, names []string) ([]*Result, error) {
+	benches, err := selectBenchmarks(names)
+	if err != nil {
+		return nil, err
+	}
+	// Precompile the standard library before fanning out so a library
+	// compile error surfaces once, deterministically.
+	if _, err := r.libObjects(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s := r.newSem()
+	results := make([]*Result, len(benches))
+	errs := make([]error, len(benches))
+	var wg sync.WaitGroup
+	for i, b := range benches {
+		wg.Add(1)
+		go func(i int, b spec.Benchmark) {
+			defer wg.Done()
+			r.logf("%s:", b.Name)
+			results[i], errs[i] = r.runBenchmark(ctx, s, b)
+			if errs[i] != nil {
+				cancel()
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	if err := firstError(errs); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// selectBenchmarks resolves a name list (empty means the full suite).
+func selectBenchmarks(names []string) ([]spec.Benchmark, error) {
 	benches := spec.All()
 	if len(names) > 0 {
 		var sel []spec.Benchmark
@@ -233,16 +429,7 @@ func (r *Runner) RunSuite(names []string) ([]*Result, error) {
 		}
 		benches = sel
 	}
-	var results []*Result
-	for _, b := range benches {
-		r.Log("%s:", b.Name)
-		res, err := r.RunBenchmark(b)
-		if err != nil {
-			return nil, err
-		}
-		results = append(results, res)
-	}
-	return results, nil
+	return benches, nil
 }
 
 // Improvement returns the percent cycle improvement of the optimized link

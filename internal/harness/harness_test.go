@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func runOne(t *testing.T, name string) *Result {
 	if !ok {
 		t.Fatalf("no benchmark %s", name)
 	}
-	res, err := r.RunBenchmark(b)
+	res, err := r.RunBenchmark(context.Background(), b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestRunSuiteUnknownBenchmark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.RunSuite([]string{"nosuch"}); err == nil {
+	if _, err := r.RunSuite(context.Background(), []string{"nosuch"}); err == nil {
 		t.Fatal("expected error for unknown benchmark")
 	}
 }
@@ -104,7 +105,7 @@ func TestAblations(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows, err := r.RunAblations([]string{"spice"})
+	rows, err := r.RunAblations(context.Background(), []string{"spice"})
 	if err != nil {
 		t.Fatal(err)
 	}

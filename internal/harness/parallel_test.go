@@ -1,0 +1,143 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/spec"
+	"repro/internal/tcc"
+)
+
+// tinyBenchmark is a small two-module program: fast enough to run the full
+// matrix in every test mode, cross-module calls so the link treatments
+// actually differ.
+func tinyBenchmark() spec.Benchmark {
+	return spec.Benchmark{
+		Name:      "tiny",
+		Character: "test program",
+		Modules: []tcc.Source{
+			{Name: "tiny_main", Text: `
+long helper(long x);
+long print(long x);
+
+long table[16];
+
+long main() {
+	long s = 0;
+	long i;
+	for (i = 0; i < 16; i = i + 1) {
+		table[i] = helper(i);
+		s = s + table[i];
+	}
+	print(s);
+	print(table[7]);
+	return s & 255;
+}
+`},
+			{Name: "tiny_help", Text: `
+static long scale = 3;
+long bias = 11;
+
+long helper(long x) {
+	return x * scale + bias;
+}
+`},
+		},
+	}
+}
+
+// flatten renders every deterministic field of a Result (everything except
+// wall-clock timings) as one comparable string.
+func flatten(res *Result) string {
+	out := fmt.Sprintf("name=%s\n", res.Name)
+	for _, v := range AllVariants() {
+		m := res.M[v]
+		out += fmt.Sprintf("%v/%v: cycles=%d insts=%d exit=%d output=%v text=%d gat=%d",
+			v.Build, v.Link, m.Run.Cycles, m.Run.Instructions,
+			m.Exit, m.Output, m.TextBytes, m.GATBytes)
+		if m.Static != nil {
+			out += fmt.Sprintf(" deleted=%d converted=%d", m.Static.Deleted, m.Static.AddrConverted)
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// TestParallelDeterminism checks the tentpole guarantee: the parallel
+// runner's measurements are byte-identical to a serial run at any
+// parallelism. (Not short-gated: the race-detector run relies on it to
+// exercise the concurrent paths.)
+func TestParallelDeterminism(t *testing.T) {
+	b := tinyBenchmark()
+	var ref string
+	for _, par := range []int{1, 8} {
+		r, err := NewRunner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Parallelism = par
+		res, err := r.RunBenchmark(context.Background(), b)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		got := flatten(res)
+		if par == 1 {
+			ref = got
+			continue
+		}
+		if got != ref {
+			t.Errorf("parallelism %d diverged from serial run:\n--- serial ---\n%s--- parallel ---\n%s",
+				par, ref, got)
+		}
+	}
+}
+
+// TestRunnerCacheSkipsRecompiles checks the warm-cache path: a second
+// benchmark run against the same cache performs zero compiles.
+func TestRunnerCacheSkipsRecompiles(t *testing.T) {
+	cache, err := buildcache.New(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tinyBenchmark()
+	run := func() {
+		r, err := NewRunner()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Parallelism = 4
+		r.Cache = cache
+		if _, err := r.RunBenchmark(context.Background(), b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	cold := cache.Stats()
+	if cold.Misses == 0 {
+		t.Fatal("cold run compiled nothing")
+	}
+	run()
+	warm := cache.Stats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("warm run compiled %d units; want 0", warm.Misses-cold.Misses)
+	}
+	if warm.Hits <= cold.Hits {
+		t.Errorf("warm run recorded no cache hits: cold=%+v warm=%+v", cold, warm)
+	}
+}
+
+// TestRunnerCancellation checks that a canceled context aborts the suite
+// with the context's error.
+func TestRunnerCancellation(t *testing.T) {
+	r, err := NewRunner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunBenchmark(ctx, tinyBenchmark()); err == nil {
+		t.Fatal("expected error from canceled context")
+	}
+}

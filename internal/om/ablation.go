@@ -1,6 +1,8 @@
 package om
 
 import (
+	"context"
+
 	"repro/internal/link"
 	"repro/internal/objfile"
 )
@@ -68,67 +70,14 @@ func Ablations() []Ablation {
 	}
 }
 
-// runFullAblated is runFull with components switched off.
-func runFullAblated(pg *Prog, ab Ablation) (*Plan, error) {
-	if !ab.NoPrologueRestore {
-		restoreProloguePairs(pg)
-	} else {
-		markPairPositions(pg)
-	}
-	var pl *Plan
-	for round := 0; ; round++ {
-		var err error
-		pl, err = computePlan(pg, planOpts{
-			reduceGAT:   !ab.NoGATReduction,
-			sortCommons: !ab.NoCommonSort,
-		})
-		if err != nil {
-			return nil, err
-		}
-		changed := false
-		if !ab.NoAddressOpt && applyAddressOptsEx(pg, pl, true, !ab.NoPairInsertion) {
-			changed = true
-		}
-		if !ab.NoCallOpt && applyCallOpts(pg, pl, true) {
-			changed = true
-		}
-		if !ab.NoResetOpt && applyGPResetOpts(pg, pl, true) {
-			changed = true
-		}
-		if !ab.NoPrologueDelete && applyPrologueOpts(pg, pl) {
-			changed = true
-		}
-		if !changed || round > 20 {
-			break
-		}
-	}
-	return pl, nil
-}
-
 // OptimizeFullAblated runs OM-full with the given components disabled and
 // regenerates an image; used by the ablation study.
+//
+// Deprecated: use Run with WithAblation.
 func OptimizeFullAblated(p *link.Program, ab Ablation, sched bool) (*objfile.Image, *Stats, error) {
-	pg, err := Lift(p)
+	res, err := Run(context.Background(), p, WithAblation(ab), WithSchedule(sched))
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{}
-	collectBefore(pg, stats)
-	basePlan, err := link.AssignGATs(p, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, slots := range basePlan.Slots {
-		stats.GATBytesBefore += uint64(len(slots)) * 8
-	}
-	pl, err := runFullAblated(pg, ab)
-	if err != nil {
-		return nil, nil, err
-	}
-	collectAfter(pg, pl, stats)
-	im, err := Emit(pg, pl, sched)
-	if err != nil {
-		return nil, nil, err
-	}
-	return im, stats, nil
+	return res.Image, res.Stats, nil
 }

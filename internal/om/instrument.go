@@ -1,6 +1,7 @@
 package om
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/axp"
@@ -82,22 +83,12 @@ func Instrument(pg *Prog) ([]BlockInfo, error) {
 // OptimizeInstrumented lifts the program, instruments every basic block,
 // and regenerates an executable (unoptimized, like a pixie build). The
 // returned table maps profile ids to blocks.
+//
+// Deprecated: use Run with WithInstrumentation.
 func OptimizeInstrumented(p *link.Program) (*objfile.Image, []BlockInfo, error) {
-	pg, err := Lift(p)
+	res, err := Run(context.Background(), p, WithInstrumentation())
 	if err != nil {
 		return nil, nil, err
 	}
-	blocks, err := Instrument(pg)
-	if err != nil {
-		return nil, nil, err
-	}
-	pl, err := computePlan(pg, planOpts{})
-	if err != nil {
-		return nil, nil, err
-	}
-	im, err := Emit(pg, pl, false)
-	if err != nil {
-		return nil, nil, err
-	}
-	return im, blocks, nil
+	return res.Image, res.Blocks, nil
 }

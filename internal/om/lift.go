@@ -13,7 +13,10 @@
 package om
 
 import (
+	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/axp"
 	"repro/internal/link"
@@ -160,6 +163,9 @@ type Prog struct {
 	procByDef map[[2]int32]*Proc
 	// moduleGAT, assigned during planning, gives each module's GP group.
 	moduleGAT []int
+	// par bounds the goroutines used by per-procedure passes (see
+	// forEachProc); 0 or 1 means serial.
+	par int
 }
 
 // ProcFor resolves a target key to its procedure, if it names one.
@@ -170,176 +176,76 @@ func (pg *Prog) ProcFor(k link.TargetKey) *Proc {
 	return pg.procByDef[[2]int32{int32(k.Mod), k.Sym}]
 }
 
+// pendingCall is a direct call noted during module lifting, resolved once
+// every procedure of every module exists.
+type pendingCall struct {
+	inst   *SInst
+	target link.Target
+	addend int64
+}
+
+// liftedModule is the result of lifting one module's text.
+type liftedModule struct {
+	procs   []*Proc
+	pending []pendingCall
+}
+
 // Lift translates every procedure of the merged program into symbolic form.
 func Lift(p *link.Program) (*Prog, error) {
-	pg := &Prog{P: p, procByDef: make(map[[2]int32]*Proc)}
+	return lift(context.Background(), p, 1)
+}
 
-	type pendingCall struct {
-		inst   *SInst
-		target link.Target
-		addend int64
+// lift is Lift with cancellation and bounded per-module parallelism.
+// Modules are lifted independently and merged in module order, so the
+// resulting Prog is identical for every parallelism setting.
+func lift(ctx context.Context, p *link.Program, par int) (*Prog, error) {
+	mods := make([]*liftedModule, len(p.Objects))
+	errs := make([]error, len(p.Objects))
+	if par > len(p.Objects) {
+		par = len(p.Objects)
 	}
-	var pending []pendingCall
-
-	for m, obj := range p.Objects {
-		text := obj.Sections[objfile.SecText].Data
-		insts, err := axp.DecodeAll(text)
+	if par <= 1 {
+		for m, obj := range p.Objects {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			mods[m], errs[m] = liftModule(p, m, obj)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					m := int(next.Add(1) - 1)
+					if m >= len(p.Objects) || ctx.Err() != nil {
+						return
+					}
+					mods[m], errs[m] = liftModule(p, m, p.Objects[m])
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("om: lift %s: %w", obj.Name, err)
+			return nil, err
 		}
-		// Index relocations by offset.
-		litAt := make(map[uint64]*objfile.Reloc)
-		useAt := make(map[uint64]*objfile.Reloc)
-		gpdAt := make(map[uint64]*objfile.Reloc)
-		brAt := make(map[uint64]*objfile.Reloc)
-		gprAt := make(map[uint64]*objfile.Reloc)
-		for i := range obj.Relocs {
-			r := &obj.Relocs[i]
-			if r.Section != objfile.SecText {
-				continue
-			}
-			switch r.Kind {
-			case objfile.RLiteral:
-				litAt[r.Offset] = r
-			case objfile.RLituseBase, objfile.RLituseJSR:
-				useAt[r.Offset] = r
-			case objfile.RGPDisp:
-				gpdAt[r.Offset] = r
-			case objfile.RBrAddr:
-				brAt[r.Offset] = r
-			case objfile.RGPRel16:
-				gprAt[r.Offset] = r
-			}
-		}
+	}
 
-		// Procedures of this module in address order.
-		var procSyms []int32
-		for s := range obj.Symbols {
-			if obj.Symbols[s].Kind == objfile.SymProc {
-				procSyms = append(procSyms, int32(s))
-			}
-		}
-		for i := 0; i < len(procSyms); i++ {
-			for j := i + 1; j < len(procSyms); j++ {
-				if obj.Symbols[procSyms[j]].Value < obj.Symbols[procSyms[i]].Value {
-					procSyms[i], procSyms[j] = procSyms[j], procSyms[i]
-				}
-			}
-		}
-
-		covered := uint64(0)
-		for _, s := range procSyms {
-			sym := &obj.Symbols[s]
-			if sym.Value != covered {
-				return nil, fmt.Errorf("om: lift %s: gap before procedure %s (%#x..%#x)",
-					obj.Name, sym.Name, covered, sym.Value)
-			}
-			covered = sym.End
-
-			pr := &Proc{Mod: m, Sym: s, Name: sym.Name, Exported: sym.Exported}
-			base := sym.Value
-			n := int((sym.End - sym.Value) / 4)
-			pr.Insts = make([]*SInst, n)
-			for i := 0; i < n; i++ {
-				pr.Insts[i] = &SInst{In: insts[int(base/4)+i], Target: -1}
-			}
-
-			// Pass 1: labels for intra-procedure branch targets.
-			labelAt := make(map[int]int)
-			for i, si := range pr.Insts {
-				off := base + uint64(i*4)
-				if !si.In.Op.IsBranch() {
-					continue
-				}
-				if _, isCall := brAt[off]; isCall {
-					continue
-				}
-				targetOff := int64(off) + 4 + int64(si.In.Disp)*4
-				ti := (targetOff - int64(base)) / 4
-				if ti < 0 || ti >= int64(n) {
-					return nil, fmt.Errorf("om: lift %s: %s branch at +%#x leaves the procedure",
-						obj.Name, sym.Name, off-base)
-				}
-				l, ok := labelAt[int(ti)]
-				if !ok {
-					l = pr.NewLabel()
-					labelAt[int(ti)] = l
-					pr.Insts[ti].Labels = append(pr.Insts[ti].Labels, l)
-				}
-				si.Target = l
-			}
-
-			// Pass 2: relocation annotations.
-			sidxAt := func(off uint64) (*SInst, bool) {
-				i := (int64(off) - int64(base)) / 4
-				if i < 0 || i >= int64(n) {
-					return nil, false
-				}
-				return pr.Insts[i], true
-			}
-			for i, si := range pr.Insts {
-				off := base + uint64(i*4)
-				if r, ok := litAt[off]; ok {
-					si.Lit = &LitInfo{Key: link.Key(p.Resolve(m, r.Symbol), r.Addend)}
-				}
-				if r, ok := gprAt[off]; ok {
-					// Optimistically compiled GP-relative reference: already
-					// in OM's target form; re-anchor it to the final layout.
-					si.GPRel = &GPRelInfo{
-						Kind:  GPRelUseDirect,
-						Key:   link.Key(p.Resolve(m, r.Symbol), 0),
-						Extra: r.Addend,
-					}
-				}
-				if r, ok := useAt[off]; ok {
-					lit, ok := sidxAt(r.Extra)
-					if !ok || lit.Lit == nil {
-						return nil, fmt.Errorf("om: lift %s: %s: LITUSE at +%#x has no literal at +%#x",
-							obj.Name, sym.Name, off-base, r.Extra-base)
-					}
-					si.Use = &UseInfo{Lit: lit, JSR: r.Kind == objfile.RLituseJSR}
-					lit.Lit.Uses = append(lit.Lit.Uses, si)
-					if si.Use.JSR {
-						si.PVLit = lit
-					}
-				}
-				if si.In.Op == axp.JSR && si.Use == nil {
-					si.Indirect = true
-				}
-				if r, ok := gpdAt[off]; ok {
-					lo, ok := sidxAt(r.Extra)
-					if !ok {
-						return nil, fmt.Errorf("om: lift %s: %s: GPDISP pair escapes procedure", obj.Name, sym.Name)
-					}
-					hi := si
-					anchor := uint64(r.Addend)
-					g := &GPDInfo{Partner: lo, High: true}
-					if anchor == base {
-						g.Entry = true
-					} else {
-						call, ok := sidxAt(anchor - 4)
-						if !ok || !(call.In.Op == axp.JSR || call.In.Op == axp.BSR) {
-							return nil, fmt.Errorf("om: lift %s: %s: GPDISP anchor +%#x is not after a call",
-								obj.Name, sym.Name, anchor-base)
-						}
-						g.AfterCall = call
-					}
-					hi.GPD = g
-					lo.GPD = &GPDInfo{Partner: hi}
-				}
-				if r, ok := brAt[off]; ok {
-					pending = append(pending, pendingCall{
-						inst: si, target: p.Resolve(m, r.Symbol), addend: r.Addend,
-					})
-				}
-			}
+	pg := &Prog{P: p, procByDef: make(map[[2]int32]*Proc)}
+	var pending []pendingCall
+	for _, lm := range mods {
+		for _, pr := range lm.procs {
 			pg.Procs = append(pg.Procs, pr)
-			pg.procByDef[[2]int32{int32(m), s}] = pr
+			pg.procByDef[[2]int32{int32(pr.Mod), pr.Sym}] = pr
 		}
-		if covered != obj.Sections[objfile.SecText].Size {
-			return nil, fmt.Errorf("om: lift %s: %#x bytes of text not covered by procedures",
-				obj.Name, obj.Sections[objfile.SecText].Size-covered)
-		}
+		pending = append(pending, lm.pending...)
 	}
 
 	// Resolve direct-call targets now that all procedures exist.
@@ -370,4 +276,168 @@ func Lift(p *link.Program) (*Prog, error) {
 		}
 	}
 	return pg, nil
+}
+
+// liftModule decodes and annotates one module's procedures. It touches no
+// program-wide state, so modules lift concurrently.
+func liftModule(p *link.Program, m int, obj *objfile.Object) (*liftedModule, error) {
+	lm := &liftedModule{}
+	text := obj.Sections[objfile.SecText].Data
+	insts, err := axp.DecodeAll(text)
+	if err != nil {
+		return nil, fmt.Errorf("om: lift %s: %w", obj.Name, err)
+	}
+	// Index relocations by offset.
+	litAt := make(map[uint64]*objfile.Reloc)
+	useAt := make(map[uint64]*objfile.Reloc)
+	gpdAt := make(map[uint64]*objfile.Reloc)
+	brAt := make(map[uint64]*objfile.Reloc)
+	gprAt := make(map[uint64]*objfile.Reloc)
+	for i := range obj.Relocs {
+		r := &obj.Relocs[i]
+		if r.Section != objfile.SecText {
+			continue
+		}
+		switch r.Kind {
+		case objfile.RLiteral:
+			litAt[r.Offset] = r
+		case objfile.RLituseBase, objfile.RLituseJSR:
+			useAt[r.Offset] = r
+		case objfile.RGPDisp:
+			gpdAt[r.Offset] = r
+		case objfile.RBrAddr:
+			brAt[r.Offset] = r
+		case objfile.RGPRel16:
+			gprAt[r.Offset] = r
+		}
+	}
+
+	// Procedures of this module in address order.
+	var procSyms []int32
+	for s := range obj.Symbols {
+		if obj.Symbols[s].Kind == objfile.SymProc {
+			procSyms = append(procSyms, int32(s))
+		}
+	}
+	for i := 0; i < len(procSyms); i++ {
+		for j := i + 1; j < len(procSyms); j++ {
+			if obj.Symbols[procSyms[j]].Value < obj.Symbols[procSyms[i]].Value {
+				procSyms[i], procSyms[j] = procSyms[j], procSyms[i]
+			}
+		}
+	}
+
+	covered := uint64(0)
+	for _, s := range procSyms {
+		sym := &obj.Symbols[s]
+		if sym.Value != covered {
+			return nil, fmt.Errorf("om: lift %s: gap before procedure %s (%#x..%#x)",
+				obj.Name, sym.Name, covered, sym.Value)
+		}
+		covered = sym.End
+
+		pr := &Proc{Mod: m, Sym: s, Name: sym.Name, Exported: sym.Exported}
+		base := sym.Value
+		n := int((sym.End - sym.Value) / 4)
+		pr.Insts = make([]*SInst, n)
+		for i := 0; i < n; i++ {
+			pr.Insts[i] = &SInst{In: insts[int(base/4)+i], Target: -1}
+		}
+
+		// Pass 1: labels for intra-procedure branch targets.
+		labelAt := make(map[int]int)
+		for i, si := range pr.Insts {
+			off := base + uint64(i*4)
+			if !si.In.Op.IsBranch() {
+				continue
+			}
+			if _, isCall := brAt[off]; isCall {
+				continue
+			}
+			targetOff := int64(off) + 4 + int64(si.In.Disp)*4
+			ti := (targetOff - int64(base)) / 4
+			if ti < 0 || ti >= int64(n) {
+				return nil, fmt.Errorf("om: lift %s: %s branch at +%#x leaves the procedure",
+					obj.Name, sym.Name, off-base)
+			}
+			l, ok := labelAt[int(ti)]
+			if !ok {
+				l = pr.NewLabel()
+				labelAt[int(ti)] = l
+				pr.Insts[ti].Labels = append(pr.Insts[ti].Labels, l)
+			}
+			si.Target = l
+		}
+
+		// Pass 2: relocation annotations.
+		sidxAt := func(off uint64) (*SInst, bool) {
+			i := (int64(off) - int64(base)) / 4
+			if i < 0 || i >= int64(n) {
+				return nil, false
+			}
+			return pr.Insts[i], true
+		}
+		for i, si := range pr.Insts {
+			off := base + uint64(i*4)
+			if r, ok := litAt[off]; ok {
+				si.Lit = &LitInfo{Key: link.Key(p.Resolve(m, r.Symbol), r.Addend)}
+			}
+			if r, ok := gprAt[off]; ok {
+				// Optimistically compiled GP-relative reference: already
+				// in OM's target form; re-anchor it to the final layout.
+				si.GPRel = &GPRelInfo{
+					Kind:  GPRelUseDirect,
+					Key:   link.Key(p.Resolve(m, r.Symbol), 0),
+					Extra: r.Addend,
+				}
+			}
+			if r, ok := useAt[off]; ok {
+				lit, ok := sidxAt(r.Extra)
+				if !ok || lit.Lit == nil {
+					return nil, fmt.Errorf("om: lift %s: %s: LITUSE at +%#x has no literal at +%#x",
+						obj.Name, sym.Name, off-base, r.Extra-base)
+				}
+				si.Use = &UseInfo{Lit: lit, JSR: r.Kind == objfile.RLituseJSR}
+				lit.Lit.Uses = append(lit.Lit.Uses, si)
+				if si.Use.JSR {
+					si.PVLit = lit
+				}
+			}
+			if si.In.Op == axp.JSR && si.Use == nil {
+				si.Indirect = true
+			}
+			if r, ok := gpdAt[off]; ok {
+				lo, ok := sidxAt(r.Extra)
+				if !ok {
+					return nil, fmt.Errorf("om: lift %s: %s: GPDISP pair escapes procedure", obj.Name, sym.Name)
+				}
+				hi := si
+				anchor := uint64(r.Addend)
+				g := &GPDInfo{Partner: lo, High: true}
+				if anchor == base {
+					g.Entry = true
+				} else {
+					call, ok := sidxAt(anchor - 4)
+					if !ok || !(call.In.Op == axp.JSR || call.In.Op == axp.BSR) {
+						return nil, fmt.Errorf("om: lift %s: %s: GPDISP anchor +%#x is not after a call",
+							obj.Name, sym.Name, anchor-base)
+					}
+					g.AfterCall = call
+				}
+				hi.GPD = g
+				lo.GPD = &GPDInfo{Partner: hi}
+			}
+			if r, ok := brAt[off]; ok {
+				lm.pending = append(lm.pending, pendingCall{
+					inst: si, target: p.Resolve(m, r.Symbol), addend: r.Addend,
+				})
+			}
+		}
+		lm.procs = append(lm.procs, pr)
+	}
+	if covered != obj.Sections[objfile.SecText].Size {
+		return nil, fmt.Errorf("om: lift %s: %#x bytes of text not covered by procedures",
+			obj.Name, obj.Sections[objfile.SecText].Size-covered)
+	}
+	return lm, nil
 }

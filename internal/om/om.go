@@ -1,12 +1,139 @@
 package om
 
 import (
+	"context"
+	"runtime"
+
 	"repro/internal/link"
 	"repro/internal/objfile"
 )
 
+// config is the resolved option set of one Run.
+type config struct {
+	level       Level
+	schedule    bool
+	ablation    Ablation
+	instrument  bool
+	parallelism int
+}
+
+// Option configures a Run.
+type Option func(*config)
+
+// WithLevel selects the optimization level (default LevelFull).
+func WithLevel(l Level) Option { return func(c *config) { c.level = l } }
+
+// WithSchedule reschedules the code after optimizing (the paper's "w/sched"
+// column). It only takes effect at LevelFull.
+func WithSchedule(on bool) Option { return func(c *config) { c.schedule = on } }
+
+// WithAblation runs OM-full with the given components disabled (the
+// ablation study). It implies LevelFull.
+func WithAblation(ab Ablation) Option {
+	return func(c *config) {
+		c.ablation = ab
+		c.level = LevelFull
+	}
+}
+
+// WithInstrumentation inserts a profiling trap at the entry of every basic
+// block and regenerates an unoptimized image (a pixie/ATOM-style build).
+// The optimization level and ablation settings are ignored; the block table
+// is returned in Result.Blocks.
+func WithInstrumentation() Option { return func(c *config) { c.instrument = true } }
+
+// WithParallelism bounds the number of goroutines used for per-procedure
+// lifting and transformation. n <= 0 selects GOMAXPROCS. Every setting
+// produces byte-identical output: procedures are analyzed independently and
+// the plan is applied in program order.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// Result is the outcome of a Run.
+type Result struct {
+	// Image is the regenerated executable.
+	Image *objfile.Image
+	// Stats covers the paper's static measurements (nil for an
+	// instrumentation run).
+	Stats *Stats
+	// Blocks maps profile ids to basic blocks (instrumentation runs only).
+	Blocks []BlockInfo
+}
+
+// Run is the single OM entrypoint: lift the merged program to symbolic
+// form, analyze and transform it as the options direct, and regenerate an
+// executable image. The context cancels long analyses between passes and
+// rounds; per-procedure work is spread across goroutines (WithParallelism)
+// while keeping the output byte-identical to a serial run.
+func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) {
+	cfg := config{level: LevelFull}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.parallelism <= 0 {
+		cfg.parallelism = runtime.GOMAXPROCS(0)
+	}
+	pg, err := lift(ctx, p, cfg.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	pg.par = cfg.parallelism
+
+	if cfg.instrument {
+		blocks, err := Instrument(pg)
+		if err != nil {
+			return nil, err
+		}
+		pl, err := computePlan(pg, planOpts{})
+		if err != nil {
+			return nil, err
+		}
+		im, err := Emit(pg, pl, false)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Image: im, Blocks: blocks}, nil
+	}
+
+	stats := &Stats{}
+	collectBefore(pg, stats)
+
+	basePlan, err := link.AssignGATs(p, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, slots := range basePlan.Slots {
+		stats.GATBytesBefore += uint64(len(slots)) * 8
+	}
+
+	var pl *Plan
+	switch cfg.level {
+	case LevelNone:
+		pl, err = computePlan(pg, planOpts{})
+	case LevelSimple:
+		pl, err = runSimple(pg)
+	case LevelFull:
+		pl, err = runFull(ctx, pg, cfg.ablation)
+	}
+	if err != nil {
+		return nil, err
+	}
+	collectAfter(pg, pl, stats)
+
+	sched := cfg.schedule && cfg.level == LevelFull
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	im, err := Emit(pg, pl, sched)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Image: im, Stats: stats}, nil
+}
+
 // Options select the OM optimization level and whether OM-full also
 // reschedules the code after optimizing (the paper's "w/sched" column).
+//
+// Deprecated: pass WithLevel/WithSchedule options to Run.
 type Options struct {
 	Level    Level
 	Schedule bool
@@ -15,45 +142,20 @@ type Options struct {
 // Optimize runs OM on a merged program: lift to symbolic form, analyze and
 // transform at the requested level, and regenerate an executable image.
 // The returned statistics cover the paper's static measurements.
+//
+// Deprecated: use Run.
 func Optimize(p *link.Program, opts Options) (*objfile.Image, *Stats, error) {
-	pg, err := Lift(p)
+	res, err := Run(context.Background(), p,
+		WithLevel(opts.Level), WithSchedule(opts.Schedule))
 	if err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{}
-	collectBefore(pg, stats)
-
-	basePlan, err := link.AssignGATs(p, nil)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, slots := range basePlan.Slots {
-		stats.GATBytesBefore += uint64(len(slots)) * 8
-	}
-
-	var pl *Plan
-	switch opts.Level {
-	case LevelNone:
-		pl, err = computePlan(pg, planOpts{})
-	case LevelSimple:
-		pl, err = runSimple(pg)
-	case LevelFull:
-		pl, err = runFull(pg)
-	}
-	if err != nil {
-		return nil, nil, err
-	}
-	collectAfter(pg, pl, stats)
-
-	sched := opts.Schedule && opts.Level == LevelFull
-	im, err := Emit(pg, pl, sched)
-	if err != nil {
-		return nil, nil, err
-	}
-	return im, stats, nil
+	return res.Image, res.Stats, nil
 }
 
 // OptimizeObjects is a convenience wrapper: merge then optimize.
+//
+// Deprecated: use link.Merge followed by Run.
 func OptimizeObjects(objects []*objfile.Object, opts Options) (*objfile.Image, *Stats, error) {
 	p, err := link.Merge(objects)
 	if err != nil {

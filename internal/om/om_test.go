@@ -1,6 +1,7 @@
 package om
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -12,7 +13,6 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tcc"
 )
-
 
 // buildProgram compiles user sources (one unit each) plus the runtime
 // library and merges them.
@@ -238,7 +238,7 @@ func TestIdempotence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := runFull(pg)
+	pl, err := runFull(context.Background(), pg, Ablation{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,84 @@
+package om
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/objfile"
+)
+
+func imageBytes(t *testing.T, im *objfile.Image) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := im.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelOutputIdentical checks the determinism-by-construction claim:
+// at every optimization level, an OM run with many analysis goroutines
+// produces an image byte-identical to the serial run, with equal stats.
+func TestParallelOutputIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"none", []Option{WithLevel(LevelNone)}},
+		{"simple", []Option{WithLevel(LevelSimple)}},
+		{"full", []Option{WithLevel(LevelFull)}},
+		{"full+sched", []Option{WithLevel(LevelFull), WithSchedule(true)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := Run(context.Background(), freshProgram(t),
+				append([]Option{WithParallelism(1)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Run(context.Background(), freshProgram(t),
+				append([]Option{WithParallelism(8)}, tc.opts...)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(imageBytes(t, serial.Image), imageBytes(t, par.Image)) {
+				t.Error("parallel image differs from serial image")
+			}
+			switch {
+			case serial.Stats == nil && par.Stats == nil:
+			case serial.Stats == nil || par.Stats == nil || *serial.Stats != *par.Stats:
+				t.Errorf("stats diverged:\nserial: %+v\nparallel: %+v", serial.Stats, par.Stats)
+			}
+		})
+	}
+}
+
+// TestRunCanceled checks that a canceled context aborts Run.
+func TestRunCanceled(t *testing.T) {
+	p := freshProgram(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, p); err == nil {
+		t.Fatal("expected error from canceled context")
+	}
+}
+
+// TestDeprecatedWrappersMatchRun checks that the legacy entry points are
+// faithful wrappers over Run.
+func TestDeprecatedWrappersMatchRun(t *testing.T) {
+	im1, st1, err := Optimize(freshProgram(t), Options{Level: LevelFull})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), freshProgram(t), WithLevel(LevelFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(imageBytes(t, im1), imageBytes(t, res.Image)) {
+		t.Error("Optimize image differs from Run image")
+	}
+	if *st1 != *res.Stats {
+		t.Errorf("stats diverged:\nOptimize: %+v\nRun: %+v", st1, res.Stats)
+	}
+}

@@ -1,6 +1,8 @@
 package om
 
 import (
+	"context"
+
 	"repro/internal/axp"
 )
 
@@ -15,8 +17,11 @@ import (
 // PV-load nullification), exactly as the paper reports.
 func applyCallOpts(pg *Prog, pl *Plan, full bool) bool {
 	singleGAT := len(pl.gat.Slots) == 1
-	changed := false
-	for _, pr := range pg.Procs {
+	// Call sites mutate only their own procedure (the PV literal a LITUSE
+	// chain names is always in the same procedure); callee state is only
+	// read, and no concurrent call writes it. Safe to fan out per procedure.
+	return pg.forEachProc(func(pr *Proc) bool {
+		changed := false
 		// A caller whose own prologue was deleted holds whatever GP its
 		// caller had; with multiple GATs that value cannot be trusted to
 		// satisfy a skipped callee prologue.
@@ -69,8 +74,8 @@ func applyCallOpts(pg *Prog, pl *Plan, full bool) bool {
 			}
 			changed = true
 		}
-	}
-	return changed
+		return changed
+	})
 }
 
 // normalizeLocalEntries re-derives the entry offset of every direct call
@@ -196,27 +201,39 @@ func runSimple(pg *Prog) (*Plan, error) {
 }
 
 // runFull performs the OM-full pass set, iterating with GAT reduction until
-// the layout and the code reach a fixpoint.
-func runFull(pg *Prog) (*Plan, error) {
-	restoreProloguePairs(pg)
+// the layout and the code reach a fixpoint. The zero Ablation runs every
+// component; each switch disables one (the ablation study). The context is
+// checked between rounds, the natural cancellation points of the fixpoint.
+func runFull(ctx context.Context, pg *Prog, ab Ablation) (*Plan, error) {
+	if !ab.NoPrologueRestore {
+		restoreProloguePairs(pg)
+	} else {
+		markPairPositions(pg)
+	}
 	var pl *Plan
 	for round := 0; ; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var err error
-		pl, err = computePlan(pg, planOpts{reduceGAT: true, sortCommons: true})
+		pl, err = computePlan(pg, planOpts{
+			reduceGAT:   !ab.NoGATReduction,
+			sortCommons: !ab.NoCommonSort,
+		})
 		if err != nil {
 			return nil, err
 		}
 		changed := false
-		if applyAddressOpts(pg, pl, true) {
+		if !ab.NoAddressOpt && applyAddressOptsEx(pg, pl, true, !ab.NoPairInsertion) {
 			changed = true
 		}
-		if applyCallOpts(pg, pl, true) {
+		if !ab.NoCallOpt && applyCallOpts(pg, pl, true) {
 			changed = true
 		}
-		if applyGPResetOpts(pg, pl, true) {
+		if !ab.NoResetOpt && applyGPResetOpts(pg, pl, true) {
 			changed = true
 		}
-		if applyPrologueOpts(pg, pl) {
+		if !ab.NoPrologueDelete && applyPrologueOpts(pg, pl) {
 			changed = true
 		}
 		if !changed {

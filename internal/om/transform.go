@@ -37,10 +37,12 @@ func applyAddressOpts(pg *Prog, pl *Plan, full bool) bool {
 }
 
 // applyAddressOptsEx is applyAddressOpts with the ldah/lda pair insertion
-// separately controllable (for ablation studies).
+// separately controllable (for ablation studies). Address loads and their
+// uses are procedure-local and the layout plan is frozen for the duration
+// of the pass, so procedures transform concurrently.
 func applyAddressOptsEx(pg *Prog, pl *Plan, full, insertOK bool) bool {
-	changed := false
-	for _, pr := range pg.Procs {
+	return pg.forEachProc(func(pr *Proc) bool {
+		changed := false
 		gp := int64(pl.GPOf(pr))
 		type insertion struct {
 			after *SInst
@@ -167,8 +169,8 @@ func applyAddressOptsEx(pg *Prog, pl *Plan, full, insertOK bool) bool {
 			}
 			pr.Insts = out
 		}
-	}
-	return changed
+		return changed
+	})
 }
 
 // resetCallee determines the procedure a call site transfers to, or nil for
@@ -188,8 +190,11 @@ func resetCallee(pg *Prog, call *SInst) *Proc {
 // caller's GP. Returns whether anything changed.
 func applyGPResetOpts(pg *Prog, pl *Plan, full bool) bool {
 	singleGAT := len(pl.gat.Slots) == 1
-	changed := false
-	for _, pr := range pg.Procs {
+	// A GP-reset pair, its call, and its partner all live in the same
+	// procedure; callee identity is read through the frozen plan. Safe to
+	// fan out per procedure.
+	return pg.forEachProc(func(pr *Proc) bool {
+		changed := false
 		for _, si := range pr.Insts {
 			if si.Deleted || si.GPD == nil || !si.GPD.High || si.GPD.Entry {
 				continue
@@ -213,8 +218,8 @@ func applyGPResetOpts(pg *Prog, pl *Plan, full bool) bool {
 			nullifyInst(si.GPD.Partner, full)
 			changed = true
 		}
-	}
-	return changed
+		return changed
+	})
 }
 
 // pairPosition locates the prologue GP pair of a procedure among its live
@@ -241,20 +246,22 @@ func pairPosition(pr *Proc) (hi *SInst, hiIdx, loIdx int) {
 // pair sits exactly at entry (the condition for callers to skip it with a
 // bsr to entry+8).
 func markPairPositions(pg *Prog) {
-	for _, pr := range pg.Procs {
+	pg.forEachProc(func(pr *Proc) bool {
 		hi, hiIdx, loIdx := pairPosition(pr)
 		pr.PairAtEntry = hi != nil && hiIdx == 0 && loIdx == 1
-	}
+		return false
+	})
 }
 
 // restoreProloguePairs (OM-full) moves scheduler-displaced prologue GP pairs
 // back to their logical place at procedure entry, enabling the bsr-skip
-// optimization that OM-simple must forgo.
+// optimization that OM-simple must forgo. Each restoration rearranges only
+// its own procedure's instruction list, so procedures proceed concurrently.
 func restoreProloguePairs(pg *Prog) {
-	for _, pr := range pg.Procs {
+	pg.forEachProc(func(pr *Proc) bool {
 		hi, hiIdx, loIdx := pairPosition(pr)
 		if hi == nil || (hiIdx == 0 && loIdx == 1) {
-			continue
+			return false
 		}
 		lo := hi.GPD.Partner
 		// The pair must still be in the entry block (no intervening labels
@@ -286,7 +293,7 @@ func restoreProloguePairs(pg *Prog) {
 			}
 		}
 		if !safe {
-			continue
+			return false
 		}
 		// Rebuild the full instruction list with the pair first, carrying
 		// any entry labels along.
@@ -300,7 +307,8 @@ func restoreProloguePairs(pg *Prog) {
 		}
 		hi.Labels = append(entryLabels, hi.Labels...)
 		pr.Insts = append([]*SInst{hi, lo}, rest...)
-	}
+		return true
+	})
 	markPairPositions(pg)
 }
 

@@ -10,6 +10,7 @@ package rtlib
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/objfile"
 	"repro/internal/tcc"
@@ -364,12 +365,18 @@ func Modules() []Module {
 
 // Objects compiles each library module separately — the modules are
 // "precompiled" in the paper's sense; user-side interprocedural compilation
-// never sees their sources. The result is cached per Options by the caller
-// if desired; compilation is fast.
+// never sees their sources.
 func Objects(opts tcc.Options) ([]*objfile.Object, error) {
+	return ObjectsVia(tcc.Compile, opts)
+}
+
+// ObjectsVia compiles the library modules through the given tcc.Compile-
+// compatible function, letting callers inject a caching compiler (e.g.
+// (*buildcache.Cache).Compile) so repeated builds skip recompilation.
+func ObjectsVia(compile func(unit string, sources []tcc.Source, opts tcc.Options) (*objfile.Object, error), opts tcc.Options) ([]*objfile.Object, error) {
 	var objs []*objfile.Object
 	for _, m := range Modules() {
-		obj, err := tcc.Compile("lib"+m.Name, []tcc.Source{{Name: m.Name + ".tc", Text: m.Source}}, opts)
+		obj, err := compile("lib"+m.Name, []tcc.Source{{Name: m.Name + ".tc", Text: m.Source}}, opts)
 		if err != nil {
 			return nil, fmt.Errorf("rtlib: compiling %s: %w", m.Name, err)
 		}
@@ -378,7 +385,19 @@ func Objects(opts tcc.Options) ([]*objfile.Object, error) {
 	return objs, nil
 }
 
-// StandardObjects compiles the library with the standard -O2 options.
+var (
+	stdOnce sync.Once
+	stdObjs []*objfile.Object
+	stdErr  error
+)
+
+// StandardObjects compiles the library with the standard -O2 options. The
+// result is compiled once per process and shared by every caller — linking
+// never mutates object modules, so the precompiled library is reused across
+// benchmarks, runners, and concurrent link jobs instead of being rebuilt.
 func StandardObjects() ([]*objfile.Object, error) {
-	return Objects(tcc.DefaultOptions())
+	stdOnce.Do(func() {
+		stdObjs, stdErr = Objects(tcc.DefaultOptions())
+	})
+	return stdObjs, stdErr
 }

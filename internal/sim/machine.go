@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -181,18 +182,43 @@ func New(im *objfile.Image, cfg Config) (*Machine, error) {
 
 // Run executes until HALT or an error.
 func Run(im *objfile.Image, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), im, cfg)
+}
+
+// RunContext is Run with cancellation: a long simulation aborts with the
+// context's error a bounded number of instructions after it is canceled.
+func RunContext(ctx context.Context, im *objfile.Image, cfg Config) (*Result, error) {
 	m, err := New(im, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return m.Run()
+	return m.RunContext(ctx)
 }
 
 // Run executes the loaded program.
 func (m *Machine) Run() (*Result, error) {
+	return m.RunContext(context.Background())
+}
+
+// cancelCheckMask picks how often the run loop polls the context: every
+// 64Ki instructions, cheap enough to be invisible in the timing model's
+// wall-clock but prompt enough to stop a canceled matrix run quickly.
+const cancelCheckMask = 1<<16 - 1
+
+// RunContext executes the loaded program until HALT, an error, or
+// cancellation.
+func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done()
 	for !m.halted {
 		if m.stats.Instructions >= m.cfg.MaxInstructions {
 			return nil, fmt.Errorf("sim: instruction limit (%d) exceeded at pc=%#x", m.cfg.MaxInstructions, m.PC)
+		}
+		if done != nil && m.stats.Instructions&cancelCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, fmt.Errorf("sim: run canceled at pc=%#x: %w", m.PC, ctx.Err())
+			default:
+			}
 		}
 		if err := m.step(); err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -343,5 +345,19 @@ func TestTwoLevelCache(t *testing.T) {
 	}
 	if two.L2Misses*4 >= two.DCacheMisses {
 		t.Errorf("L2 misses (%d) should be far fewer than L1 misses (%d)", two.L2Misses, two.DCacheMisses)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	// An infinite loop: br . (displacement -1 re-executes the branch).
+	im := image(t, []axp.Inst{axp.BranchInst(axp.BR, axp.Zero, -1)})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, im, Config{MaxInstructions: 1 << 40})
+	if err == nil {
+		t.Fatal("canceled run returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not wrap context.Canceled", err)
 	}
 }

@@ -1,0 +1,30 @@
+package tcc
+
+import "testing"
+
+// TestStaticResolvesAfterCrossFilePrototype: when a function is prototyped
+// in one file and defined in another (compile-all mode), its body must be
+// analyzed in the defining file's scope so that file statics resolve.
+// Regression test: the definition used to be checked in the prototype's
+// file, where the static was invisible.
+func TestStaticResolvesAfterCrossFilePrototype(t *testing.T) {
+	mainSrc := Source{Name: "m_main", Text: `
+long helper(long x);
+
+long main() {
+	return helper(4);
+}
+`}
+	helpSrc := Source{Name: "m_help", Text: `
+static long scale = 3;
+
+long helper(long x) {
+	return x * scale;
+}
+`}
+	for _, opts := range []Options{DefaultOptions(), InterprocOptions()} {
+		if _, err := Compile("m_all", []Source{mainSrc, helpSrc}, opts); err != nil {
+			t.Fatalf("multi-file unit with cross-file prototype: %v", err)
+		}
+	}
+}

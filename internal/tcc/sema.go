@@ -87,9 +87,13 @@ type analyzer struct {
 	// fileStatics maps file -> name -> decl for file-scope statics.
 	fileStatics map[*File]map[string]*VarDecl
 	fileFuncs   map[*File]map[string]*FuncDecl
-	curFile     *File
-	curFunc     *FuncDecl
-	loopDepth   int
+	// defFile records which file supplied each function's body: a definition
+	// merged into a prototype from another file must be checked in the
+	// defining file's scope, where its file statics are visible.
+	defFile   map[*FuncDecl]*File
+	curFile   *File
+	curFunc   *FuncDecl
+	loopDepth int
 }
 
 // Analyze resolves names and types across the given files, which together
@@ -107,6 +111,7 @@ func Analyze(name string, files []*File) (*Unit, error) {
 		unit:        u,
 		fileStatics: make(map[*File]map[string]*VarDecl),
 		fileFuncs:   make(map[*File]map[string]*FuncDecl),
+		defFile:     make(map[*FuncDecl]*File),
 	}
 
 	// Pass 1: collect global declarations.
@@ -140,7 +145,10 @@ func Analyze(name string, files []*File) (*Unit, error) {
 			}
 		}
 		for _, fn := range f.Funcs {
-			if fn.Body == nil {
+			// Check each body exactly once, in its defining file: a body
+			// merged into another file's prototype node also appears in that
+			// file's list, but its file statics live here.
+			if fn.Body == nil || a.defFile[fn] != f {
 				continue
 			}
 			if err := a.checkFunc(fn); err != nil {
@@ -204,10 +212,14 @@ func (a *analyzer) declareFunc(f *File, fn *FuncDecl) error {
 			}
 			if fn.Body != nil {
 				*prev = *fn // definition replaces forward declaration
+				a.defFile[prev] = f
 			}
 			return nil
 		}
 		a.fileFuncs[f][fn.Name] = fn
+		if fn.Body != nil {
+			a.defFile[fn] = f
+		}
 		if fn.Body != nil {
 			a.unit.FuncOrder = append(a.unit.FuncOrder, fn)
 		} else {
@@ -228,6 +240,7 @@ func (a *analyzer) declareFunc(f *File, fn *FuncDecl) error {
 		if fn.Body != nil {
 			prev.Body = fn.Body
 			prev.Pos = fn.Pos
+			a.defFile[prev] = f
 			delete(a.unit.ExternFuncs, fn.Name)
 			// Re-point the file's entry so codegen sees one node.
 			for i, g := range f.Funcs {
@@ -244,6 +257,7 @@ func (a *analyzer) declareFunc(f *File, fn *FuncDecl) error {
 	}
 	a.unit.Funcs[fn.Name] = fn
 	if fn.Body != nil {
+		a.defFile[fn] = f
 		a.unit.FuncOrder = append(a.unit.FuncOrder, fn)
 	} else {
 		a.unit.ExternFuncs[fn.Name] = fn
