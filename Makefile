@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check clean
+.PHONY: all build vet test race verify fmt-check bench bench-smoke clean
 
 all: build
 
@@ -21,8 +21,24 @@ fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# bench runs the simulator benchmark suite and records it as
+# BENCH_sim.json, embedding the pre-engine baseline so one file shows the
+# perf trajectory. Commit the refreshed file when touching the simulator.
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim|BenchmarkFig6Dynamic' \
+		-benchtime 2x -count 1 . ./internal/sim \
+		| $(GO) run ./cmd/benchjson \
+			-baseline results/BENCH_sim_baseline_pr1.json -o BENCH_sim.json
+	@cat BENCH_sim.json
+
+# bench-smoke executes every simulator benchmark exactly once so the bench
+# suite itself cannot bit-rot; CI runs this on every push.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim|BenchmarkFig6Dynamic' \
+		-benchtime 1x -count 1 . ./internal/sim
+
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check
+verify: build vet test race fmt-check bench-smoke
 
 clean:
 	$(GO) clean ./...

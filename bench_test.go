@@ -156,6 +156,7 @@ func BenchmarkFig6Dynamic(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := sim.DefaultConfig()
+	var insts uint64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r1, err := sim.Run(baseline, cfg)
@@ -169,7 +170,9 @@ func BenchmarkFig6Dynamic(b *testing.B) {
 		if r2.Stats.Instructions >= r1.Stats.Instructions {
 			b.Fatal("OM-full did not reduce instruction count")
 		}
+		insts += r1.Stats.Instructions + r2.Stats.Instructions
 	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
 }
 
 // --- Pipeline micro-benchmarks.
@@ -210,13 +213,13 @@ func BenchmarkSimulateFunctional(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.SetBytes(int64(res.Stats.Instructions))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(im, sim.Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(res.Stats.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 }
 
 func BenchmarkSimulateTiming(b *testing.B) {
@@ -229,13 +232,13 @@ func BenchmarkSimulateTiming(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.SetBytes(int64(res.Stats.Instructions))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(im, sim.DefaultConfig()); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(res.Stats.Instructions)*float64(b.N)/b.Elapsed().Seconds(), "inst/s")
 }
 
 // Sanity for the figure pipeline: keep the benchmarks honest by checking a

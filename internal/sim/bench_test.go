@@ -1,0 +1,95 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+)
+
+// benchImage assembles instructions into a minimal runnable image without a
+// testing.T (mirrors the image() helper in sim_test.go).
+func benchImage(b *testing.B, insts []axp.Inst) *objfile.Image {
+	b.Helper()
+	code, err := axp.EncodeAll(insts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &objfile.Image{
+		Entry: objfile.TextBase,
+		Segments: []objfile.Segment{
+			{Name: ".text", Addr: objfile.TextBase, Data: code},
+			{Name: ".data", Addr: objfile.DataBase, Data: make([]byte, 4096)},
+		},
+	}
+}
+
+// runSim executes the image b.N times and reports instructions/second,
+// the engine's headline throughput metric.
+func runSim(b *testing.B, im *objfile.Image, cfg Config) {
+	b.Helper()
+	var insts uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := New(im, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Stats.Instructions
+	}
+	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// stepProgram is a ~1.2M-instruction ALU/branch mix: the dispatch-and-
+// execute fast path with no memory traffic.
+func stepProgram() []axp.Inst {
+	return []axp.Inst{
+		axp.MemInst(axp.LDAH, axp.T0, axp.Zero, 2), // 131072 iterations
+		// loop:
+		axp.OpLitInst(axp.ADDQ, axp.T1, 3, axp.T1),
+		axp.OpInst(axp.XOR, axp.T1, axp.T0, axp.T2),
+		axp.OpLitInst(axp.SLL, axp.T2, 7, axp.T3),
+		axp.OpLitInst(axp.CMPLT, axp.T3, 9, axp.T4),
+		axp.OpInst(axp.SUBQ, axp.T3, axp.T1, axp.T5),
+		axp.OpLitInst(axp.SRA, axp.T5, 2, axp.T5),
+		axp.OpLitInst(axp.SUBQ, axp.T0, 1, axp.T0),
+		axp.BranchInst(axp.BGT, axp.T0, -8),
+		axp.Mov(axp.Zero, axp.A0),
+		axp.Pal(axp.PalHalt),
+	}
+}
+
+// BenchmarkSimStep measures raw interpreter throughput on straight-line
+// integer code, functionally and under the timing model.
+func BenchmarkSimStep(b *testing.B) {
+	im := benchImage(b, stepProgram())
+	b.Run("functional", func(b *testing.B) { runSim(b, im, Config{}) })
+	b.Run("timing", func(b *testing.B) { runSim(b, im, DefaultConfig()) })
+}
+
+// BenchmarkSimMemory measures the load/store path: two pointers far enough
+// apart to exercise distinct cache lines, four memory operations per
+// iteration, all inside the stack arena.
+func BenchmarkSimMemory(b *testing.B) {
+	prog := []axp.Inst{
+		axp.MemInst(axp.LDAH, axp.T0, axp.Zero, 3), // 196608 iterations
+		axp.MemInst(axp.LDA, axp.T6, axp.SP, -16384),
+		// loop:
+		axp.MemInst(axp.STQ, axp.T0, axp.SP, -8),
+		axp.MemInst(axp.LDQ, axp.T1, axp.SP, -8),
+		axp.MemInst(axp.STQ, axp.T1, axp.T6, 0),
+		axp.MemInst(axp.LDQ, axp.T2, axp.T6, 8),
+		axp.OpLitInst(axp.SUBQ, axp.T0, 1, axp.T0),
+		axp.BranchInst(axp.BGT, axp.T0, -6),
+		axp.Mov(axp.Zero, axp.A0),
+		axp.Pal(axp.PalHalt),
+	}
+	im := benchImage(b, prog)
+	b.Run("functional", func(b *testing.B) { runSim(b, im, Config{}) })
+	b.Run("timing", func(b *testing.B) { runSim(b, im, DefaultConfig()) })
+}

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+)
+
+// --- fetch error classification ---
+
+func TestFetchUnalignedPC(t *testing.T) {
+	im := image(t, []axp.Inst{axp.Nop(), axp.Pal(axp.PalHalt)})
+	m, err := New(im, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m.PC = objfile.TextBase + 2 // inside .text but not instruction-aligned
+	if _, err := m.fetch(); err == nil || !strings.Contains(err.Error(), "unaligned pc") {
+		t.Errorf("unaligned in-segment pc: got %v, want unaligned-pc error", err)
+	}
+	m.PC = objfile.TextBase + 0x1_0000_0001 // unaligned and outside: unaligned wins
+	if _, err := m.fetch(); err == nil || !strings.Contains(err.Error(), "unaligned pc") {
+		t.Errorf("unaligned out-of-segment pc: got %v, want unaligned-pc error", err)
+	}
+	m.PC = objfile.TextBase + 0x1_0000_0000 // aligned but outside every segment
+	if _, err := m.fetch(); err == nil || !strings.Contains(err.Error(), "outside every text segment") {
+		t.Errorf("out-of-segment pc: got %v, want outside-segment error", err)
+	}
+	m.PC = objfile.TextBase
+	if in, err := m.fetch(); err != nil || in.Op != axp.BIS {
+		t.Errorf("valid pc: got %v, %v", in, err)
+	}
+
+	// End to end: an unaligned entry point aborts the run with the distinct
+	// error, not the misleading outside-segment one.
+	im.Entry = objfile.TextBase + 2
+	if _, err := Run(im, Config{}); err == nil || !strings.Contains(err.Error(), "unaligned pc") {
+		t.Errorf("run with unaligned entry: got %v, want unaligned-pc error", err)
+	}
+}
+
+// --- cache set-count validation ---
+
+func TestCacheNonPowerOfTwoSets(t *testing.T) {
+	// 3KB / 32B lines = 96 sets, not a power of two: must round down to 64,
+	// not alias silently through the index mask.
+	c := NewCache(3<<10, 32)
+	if c.Sets() != 64 {
+		t.Fatalf("sets = %d, want 64", c.Sets())
+	}
+	// With 64 sets, line 64 maps to set 0 and must evict line 0.
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if c.Access(64 * 32) {
+		t.Error("aliased line hit")
+	}
+	if c.Access(0) {
+		t.Error("line 0 should have been evicted by its 64-set alias")
+	}
+
+	if got := NewCache(8<<10, 32).Sets(); got != 256 {
+		t.Errorf("power-of-two config changed: sets = %d, want 256", got)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("cache smaller than one line did not panic")
+		}
+	}()
+	NewCache(16, 32)
+}
+
+// --- memory edge cases ---
+
+func TestLoadBytesSpanningPageBoundary(t *testing.T) {
+	m := NewMemory()
+	// Far from any arena: exercises the sparse page map across a boundary.
+	addr := uint64(0x50_0000_0000) + pageSize - 4
+	m.LoadBytes(addr, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	lo, err := m.Read32(addr)
+	if err != nil || lo != 0x04030201 {
+		t.Errorf("low half = %#x, %v", lo, err)
+	}
+	hi, err := m.Read32(addr + 4)
+	if err != nil || hi != 0x08070605 {
+		t.Errorf("high half across page boundary = %#x, %v", hi, err)
+	}
+}
+
+func TestMemoryUnmappedReadsZero(t *testing.T) {
+	m := NewMemory()
+	if v, err := m.Read64(0x9999_0000); v != 0 || err != nil {
+		t.Errorf("unmapped Read64 = %d, %v", v, err)
+	}
+	if v, err := m.Read32(0x9999_0000); v != 0 || err != nil {
+		t.Errorf("unmapped Read32 = %d, %v", v, err)
+	}
+	m.Reserve(0x1000, 0x100)
+	if v, err := m.Read64(0x1008); v != 0 || err != nil {
+		t.Errorf("fresh arena Read64 = %d, %v", v, err)
+	}
+}
+
+func TestMemoryUnalignedAccessErrors(t *testing.T) {
+	m := NewMemory()
+	m.Reserve(0, pageSize) // both backing stores must enforce alignment
+	cases := []struct {
+		name string
+		f    func(addr uint64) error
+	}{
+		{"read64", func(a uint64) error { _, err := m.Read64(a); return err }},
+		{"write64", func(a uint64) error { return m.Write64(a, 1) }},
+		{"read32", func(a uint64) error { _, err := m.Read32(a); return err }},
+		{"write32", func(a uint64) error { return m.Write32(a, 1) }},
+	}
+	for _, c := range cases {
+		for _, base := range []uint64{0x10, 0x70_0000_0000} { // arena and page map
+			if err := c.f(base + 1); err == nil {
+				t.Errorf("%s at %#x: no unaligned error", c.name, base+1)
+			}
+		}
+		if err := c.f(0x10); err != nil {
+			t.Errorf("%s aligned: %v", c.name, err)
+		}
+	}
+}
+
+func TestMemoryArenaPageMapBoundary(t *testing.T) {
+	m := NewMemory()
+	m.Reserve(0x2_0000, 0x1_0000) // one exact page: arena = [0x20000, 0x30000)
+	if a := m.arenaFor(0x2_0000); a == nil || a.size != 0x1_0000 {
+		t.Fatalf("arena not page-exact: %+v", a)
+	}
+	// Last quadword inside the arena and first one past it (page-map side).
+	if err := m.Write64(0x2_FFF8, 0xAAAA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write64(0x3_0000, 0xBBBB); err != nil {
+		t.Fatal(err)
+	}
+	if m.arenaFor(0x2_FFF8) == nil {
+		t.Error("last in-arena quadword not arena-backed")
+	}
+	if m.arenaFor(0x3_0000) != nil {
+		t.Error("address past arena end should fall back to the page map")
+	}
+	if v, _ := m.Read64(0x2_FFF8); v != 0xAAAA {
+		t.Errorf("arena side = %#x", v)
+	}
+	if v, _ := m.Read64(0x3_0000); v != 0xBBBB {
+		t.Errorf("page-map side = %#x", v)
+	}
+
+	// LoadBytes spanning from the arena into unreserved space.
+	m.LoadBytes(0x2_FFFC, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if v, _ := m.Read32(0x2_FFFC); v != 0x04030201 {
+		t.Errorf("span load, arena half = %#x", v)
+	}
+	if v, _ := m.Read32(0x3_0000 + 4 - 4); v != 0x08070605 {
+		t.Errorf("span load, fallback half = %#x", v)
+	}
+}
+
+func TestReserveAbsorbsAndMerges(t *testing.T) {
+	m := NewMemory()
+	// Populate the page map first; a later reservation over the same range
+	// must keep the contents visible.
+	if err := m.Write64(0x5_0008, 77); err != nil {
+		t.Fatal(err)
+	}
+	m.Reserve(0x5_0000, 0x100)
+	if v, _ := m.Read64(0x5_0008); v != 77 {
+		t.Errorf("absorbed page value = %d, want 77", v)
+	}
+	if len(m.pages) != 0 {
+		t.Errorf("%d pages left shadowing the arena", len(m.pages))
+	}
+	// Overlapping reservations merge into one arena covering both.
+	m.Reserve(0x5_8000, 0x2_0000)
+	if len(m.arenas) != 1 {
+		t.Fatalf("overlapping reservations left %d arenas, want 1", len(m.arenas))
+	}
+	if v, _ := m.Read64(0x5_0008); v != 77 {
+		t.Errorf("value lost in merge: %d", v)
+	}
+	a := m.arenas[0]
+	// [0x5_0000, 0x6_0000) merged with page-aligned [0x5_0000, 0x8_0000).
+	if a.base != 0x5_0000 || a.size != 0x3_0000 {
+		t.Errorf("merged arena = [%#x, +%#x)", a.base, a.size)
+	}
+}
+
+// --- engine behavior ---
+
+// TestRunNoPerInstructionAllocations pins the zero-allocation property of
+// the execution core: a million-instruction run may allocate O(1) (Result,
+// output buffers), never O(instructions).
+func TestRunNoPerInstructionAllocations(t *testing.T) {
+	mk := func() *Machine {
+		// 500k iterations of {subq, bgt} = 1M+2 instructions.
+		im := image(t, []axp.Inst{
+			axp.MemInst(axp.LDAH, axp.T0, axp.Zero, 8), // t0 = 524288
+			axp.OpLitInst(axp.SUBQ, axp.T0, 1, axp.T0),
+			axp.BranchInst(axp.BGT, axp.T0, -2),
+			axp.Pal(axp.PalHalt),
+		})
+		m, err := New(im, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mk() // warm up lazy runtime state outside the measured window
+
+	m := mk()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := m.RunContext(context.Background())
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions < 1_000_000 {
+		t.Fatalf("loop ran only %d instructions", res.Stats.Instructions)
+	}
+	if allocs := after.Mallocs - before.Mallocs; allocs > 1000 {
+		t.Errorf("%d allocations for a %d-instruction run: engine is allocating per step",
+			allocs, res.Stats.Instructions)
+	}
+}
+
+// TestBlockEngineControlFlow cross-checks the block-indexed engine against
+// dense control transfers: every instruction its own block.
+func TestBlockEngineControlFlow(t *testing.T) {
+	// Alternate branch/fallthrough so block resolution happens constantly.
+	prog := []axp.Inst{
+		axp.MemInst(axp.LDA, axp.T0, axp.Zero, 0),
+		axp.BranchInst(axp.BR, axp.Zero, 1), // skip the poison lda
+		axp.MemInst(axp.LDA, axp.T0, axp.Zero, 99),
+		axp.OpLitInst(axp.ADDQ, axp.T0, 5, axp.T0),
+		axp.BranchInst(axp.BEQ, axp.T0, 2), // not taken
+		axp.OpLitInst(axp.ADDQ, axp.T0, 2, axp.T0),
+		axp.BranchInst(axp.BR, axp.Zero, 1), // skip the next poison
+		axp.MemInst(axp.LDA, axp.T0, axp.Zero, 98),
+	}
+	out := runInsts(t, append(prog, outAndHalt(axp.T0)...))
+	if len(out) != 1 || out[0] != 7 {
+		t.Fatalf("got %v, want [7]", out)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"math/bits"
 
 	"repro/internal/axp"
 	"repro/internal/objfile"
@@ -81,8 +80,11 @@ type Machine struct {
 	R   [32]uint64
 	F   [32]float64
 	PC  uint64
-	// texts holds every decoded executable segment (static and shared).
-	texts []textRange
+	// segs holds every executable segment (static and shared), pre-decoded
+	// into the engine's uop form with a basic-block index; curSeg caches
+	// the segment the engine is currently executing in.
+	segs   []decSeg
+	curSeg int
 
 	halted  bool
 	exit    int64
@@ -90,9 +92,13 @@ type Machine struct {
 	outB    []byte
 	profile map[uint32]uint64
 
-	// Timing state.
+	// Timing state. The config's penalties are hoisted into machine fields
+	// once at construction so the per-instruction path reads no Config.
 	icache, dcache *Cache
 	l2             *Cache
+	missPenalty    uint64
+	l2MissPenalty  uint64
+	takenBubble    uint64
 	regReady       [32]uint64
 	fregReady      [32]uint64
 	cycle          uint64 // next free issue cycle
@@ -114,21 +120,6 @@ const (
 	classFP
 )
 
-func classify(in axp.Inst) issueClass {
-	switch {
-	case in.Op.IsMem() || in.Op == axp.LDA || in.Op == axp.LDAH:
-		if in.Op.IsMem() {
-			return classMem
-		}
-		return classInt
-	case in.Op.IsBranch() || in.Op.IsJump() || in.Op == axp.CALLPAL:
-		return classBr
-	case in.Op.Format() == axp.FormatOpF:
-		return classFP
-	}
-	return classInt
-}
-
 // New prepares a machine to run the image.
 func New(im *objfile.Image, cfg Config) (*Machine, error) {
 	if cfg.MaxInstructions == 0 {
@@ -144,6 +135,27 @@ func New(im *objfile.Image, cfg Config) (*Machine, error) {
 		cfg.MissPenalty = 10
 	}
 	m := &Machine{cfg: cfg, mem: NewMemory()}
+
+	// Back the image's static segments and the stack with flat arenas so
+	// the hot load/store path is a bounds check and an indexed access; the
+	// sparse page map remains as the fallback for everything else. Data
+	// segments are reserved first: the arena list is searched in order and
+	// data traffic dominates the fallback-free path.
+	isText := make(map[uint64]bool)
+	for _, seg := range im.TextSegments() {
+		isText[seg.Addr] = true
+	}
+	for i := range im.Segments {
+		seg := &im.Segments[i]
+		if !isText[seg.Addr] {
+			m.mem.Reserve(seg.Addr, uint64(len(seg.Data))+seg.ZeroSize)
+		}
+	}
+	m.mem.Reserve(objfile.StackTop-objfile.StackSize, objfile.StackSize)
+	for _, seg := range im.TextSegments() {
+		m.mem.Reserve(seg.Addr, uint64(len(seg.Data)))
+	}
+
 	for i := range im.Segments {
 		seg := &im.Segments[i]
 		m.mem.LoadBytes(seg.Addr, seg.Data)
@@ -156,11 +168,9 @@ func New(im *objfile.Image, cfg Config) (*Machine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: %s does not decode: %w", seg.Name, err)
 		}
-		m.texts = append(m.texts, textRange{
-			base: seg.Addr, end: seg.Addr + uint64(len(seg.Data)), insts: insts,
-		})
+		m.segs = append(m.segs, newDecSeg(seg.Addr, insts))
 	}
-	if len(m.texts) == 0 {
+	if len(m.segs) == 0 {
 		return nil, fmt.Errorf("sim: image has no text segment")
 	}
 	m.PC = im.Entry
@@ -177,6 +187,9 @@ func New(im *objfile.Image, cfg Config) (*Machine, error) {
 			m.l2 = NewCache(cfg.L2Bytes, 32)
 		}
 	}
+	m.missPenalty = uint64(m.cfg.MissPenalty)
+	m.l2MissPenalty = uint64(m.cfg.L2MissPenalty)
+	m.takenBubble = uint64(m.cfg.TakenBranchBubble)
 	return m, nil
 }
 
@@ -206,12 +219,16 @@ func (m *Machine) Run() (*Result, error) {
 const cancelCheckMask = 1<<16 - 1
 
 // RunContext executes the loaded program until HALT, an error, or
-// cancellation.
+// cancellation. The loop works a basic block at a time: resolve() maps PC
+// to a pre-decoded segment once per control transfer, and the inner loop
+// walks the block's uops by index with no per-instruction fetch lookup.
 func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	done := ctx.Done()
+	maxInst := m.cfg.MaxInstructions
+	timing := m.cfg.Timing
 	for !m.halted {
-		if m.stats.Instructions >= m.cfg.MaxInstructions {
-			return nil, fmt.Errorf("sim: instruction limit (%d) exceeded at pc=%#x", m.cfg.MaxInstructions, m.PC)
+		if m.stats.Instructions >= maxInst {
+			return nil, fmt.Errorf("sim: instruction limit (%d) exceeded at pc=%#x", maxInst, m.PC)
 		}
 		if done != nil && m.stats.Instructions&cancelCheckMask == 0 {
 			select {
@@ -220,11 +237,41 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 			default:
 			}
 		}
-		if err := m.step(); err != nil {
+		seg, idx, err := m.resolve()
+		if err != nil {
 			return nil, err
 		}
+		end := int(seg.blockEnd[idx])
+		for {
+			u := &seg.uops[idx]
+			pc := m.PC
+			m.stats.Instructions++
+			taken, memAddr, isMem, err := m.execUop(u)
+			if err != nil {
+				return nil, fmt.Errorf("%w (pc=%#x, inst=%v)", err, pc, seg.insts[idx])
+			}
+			if timing {
+				m.timeUop(u, pc, taken, memAddr, isMem)
+			}
+			idx++
+			if idx >= end || m.halted {
+				break // control transfer (or halt): re-resolve
+			}
+			// Straight-line fallthrough: the next uop is at PC. Keep the
+			// classic loop's per-instruction limit and cancellation cadence.
+			if m.stats.Instructions >= maxInst {
+				return nil, fmt.Errorf("sim: instruction limit (%d) exceeded at pc=%#x", maxInst, m.PC)
+			}
+			if done != nil && m.stats.Instructions&cancelCheckMask == 0 {
+				select {
+				case <-done:
+					return nil, fmt.Errorf("sim: run canceled at pc=%#x: %w", m.PC, ctx.Err())
+				default:
+				}
+			}
+		}
 	}
-	if m.cfg.Timing {
+	if timing {
 		m.stats.ICacheMisses = m.icache.Misses
 		m.stats.ICacheHits = m.icache.Accesses - m.icache.Misses
 		m.stats.DCacheMisses = m.dcache.Misses
@@ -237,299 +284,14 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 	return &Result{Exit: m.exit, Output: m.out, OutBytes: m.outB, Stats: m.stats, Profile: m.profile}, nil
 }
 
-// textRange is one decoded executable segment.
-type textRange struct {
-	base, end uint64
-	insts     []axp.Inst
-}
-
+// fetch returns the decoded instruction at PC. An unaligned PC is reported
+// as such, distinct from a PC outside every text segment.
 func (m *Machine) fetch() (axp.Inst, error) {
-	if m.PC&3 == 0 {
-		for i := range m.texts {
-			t := &m.texts[i]
-			if m.PC >= t.base && m.PC < t.end {
-				return t.insts[(m.PC-t.base)/4], nil
-			}
-		}
-	}
-	return axp.Inst{}, fmt.Errorf("sim: pc %#x outside every text segment", m.PC)
-}
-
-func (m *Machine) step() error {
-	in, err := m.fetch()
+	seg, idx, err := m.resolve()
 	if err != nil {
-		return err
+		return axp.Inst{}, err
 	}
-	pc := m.PC
-	m.stats.Instructions++
-
-	taken, memAddr, isMem, err := m.exec(in)
-	if err != nil {
-		return fmt.Errorf("%w (pc=%#x, inst=%v)", err, pc, in)
-	}
-	if m.cfg.Timing {
-		m.time(in, pc, taken, memAddr, isMem)
-	}
-	return nil
-}
-
-// exec performs the architectural effect of in and advances PC. It reports
-// whether a branch was taken and the memory address touched, for timing.
-func (m *Machine) exec(in axp.Inst) (taken bool, memAddr uint64, isMem bool, err error) {
-	next := m.PC + 4
-	rr := func(r axp.Reg) uint64 { return m.R[r] }
-	opB := func() uint64 {
-		if in.HasLit {
-			return uint64(in.Lit)
-		}
-		return m.R[in.Rb]
-	}
-	setR := func(r axp.Reg, v uint64) {
-		if r != axp.Zero {
-			m.R[r] = v
-		}
-	}
-	setF := func(f axp.FReg, v float64) {
-		if f != axp.FZero {
-			m.F[f] = v
-		}
-	}
-
-	switch in.Op {
-	case axp.LDA:
-		setR(in.Ra, rr(in.Rb)+uint64(int64(in.Disp)))
-	case axp.LDAH:
-		setR(in.Ra, rr(in.Rb)+uint64(int64(in.Disp)<<16))
-	case axp.LDQ:
-		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
-		isMem = true
-		v, e := m.mem.Read64(memAddr)
-		if e != nil {
-			return false, 0, false, e
-		}
-		setR(in.Ra, v)
-		m.stats.Loads++
-	case axp.LDQU:
-		memAddr = (rr(in.Rb) + uint64(int64(in.Disp))) &^ 7
-		isMem = true
-		if in.Ra != axp.Zero { // unop never touches memory in our model
-			v, e := m.mem.Read64(memAddr)
-			if e != nil {
-				return false, 0, false, e
-			}
-			setR(in.Ra, v)
-			m.stats.Loads++
-		} else {
-			isMem = false
-		}
-	case axp.LDL:
-		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
-		isMem = true
-		v, e := m.mem.Read32(memAddr)
-		if e != nil {
-			return false, 0, false, e
-		}
-		setR(in.Ra, uint64(int64(int32(v))))
-		m.stats.Loads++
-	case axp.STQ:
-		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
-		isMem = true
-		if e := m.mem.Write64(memAddr, rr(in.Ra)); e != nil {
-			return false, 0, false, e
-		}
-		m.stats.Stores++
-	case axp.STL:
-		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
-		isMem = true
-		if e := m.mem.Write32(memAddr, uint32(rr(in.Ra))); e != nil {
-			return false, 0, false, e
-		}
-		m.stats.Stores++
-	case axp.LDT:
-		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
-		isMem = true
-		v, e := m.mem.Read64(memAddr)
-		if e != nil {
-			return false, 0, false, e
-		}
-		setF(in.Fa, math.Float64frombits(v))
-		m.stats.Loads++
-	case axp.STT:
-		memAddr = rr(in.Rb) + uint64(int64(in.Disp))
-		isMem = true
-		if e := m.mem.Write64(memAddr, math.Float64bits(m.F[in.Fa])); e != nil {
-			return false, 0, false, e
-		}
-		m.stats.Stores++
-
-	case axp.JMP, axp.JSR, axp.RET:
-		target := rr(in.Rb) &^ 3
-		setR(in.Ra, next)
-		next = target
-		taken = true
-	case axp.BR, axp.BSR:
-		setR(in.Ra, next)
-		next = next + uint64(int64(in.Disp)*4)
-		taken = true
-	case axp.BEQ, axp.BNE, axp.BLT, axp.BLE, axp.BGE, axp.BGT, axp.BLBC, axp.BLBS:
-		v := int64(rr(in.Ra))
-		switch in.Op {
-		case axp.BEQ:
-			taken = v == 0
-		case axp.BNE:
-			taken = v != 0
-		case axp.BLT:
-			taken = v < 0
-		case axp.BLE:
-			taken = v <= 0
-		case axp.BGE:
-			taken = v >= 0
-		case axp.BGT:
-			taken = v > 0
-		case axp.BLBC:
-			taken = v&1 == 0
-		case axp.BLBS:
-			taken = v&1 == 1
-		}
-		if taken {
-			next = next + uint64(int64(in.Disp)*4)
-		}
-	case axp.FBEQ, axp.FBNE, axp.FBLT, axp.FBLE, axp.FBGE, axp.FBGT:
-		v := m.F[in.Fa]
-		switch in.Op {
-		case axp.FBEQ:
-			taken = v == 0
-		case axp.FBNE:
-			taken = v != 0
-		case axp.FBLT:
-			taken = v < 0
-		case axp.FBLE:
-			taken = v <= 0
-		case axp.FBGE:
-			taken = v >= 0
-		case axp.FBGT:
-			taken = v > 0
-		}
-		if taken {
-			next = next + uint64(int64(in.Disp)*4)
-		}
-
-	case axp.ADDQ:
-		setR(in.Rc, rr(in.Ra)+opB())
-	case axp.SUBQ:
-		setR(in.Rc, rr(in.Ra)-opB())
-	case axp.ADDL:
-		setR(in.Rc, uint64(int64(int32(rr(in.Ra)+opB()))))
-	case axp.SUBL:
-		setR(in.Rc, uint64(int64(int32(rr(in.Ra)-opB()))))
-	case axp.S4ADDQ:
-		setR(in.Rc, rr(in.Ra)*4+opB())
-	case axp.S8ADDQ:
-		setR(in.Rc, rr(in.Ra)*8+opB())
-	case axp.MULQ:
-		setR(in.Rc, rr(in.Ra)*opB())
-	case axp.MULL:
-		setR(in.Rc, uint64(int64(int32(rr(in.Ra)*opB()))))
-	case axp.UMULH:
-		h, _ := bits.Mul64(rr(in.Ra), opB())
-		setR(in.Rc, h)
-	case axp.CMPEQ:
-		setR(in.Rc, b2u(rr(in.Ra) == opB()))
-	case axp.CMPLT:
-		setR(in.Rc, b2u(int64(rr(in.Ra)) < int64(opB())))
-	case axp.CMPLE:
-		setR(in.Rc, b2u(int64(rr(in.Ra)) <= int64(opB())))
-	case axp.CMPULT:
-		setR(in.Rc, b2u(rr(in.Ra) < opB()))
-	case axp.CMPULE:
-		setR(in.Rc, b2u(rr(in.Ra) <= opB()))
-	case axp.AND:
-		setR(in.Rc, rr(in.Ra)&opB())
-	case axp.BIC:
-		setR(in.Rc, rr(in.Ra)&^opB())
-	case axp.BIS:
-		setR(in.Rc, rr(in.Ra)|opB())
-	case axp.ORNOT:
-		setR(in.Rc, rr(in.Ra)|^opB())
-	case axp.XOR:
-		setR(in.Rc, rr(in.Ra)^opB())
-	case axp.EQV:
-		setR(in.Rc, rr(in.Ra)^^opB())
-	case axp.SLL:
-		setR(in.Rc, rr(in.Ra)<<(opB()&63))
-	case axp.SRL:
-		setR(in.Rc, rr(in.Ra)>>(opB()&63))
-	case axp.SRA:
-		setR(in.Rc, uint64(int64(rr(in.Ra))>>(opB()&63)))
-	case axp.CMOVEQ:
-		if rr(in.Ra) == 0 {
-			setR(in.Rc, opB())
-		}
-	case axp.CMOVNE:
-		if rr(in.Ra) != 0 {
-			setR(in.Rc, opB())
-		}
-	case axp.CMOVLT:
-		if int64(rr(in.Ra)) < 0 {
-			setR(in.Rc, opB())
-		}
-	case axp.CMOVGE:
-		if int64(rr(in.Ra)) >= 0 {
-			setR(in.Rc, opB())
-		}
-
-	case axp.ADDT:
-		setF(in.Fc, m.F[in.Fa]+m.F[in.Fb])
-	case axp.SUBT:
-		setF(in.Fc, m.F[in.Fa]-m.F[in.Fb])
-	case axp.MULT:
-		setF(in.Fc, m.F[in.Fa]*m.F[in.Fb])
-	case axp.DIVT:
-		setF(in.Fc, m.F[in.Fa]/m.F[in.Fb])
-	case axp.CMPTEQ:
-		setF(in.Fc, fpBool(m.F[in.Fa] == m.F[in.Fb]))
-	case axp.CMPTLT:
-		setF(in.Fc, fpBool(m.F[in.Fa] < m.F[in.Fb]))
-	case axp.CMPTLE:
-		setF(in.Fc, fpBool(m.F[in.Fa] <= m.F[in.Fb]))
-	case axp.CVTQT:
-		setF(in.Fc, float64(int64(math.Float64bits(m.F[in.Fb]))))
-	case axp.CVTTQ:
-		setF(in.Fc, math.Float64frombits(uint64(truncToInt64(m.F[in.Fb]))))
-	case axp.CPYS:
-		a := math.Float64bits(m.F[in.Fa])
-		b := math.Float64bits(m.F[in.Fb])
-		setF(in.Fc, math.Float64frombits(a&(1<<63)|b&^(1<<63)))
-
-	case axp.CALLPAL:
-		if in.PalFn&axp.PalProfileFlag != 0 {
-			if m.profile == nil {
-				m.profile = make(map[uint32]uint64)
-			}
-			m.profile[uint32(in.PalFn&axp.PalProfileIDMask)]++
-			break
-		}
-		switch in.PalFn {
-		case axp.PalHalt:
-			m.halted = true
-			m.exit = int64(m.R[axp.A0])
-		case axp.PalOutput:
-			m.out = append(m.out, int64(m.R[axp.A0]))
-		case axp.PalOutputChar:
-			m.outB = append(m.outB, byte(m.R[axp.A0]))
-		case axp.PalCycles:
-			m.R[axp.V0] = m.cycle
-		default:
-			return false, 0, false, fmt.Errorf("sim: unknown PAL function %#x", in.PalFn)
-		}
-	default:
-		return false, 0, false, fmt.Errorf("sim: unimplemented op %v", in.Op)
-	}
-
-	m.R[axp.Zero] = 0
-	m.F[axp.FZero] = 0
-	m.PC = next
-	return taken, memAddr, isMem, nil
+	return seg.insts[idx], nil
 }
 
 func b2u(b bool) uint64 {

@@ -12,6 +12,7 @@ package sim
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 const (
@@ -20,14 +21,70 @@ const (
 	pageMask = pageSize - 1
 )
 
-// Memory is a sparse little-endian byte-addressable memory.
+// arena is a flat contiguous region backing a reserved address range. Both
+// bounds are page-aligned, so any naturally-aligned access that starts
+// inside an arena lies entirely inside it and page-map fallback never sees
+// an address an arena covers.
+type arena struct {
+	base, size uint64
+	data       []byte
+}
+
+// Memory is a sparse little-endian byte-addressable memory. Known-extent
+// regions (the image's static segments and the stack) are reserved as flat
+// arenas checked first on every access; the page map is the fallback for
+// addresses outside every arena, so arbitrary sparse traffic still works.
 type Memory struct {
-	pages map[uint64][]byte
+	arenas []arena
+	pages  map[uint64][]byte
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
 	return &Memory{pages: make(map[uint64][]byte)}
+}
+
+// Reserve backs [addr, addr+size) with a flat zero-initialized arena,
+// page-aligning the bounds. Overlapping or adjacent reservations merge;
+// pages already populated in the sparse map are absorbed so existing
+// contents stay visible. Arenas are searched in reservation order on the
+// hot path, so callers should reserve the most-accessed regions first.
+func (m *Memory) Reserve(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	base := addr &^ uint64(pageMask)
+	end := (addr + size + pageMask) &^ uint64(pageMask)
+	var absorbed []arena
+	for changed := true; changed; {
+		changed = false
+		for i := range m.arenas {
+			a := m.arenas[i]
+			if a.base <= end && base <= a.base+a.size {
+				if a.base < base {
+					base = a.base
+				}
+				if ae := a.base + a.size; ae > end {
+					end = ae
+				}
+				absorbed = append(absorbed, a)
+				m.arenas = append(m.arenas[:i], m.arenas[i+1:]...)
+				changed = true
+				break
+			}
+		}
+	}
+	na := arena{base: base, size: end - base, data: make([]byte, end-base)}
+	for _, a := range absorbed {
+		copy(na.data[a.base-base:], a.data)
+	}
+	for pn := base >> pageBits; pn < end>>pageBits; pn++ {
+		if p, ok := m.pages[pn]; ok {
+			copy(na.data[pn<<pageBits-base:], p)
+			delete(m.pages, pn)
+		}
+	}
+	m.arenas = append(m.arenas, na)
 }
 
 func (m *Memory) page(addr uint64, create bool) []byte {
@@ -43,18 +100,39 @@ func (m *Memory) page(addr uint64, create bool) []byte {
 // LoadBytes copies data into memory at addr.
 func (m *Memory) LoadBytes(addr uint64, data []byte) {
 	for len(data) > 0 {
-		p := m.page(addr, true)
-		off := addr & pageMask
-		n := copy(p[off:], data)
+		var dst []byte
+		if a := m.arenaFor(addr); a != nil {
+			dst = a.data[addr-a.base:]
+		} else {
+			dst = m.page(addr, true)[addr&pageMask:]
+		}
+		n := copy(dst, data)
 		data = data[n:]
 		addr += uint64(n)
 	}
+}
+
+// arenaFor returns the arena containing addr, or nil.
+func (m *Memory) arenaFor(addr uint64) *arena {
+	for i := range m.arenas {
+		a := &m.arenas[i]
+		if addr-a.base < a.size {
+			return a
+		}
+	}
+	return nil
 }
 
 // Read64 reads an aligned quadword.
 func (m *Memory) Read64(addr uint64) (uint64, error) {
 	if addr&7 != 0 {
 		return 0, fmt.Errorf("sim: unaligned quadword read at %#x", addr)
+	}
+	for i := range m.arenas {
+		a := &m.arenas[i]
+		if off := addr - a.base; off < a.size {
+			return binary.LittleEndian.Uint64(a.data[off:]), nil
+		}
 	}
 	p := m.page(addr, false)
 	if p == nil {
@@ -68,6 +146,13 @@ func (m *Memory) Write64(addr uint64, v uint64) error {
 	if addr&7 != 0 {
 		return fmt.Errorf("sim: unaligned quadword write at %#x", addr)
 	}
+	for i := range m.arenas {
+		a := &m.arenas[i]
+		if off := addr - a.base; off < a.size {
+			binary.LittleEndian.PutUint64(a.data[off:], v)
+			return nil
+		}
+	}
 	p := m.page(addr, true)
 	binary.LittleEndian.PutUint64(p[addr&pageMask:], v)
 	return nil
@@ -77,6 +162,12 @@ func (m *Memory) Write64(addr uint64, v uint64) error {
 func (m *Memory) Read32(addr uint64) (uint32, error) {
 	if addr&3 != 0 {
 		return 0, fmt.Errorf("sim: unaligned longword read at %#x", addr)
+	}
+	for i := range m.arenas {
+		a := &m.arenas[i]
+		if off := addr - a.base; off < a.size {
+			return binary.LittleEndian.Uint32(a.data[off:]), nil
+		}
 	}
 	p := m.page(addr, false)
 	if p == nil {
@@ -90,6 +181,13 @@ func (m *Memory) Write32(addr uint64, v uint32) error {
 	if addr&3 != 0 {
 		return fmt.Errorf("sim: unaligned longword write at %#x", addr)
 	}
+	for i := range m.arenas {
+		a := &m.arenas[i]
+		if off := addr - a.base; off < a.size {
+			binary.LittleEndian.PutUint32(a.data[off:], v)
+			return nil
+		}
+	}
 	p := m.page(addr, true)
 	binary.LittleEndian.PutUint32(p[addr&pageMask:], v)
 	return nil
@@ -98,7 +196,7 @@ func (m *Memory) Write32(addr uint64, v uint32) error {
 // Cache is a direct-mapped cache model tracking only tags.
 type Cache struct {
 	lineBits uint
-	sets     int
+	mask     uint64 // sets - 1; sets is always a power of two
 	tags     []uint64
 	valid    []bool
 	// Stats
@@ -106,27 +204,40 @@ type Cache struct {
 	Misses   uint64
 }
 
-// NewCache builds a direct-mapped cache of the given total size and line size
-// (both powers of two).
+// NewCache builds a direct-mapped cache of the given total size and line
+// size. Indexing uses line & (sets-1), which silently aliases distinct
+// sets unless the set count is a power of two, so a non-power-of-two
+// sizeBytes/lineBytes ratio is rounded DOWN to the nearest power of two
+// (modeling the largest buildable direct-mapped cache within the budget).
+// A cache smaller than one line is a configuration error and panics.
 func NewCache(sizeBytes, lineBytes int) *Cache {
 	lineBits := uint(0)
 	for 1<<lineBits < lineBytes {
 		lineBits++
 	}
 	sets := sizeBytes / lineBytes
+	if sets < 1 {
+		panic(fmt.Sprintf("sim: cache of %d bytes is smaller than one %d-byte line", sizeBytes, lineBytes))
+	}
+	if sets&(sets-1) != 0 {
+		sets = 1 << (bits.Len(uint(sets)) - 1)
+	}
 	return &Cache{
 		lineBits: lineBits,
-		sets:     sets,
+		mask:     uint64(sets - 1),
 		tags:     make([]uint64, sets),
 		valid:    make([]bool, sets),
 	}
 }
 
+// Sets returns the number of sets (lines) in the cache.
+func (c *Cache) Sets() int { return len(c.tags) }
+
 // Access touches addr and reports whether it hit.
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	line := addr >> c.lineBits
-	set := int(line) & (c.sets - 1)
+	set := line & c.mask
 	if c.valid[set] && c.tags[set] == line {
 		return true
 	}

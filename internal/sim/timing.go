@@ -2,42 +2,20 @@ package sim
 
 import (
 	"math/bits"
-
-	"repro/internal/axp"
 )
-
-// Issue-to-use latencies of the timing model (cycles).
-func resultLatency(in axp.Inst, dmiss bool, penalty int) uint64 {
-	var lat uint64
-	switch {
-	case in.Op.IsLoad():
-		lat = 3
-		if dmiss {
-			lat += uint64(penalty)
-		}
-	case in.Op == axp.MULQ || in.Op == axp.MULL:
-		lat = 16
-	case in.Op == axp.UMULH:
-		lat = 18
-	case in.Op == axp.DIVT:
-		lat = 30
-	case in.Op.Format() == axp.FormatOpF:
-		lat = 6
-	default:
-		lat = 1
-	}
-	return lat
-}
 
 // pairOK reports whether two adjacent instructions may dual-issue
 // (simplified 21064 slotting: the two must use different function units).
 func pairOK(a, b issueClass) bool { return a != b }
 
-// time advances the pipeline model for the instruction executed at pc.
-func (m *Machine) time(in axp.Inst, pc uint64, taken bool, memAddr uint64, isMem bool) {
+// timeUop advances the pipeline model for the uop executed at pc. All
+// per-instruction metadata (operand masks, issue class, written registers,
+// base latency) was precomputed at decode time; only the dynamic parts —
+// cache probes, readiness, slotting — run here.
+func (m *Machine) timeUop(u *uop, pc uint64, taken bool, memAddr uint64, isMem bool) {
 	// Operand availability (allocation-free masks: this is the hot path).
 	ready := m.cycle
-	ints, fps := in.ReadMasks()
+	ints, fps := u.rdInts, u.rdFPs
 	for ints != 0 {
 		r := uint(bits.TrailingZeros64(ints))
 		ints &= ints - 1
@@ -52,20 +30,16 @@ func (m *Machine) time(in axp.Inst, pc uint64, taken bool, memAddr uint64, isMem
 			ready = m.fregReady[f]
 		}
 	}
-	// CALL_PAL serializes and implicitly reads a0.
-	if in.Op == axp.CALLPAL && m.regReady[axp.A0] > ready {
-		ready = m.regReady[axp.A0]
-	}
 
 	// Instruction fetch: an I-cache miss on the line delays issue.
 	if !m.icache.Access(pc) {
-		ready += uint64(m.cfg.MissPenalty)
+		ready += m.missPenalty
 		if m.l2 != nil && !m.l2.Access(pc) {
-			ready += uint64(m.cfg.L2MissPenalty)
+			ready += m.l2MissPenalty
 		}
 	}
 
-	cls := classify(in)
+	cls := u.class
 	var issue uint64
 	canPair := m.slotUsed &&
 		ready <= m.cycle &&
@@ -104,28 +78,31 @@ func (m *Machine) time(in axp.Inst, pc uint64, taken bool, memAddr uint64, isMem
 		}
 	}
 
-	// Result availability.
-	penalty := m.cfg.MissPenalty
-	if l2miss {
-		penalty += m.cfg.L2MissPenalty
+	// Result availability: loads add the dynamic miss penalty on top of the
+	// precomputed base latency.
+	lat := u.latBas
+	if u.isLoad && dmiss {
+		lat += m.missPenalty
+		if l2miss {
+			lat += m.l2MissPenalty
+		}
 	}
-	lat := resultLatency(in, dmiss, penalty)
-	if w := in.Writes(); w != axp.Zero {
-		m.regReady[w] = issue + lat
+	if u.writeR != regZero {
+		m.regReady[u.writeR] = issue + lat
 	}
-	if w := in.WritesF(); w != axp.FZero {
-		m.fregReady[w] = issue + lat
+	if u.writeF != regZero {
+		m.fregReady[u.writeF] = issue + lat
 	}
 	// Stores that miss stall the write buffer briefly; model as a bump of
 	// the issue clock rather than a register stall.
-	if in.Op.IsStore() && dmiss {
+	if u.isStr && dmiss {
 		m.cycle += 1
 	}
 
 	// Control transfers flush the issue slot and insert a bubble.
 	if taken {
 		m.stats.TakenBranch++
-		m.cycle = issue + 1 + uint64(m.cfg.TakenBranchBubble)
+		m.cycle = issue + 1 + m.takenBubble
 		m.slotUsed = false
 	}
 }
