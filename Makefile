@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench bench-smoke clean
+.PHONY: all build vet test race verify fmt-check bench bench-smoke trace-smoke clean
 
 all: build
 
@@ -37,8 +37,18 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim|BenchmarkFig6Dynamic' \
 		-benchtime 1x -count 1 . ./internal/sim
 
+# trace-smoke proves the decision journal accounts for every candidate
+# site on a real benchmark: run one benchmark with tracing, then omtrace
+# -check every journal (it fails if any address load, call site, or
+# GP-reset pair is missing from the journal).
+trace-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/omrepro -bench compress -fig 3 -trace $$dir >/dev/null && \
+	$(GO) run ./cmd/omtrace -check $$dir/*.json; \
+	status=$$?; rm -rf $$dir; exit $$status
+
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check bench-smoke
+verify: build vet test race fmt-check bench-smoke trace-smoke
 
 clean:
 	$(GO) clean ./...

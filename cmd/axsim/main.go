@@ -1,15 +1,20 @@
 // Command axsim runs an executable image in the Alpha AXP simulator and
 // reports the program's output and, with -timing, the pipeline statistics.
+// With -profile it additionally prints a hot-block report (per-block
+// execution counts attributed to procedures) and the dynamic instruction
+// mix; -metrics emits the run's counters as JSON on stderr.
 //
 // Usage:
 //
-//	axsim [-timing] [-max n] a.out
+//	axsim [-timing] [-profile] [-metrics] [-max n] a.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/objfile"
 	"repro/internal/sim"
@@ -17,10 +22,12 @@ import (
 
 func main() {
 	timing := flag.Bool("timing", false, "model the dual-issue pipeline and caches")
+	profile := flag.Bool("profile", false, "collect per-block execution counts and the instruction mix")
+	metrics := flag.Bool("metrics", false, "print run statistics as JSON on stderr")
 	maxInst := flag.Uint64("max", 0, "abort after this many instructions (0 = default cap)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: axsim [-timing] a.out")
+		fmt.Fprintln(os.Stderr, "usage: axsim [-timing] [-profile] [-metrics] a.out")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -39,6 +46,7 @@ func main() {
 		cfg = sim.DefaultConfig()
 		cfg.MaxInstructions = *maxInst
 	}
+	cfg.Profile = *profile
 	res, err := sim.Run(im, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "axsim:", err)
@@ -57,5 +65,60 @@ func main() {
 			s.DualIssued, s.Loads, s.Stores, s.TakenBranch,
 			s.ICacheHits, s.ICacheMisses, s.DCacheHits, s.DCacheMisses)
 	}
+	if *profile {
+		printProfile(im, res)
+	}
+	if *metrics {
+		data, err := json.MarshalIndent(res.Stats, "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "axsim:", err)
+			os.Exit(1)
+		}
+		os.Stderr.Write(append(data, '\n'))
+	}
 	os.Exit(int(res.Exit & 0x7F))
+}
+
+// printProfile renders the hot-block report (top 20 block entry points,
+// attributed to the covering procedure symbol) and the instruction mix.
+func printProfile(im *objfile.Image, res *sim.Result) {
+	fmt.Fprintf(os.Stderr, "hot blocks (%d distinct entry points):\n", len(res.BlockProfile))
+	top := res.BlockProfile
+	if len(top) > 20 {
+		top = top[:20]
+	}
+	for _, b := range top {
+		fmt.Fprintf(os.Stderr, "  %#10x %-24s %4d insts × %d\n",
+			b.PC, procNameAt(im, b.PC), b.Len, b.Count)
+	}
+	type mix struct {
+		op string
+		n  uint64
+	}
+	var mixes []mix
+	var total uint64
+	for op, n := range res.InstMix {
+		mixes = append(mixes, mix{op, n})
+		total += n
+	}
+	sort.Slice(mixes, func(i, j int) bool {
+		if mixes[i].n != mixes[j].n {
+			return mixes[i].n > mixes[j].n
+		}
+		return mixes[i].op < mixes[j].op
+	})
+	fmt.Fprintln(os.Stderr, "instruction mix:")
+	for _, m := range mixes {
+		fmt.Fprintf(os.Stderr, "  %-8s %12d  %5.1f%%\n", m.op, m.n, 100*float64(m.n)/float64(total))
+	}
+}
+
+// procNameAt finds the procedure symbol covering the address.
+func procNameAt(im *objfile.Image, pc uint64) string {
+	for _, s := range im.Symbols {
+		if s.Kind == objfile.SymProc && pc >= s.Addr && pc < s.Addr+s.Size {
+			return s.Name
+		}
+	}
+	return "?"
 }

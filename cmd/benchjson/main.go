@@ -21,16 +21,41 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 )
 
 type record struct {
-	Date       string          `json:"date"`
-	Commit     string          `json:"commit"`
-	Benchmarks []benchmark     `json:"benchmarks"`
-	Baseline   json.RawMessage `json:"baseline,omitempty"`
+	Date        string          `json:"date"`
+	Commit      string          `json:"commit"`
+	Environment environment     `json:"environment"`
+	Benchmarks  []benchmark     `json:"benchmarks"`
+	Baseline    json.RawMessage `json:"baseline,omitempty"`
+}
+
+// environment records where the numbers were measured, so regressions can
+// be told apart from host or toolchain changes.
+type environment struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Host       string `json:"host,omitempty"`
+}
+
+func hostEnvironment() environment {
+	host, _ := os.Hostname()
+	return environment{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Host:       host,
+	}
 }
 
 type benchmark struct {
@@ -80,7 +105,11 @@ func main() {
 	baseline := flag.String("baseline", "", "previous record to embed under \"baseline\"")
 	flag.Parse()
 
-	rec := record{Date: time.Now().UTC().Format("2006-01-02"), Commit: commit()}
+	rec := record{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		Commit:      commit(),
+		Environment: hostEnvironment(),
+	}
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		if b, ok := parse(sc.Text()); ok {

@@ -4,18 +4,22 @@
 //
 // Usage:
 //
-//	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib] [-stats] file.o...
+//	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib]
+//	   [-stats] [-trace file] [-metrics] [-v] file.o...
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/harness"
 	"repro/internal/link"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/om"
 	"repro/internal/rtlib"
 )
@@ -28,7 +32,19 @@ func main() {
 	shared := flag.String("shared", "", "comma-separated module names to treat as a dynamically-linked shared library")
 	stats := flag.Bool("stats", false, "print static optimization statistics")
 	jobs := flag.Int("j", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
+	trace := flag.String("trace", "", "write the decision journal (one event per address load/call/GP-reset) to this file")
+	metrics := flag.Bool("metrics", false, "print per-phase timings as JSON on stderr")
+	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
+
+	// All progress goes through one Logger so -trace/-metrics output and
+	// progress lines compose (and tests can swap the sink).
+	var logger harness.Logger = harness.LoggerFunc(func(string, ...any) {})
+	if *verbose {
+		logger = harness.LoggerFunc(func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+	}
 
 	var lvl om.Level
 	switch *level {
@@ -62,6 +78,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "om: no input objects")
 		os.Exit(2)
 	}
+	logger.Logf("om: read %d object modules", len(objs))
 	if !*nostdlib {
 		lib, err := rtlib.StandardObjects()
 		if err != nil {
@@ -69,6 +86,7 @@ func main() {
 			os.Exit(1)
 		}
 		objs = append(objs, lib...)
+		logger.Logf("om: linked runtime library (%d modules total)", len(objs))
 	}
 
 	p, err := link.Merge(objs)
@@ -79,15 +97,47 @@ func main() {
 	if *shared != "" {
 		p.MarkShared(strings.Split(*shared, ",")...)
 	}
-	res, err := om.Run(context.Background(), p,
-		om.WithLevel(lvl), om.WithSchedule(*sched), om.WithParallelism(*jobs))
+	opts := []om.Option{
+		om.WithLevel(lvl), om.WithSchedule(*sched), om.WithParallelism(*jobs),
+	}
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		opts = append(opts, om.WithMetrics(reg))
+	}
+	if *trace != "" {
+		opts = append(opts, om.WithTrace())
+	}
+	res, err := om.Run(context.Background(), p, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "om:", err)
 		os.Exit(1)
 	}
+	logger.Logf("om: optimized at %v: %v", lvl, res.Stats)
 	im := res.Image
 	if *stats {
 		fmt.Fprintln(os.Stderr, res.Stats)
+	}
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om:", err)
+			os.Exit(1)
+		}
+		if err := obs.WriteJournal(tf, res.Journal); err != nil {
+			fmt.Fprintln(os.Stderr, "om:", err)
+			os.Exit(1)
+		}
+		tf.Close()
+		logger.Logf("om: wrote decision journal (%d events) to %s", len(res.Journal.Events), *trace)
+	}
+	if reg != nil {
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "\t")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om:", err)
+			os.Exit(1)
+		}
+		os.Stderr.Write(append(data, '\n'))
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -99,4 +149,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "om:", err)
 		os.Exit(1)
 	}
+	logger.Logf("om: wrote %s", *out)
 }

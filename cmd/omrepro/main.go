@@ -9,23 +9,31 @@
 // variable) lets repeated runs skip compilation of unchanged sources.
 // Results are deterministic: any -j produces identical figures.
 //
+// With -trace, every OM-linked matrix cell's decision journal is written
+// into the given directory (one JSON file per cell, renderable with
+// omtrace); -metrics prints phase timings, cache traffic, and worker-pool
+// utilization as JSON on stderr.
+//
 // Usage:
 //
 //	omrepro [-fig 3|4|5|6|7|gat|size|all] [-bench name,name,...]
-//	        [-j N] [-cache dir|off] [-v]
+//	        [-j N] [-cache dir|off] [-trace dir] [-metrics] [-v]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 
 	"repro/internal/buildcache"
 	"repro/internal/harness"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -34,6 +42,8 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent build/measure jobs")
 	cacheDir := flag.String("cache", os.Getenv("OMREPRO_CACHE"),
 		"build cache directory ('' = in-memory only, 'off' = disabled; default $OMREPRO_CACHE)")
+	traceDir := flag.String("trace", "", "write per-cell decision journals into this directory")
+	metrics := flag.Bool("metrics", false, "print phase metrics as JSON on stderr")
 	verbose := flag.Bool("v", false, "print per-variant progress")
 	flag.Parse()
 
@@ -46,10 +56,21 @@ func main() {
 		os.Exit(1)
 	}
 	r.Parallelism = *jobs
+	logger := harness.LoggerFunc(func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
 	if *verbose {
-		r.Logger = harness.LoggerFunc(func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		})
+		r.Logger = logger
+	}
+	if *metrics {
+		r.Metrics = obs.NewRegistry()
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o777); err != nil {
+			fmt.Fprintln(os.Stderr, "omrepro:", err)
+			os.Exit(1)
+		}
+		r.Trace = true
 	}
 	if *cacheDir != "off" {
 		cache, err := buildcache.New(*cacheDir)
@@ -72,7 +93,8 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(harness.AblationTable(rows))
-		reportCache(r, *verbose)
+		reportCache(r, logger, *verbose)
+		reportMetrics(r)
 		return
 	}
 
@@ -94,14 +116,66 @@ func main() {
 	emit("7", harness.Figure7(results))
 	emit("gat", harness.GATTable(results))
 	emit("size", harness.CodeSizeTable(results))
-	reportCache(r, *verbose)
+	if *traceDir != "" {
+		if err := writeJournals(*traceDir, results, logger); err != nil {
+			fmt.Fprintln(os.Stderr, "omrepro:", err)
+			os.Exit(1)
+		}
+	}
+	reportCache(r, logger, *verbose)
+	reportMetrics(r)
 }
 
-func reportCache(r *harness.Runner, verbose bool) {
+// writeJournals stores every cell's decision journal as
+// dir/<bench>.<build>.<link>.json, the input format of omtrace.
+func writeJournals(dir string, results []*harness.Result, logger harness.Logger) error {
+	n := 0
+	for _, res := range results {
+		for _, v := range harness.AllVariants() {
+			m := res.M[v]
+			if m == nil || m.Journal == nil {
+				continue
+			}
+			name := fmt.Sprintf("%s.%v.%v.json", res.Name, v.Build, v.Link)
+			f, err := os.Create(filepath.Join(dir, name))
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteJournal(f, m.Journal); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			n++
+		}
+	}
+	logger.Logf("wrote %d decision journals to %s", n, dir)
+	return nil
+}
+
+// reportCache logs build-cache traffic through the runner's progress
+// logger, so it composes with -trace/-metrics output.
+func reportCache(r *harness.Runner, logger harness.Logger, verbose bool) {
 	if r.Cache == nil || !verbose {
 		return
 	}
 	st := r.Cache.Stats()
-	fmt.Fprintf(os.Stderr, "build cache: %d hits (%d from disk), %d compiles\n",
+	logger.Logf("build cache: %d hits (%d from disk), %d compiles",
 		st.Hits, st.DiskHits, st.Misses)
+}
+
+// reportMetrics prints the metrics snapshot (phase timers, cache counters,
+// pool utilization) as JSON on stderr when -metrics is set.
+func reportMetrics(r *harness.Runner) {
+	if r.Metrics == nil {
+		return
+	}
+	data, err := json.MarshalIndent(r.Metrics.Snapshot(), "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omrepro:", err)
+		os.Exit(1)
+	}
+	os.Stderr.Write(append(data, '\n'))
 }

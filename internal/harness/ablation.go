@@ -45,11 +45,12 @@ func (r *Runner) RunAblations(ctx context.Context, names []string) ([]AblationRo
 		wg.Add(1)
 		go func(i int, b spec.Benchmark) {
 			defer wg.Done()
-			if err := s.acquire(ctx); err != nil {
+			release, err := s.acquire(ctx)
+			if err != nil {
 				errs[i] = err
 				return
 			}
-			defer s.release()
+			defer release()
 			perBench[i], errs[i] = r.ablateBenchmark(ctx, b)
 			if errs[i] != nil {
 				cancel()

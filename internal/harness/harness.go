@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buildcache"
 	"repro/internal/link"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/om"
 	"repro/internal/rtlib"
 	"repro/internal/sim"
@@ -90,6 +92,9 @@ type Measurement struct {
 	BuildTime time.Duration // link step only (ld or OM)
 	TextBytes int
 	GATBytes  uint64
+	// Journal is the cell's decision journal (Runner.Trace runs through an
+	// OM link mode only; nil otherwise).
+	Journal *obs.JournalDoc
 }
 
 // Result aggregates one benchmark across the matrix.
@@ -123,6 +128,13 @@ type Runner struct {
 	// Cache, when non-nil, memoizes compiled objects by content hash so
 	// repeated runs with unchanged sources skip compilation.
 	Cache *buildcache.Cache
+	// Metrics, when non-nil, receives phase timers (harness/compile,
+	// harness/link, harness/sim), build-cache traffic counters, and the
+	// worker-pool utilization gauge for the configured parallelism.
+	Metrics *obs.Registry
+	// Trace collects a decision journal for every OM-linked matrix cell
+	// (Measurement.Journal).
+	Trace bool
 
 	libOnce sync.Once
 	lib     []*objfile.Object
@@ -165,21 +177,44 @@ func (r *Runner) libObjects() ([]*objfile.Object, error) {
 
 // sem is a counting semaphore bounding concurrently executing jobs. Parent
 // jobs never hold a slot while waiting on children, so the nested
-// suite→benchmark→cell fan-out cannot deadlock.
-type sem chan struct{}
+// suite→benchmark→cell fan-out cannot deadlock. It also accumulates the
+// total slot-held time, from which pool utilization is derived.
+type sem struct {
+	ch   chan struct{}
+	busy atomic.Int64 // nanoseconds any slot was held
+}
 
-func (r *Runner) newSem() sem { return make(sem, r.workers()) }
+func (r *Runner) newSem() *sem { return &sem{ch: make(chan struct{}, r.workers())} }
 
-func (s sem) acquire(ctx context.Context) error {
+// acquire claims a slot and returns the function releasing it (nil on
+// cancellation). The release closure credits the held duration to the
+// pool's busy time.
+func (s *sem) acquire(ctx context.Context) (func(), error) {
 	select {
-	case s <- struct{}{}:
-		return nil
+	case s.ch <- struct{}{}:
+		start := time.Now()
+		return func() {
+			s.busy.Add(int64(time.Since(start)))
+			<-s.ch
+		}, nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return nil, ctx.Err()
 	}
 }
 
-func (s sem) release() { <-s }
+// recordPool publishes the pool's utilization over the measured wall time:
+// busy-seconds divided by workers × wall-seconds, named by the -j setting
+// so runs at different parallelism stay distinguishable.
+func (r *Runner) recordPool(s *sem, wall time.Duration) {
+	if r.Metrics == nil || wall <= 0 {
+		return
+	}
+	w := r.workers()
+	busy := s.busy.Load()
+	r.Metrics.Counter("harness/pool-busy-ns").Add(uint64(busy))
+	r.Metrics.SetGauge(fmt.Sprintf("harness/pool-utilization-j%d", w),
+		float64(busy)/(float64(wall)*float64(w)))
+}
 
 // firstError returns the lowest-index non-nil error, making the reported
 // failure deterministic regardless of which parallel job failed first.
@@ -223,23 +258,30 @@ func (r *Runner) compile(b spec.Benchmark, mode BuildMode) ([]*objfile.Object, t
 		}
 		objs = []*objfile.Object{obj}
 	}
-	return objs, time.Since(start), nil
+	dt := time.Since(start)
+	r.Metrics.Timer("harness/compile").Observe(dt)
+	return objs, dt, nil
 }
 
-// linkVariant produces the image (and OM stats) for one link mode.
-func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, time.Duration, error) {
+// linkVariant produces the image (and OM stats and, when tracing, the
+// decision journal) for one link mode.
+func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, *obs.JournalDoc, time.Duration, error) {
 	lib, err := r.libObjects()
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, nil, nil, 0, err
 	}
 	all := append(append([]*objfile.Object(nil), objs...), lib...)
 	start := time.Now()
+	defer func() { r.Metrics.Timer("harness/link").Observe(time.Since(start)) }()
 	switch mode {
 	case LinkStandard:
 		im, err := link.Link(all)
-		return im, nil, time.Since(start), err
+		return im, nil, nil, time.Since(start), err
 	default:
-		opts := []om.Option{}
+		opts := []om.Option{om.WithMetrics(r.Metrics)}
+		if r.Trace {
+			opts = append(opts, om.WithTrace())
+		}
 		switch mode {
 		case OMNone:
 			opts = append(opts, om.WithLevel(om.LevelNone))
@@ -252,13 +294,13 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 		}
 		p, err := link.Merge(all)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
 		res, err := om.Run(ctx, p, opts...)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, nil, 0, err
 		}
-		return res.Image, res.Stats, time.Since(start), nil
+		return res.Image, res.Stats, res.Journal, time.Since(start), nil
 	}
 }
 
@@ -277,16 +319,22 @@ func AllVariants() []Variant {
 // that every variant produces identical program output. Cells run
 // concurrently up to Runner.Parallelism.
 func (r *Runner) RunBenchmark(ctx context.Context, b spec.Benchmark) (*Result, error) {
-	return r.runBenchmark(ctx, r.newSem(), b)
+	s := r.newSem()
+	start := time.Now()
+	res, err := r.runBenchmark(ctx, s, b)
+	r.recordPool(s, time.Since(start))
+	return res, err
 }
 
 // measureCell links and simulates one matrix cell.
 func (r *Runner) measureCell(ctx context.Context, b spec.Benchmark, v Variant, objs []*objfile.Object) (*Measurement, error) {
-	im, st, dt, err := r.linkVariant(ctx, objs, v.Link)
+	im, st, journal, dt, err := r.linkVariant(ctx, objs, v.Link)
 	if err != nil {
 		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
 	}
+	simDone := obs.StartSpan(r.Metrics.Timer("harness/sim"))
 	run, err := sim.RunContext(ctx, im, r.SimConfig)
+	simDone()
 	if err != nil {
 		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
 	}
@@ -300,10 +348,11 @@ func (r *Runner) measureCell(ctx context.Context, b spec.Benchmark, v Variant, o
 		BuildTime: dt,
 		TextBytes: len(im.TextSegment().Data),
 		GATBytes:  im.GATBytes(),
+		Journal:   journal,
 	}, nil
 }
 
-func (r *Runner) runBenchmark(ctx context.Context, s sem, b spec.Benchmark) (*Result, error) {
+func (r *Runner) runBenchmark(ctx context.Context, s *sem, b spec.Benchmark) (*Result, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -323,11 +372,12 @@ func (r *Runner) runBenchmark(ctx context.Context, s sem, b spec.Benchmark) (*Re
 		wg.Add(1)
 		go func(i int, mode BuildMode) {
 			defer wg.Done()
-			if err := s.acquire(ctx); err != nil {
+			release, err := s.acquire(ctx)
+			if err != nil {
 				errs[i] = err
 				return
 			}
-			defer s.release()
+			defer release()
 			objsByMode[i], times[i], errs[i] = r.compile(b, mode)
 			if errs[i] != nil {
 				cancel()
@@ -350,11 +400,12 @@ func (r *Runner) runBenchmark(ctx context.Context, s sem, b spec.Benchmark) (*Re
 		wg.Add(1)
 		go func(i int, v Variant) {
 			defer wg.Done()
-			if err := s.acquire(ctx); err != nil {
+			release, err := s.acquire(ctx)
+			if err != nil {
 				cellErrs[i] = err
 				return
 			}
-			defer s.release()
+			defer release()
 			ms[i], cellErrs[i] = r.measureCell(ctx, b, v, objsByMode[v.Build])
 			if cellErrs[i] != nil {
 				cancel()
@@ -394,6 +445,11 @@ func (r *Runner) RunSuite(ctx context.Context, names []string) ([]*Result, error
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	s := r.newSem()
+	start := time.Now()
+	var cacheBefore buildcache.Stats
+	if r.Cache != nil {
+		cacheBefore = r.Cache.Stats()
+	}
 	results := make([]*Result, len(benches))
 	errs := make([]error, len(benches))
 	var wg sync.WaitGroup
@@ -409,6 +465,13 @@ func (r *Runner) RunSuite(ctx context.Context, names []string) ([]*Result, error
 		}(i, b)
 	}
 	wg.Wait()
+	r.recordPool(s, time.Since(start))
+	if r.Metrics != nil && r.Cache != nil {
+		after := r.Cache.Stats()
+		r.Metrics.Counter("buildcache/hits").Add(after.Hits - cacheBefore.Hits)
+		r.Metrics.Counter("buildcache/disk-hits").Add(after.DiskHits - cacheBefore.DiskHits)
+		r.Metrics.Counter("buildcache/compiles").Add(after.Misses - cacheBefore.Misses)
+	}
 	if err := firstError(errs); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// JournalSchema identifies the journal file format; bump on incompatible
+// change so downstream tooling can reject files it does not understand.
+const JournalSchema = "om-journal/v1"
+
+// Event is one decision-journal entry: what happened to one candidate site
+// (an address load, a call site, a GP-reset pair) and why, as a stable
+// reason code downstream tooling can rely on.
+type Event struct {
+	// Cat is the site category: "addr", "call", or "gpreset".
+	Cat string `json:"cat"`
+	// Proc is the enclosing procedure's name.
+	Proc string `json:"proc"`
+	// Index is the instruction's index within the procedure's symbolic form.
+	Index int `json:"index"`
+	// Target names the symbol the site refers to (the datum loaded, the
+	// callee), when known.
+	Target string `json:"target,omitempty"`
+	// Reason is the stable decision code (e.g. "addr:kept:out-of-gp-range").
+	Reason string `json:"reason"`
+	// Detail carries free-form context for kept sites (e.g. the GP delta).
+	Detail string `json:"detail,omitempty"`
+}
+
+// JournalDoc is the serialized decision journal: every candidate site of
+// one OM run, plus totals that let a checker prove nothing was dropped.
+type JournalDoc struct {
+	Schema string `json:"schema"`
+	// Level is the optimization level the run used ("om-full", ...).
+	Level string `json:"level,omitempty"`
+	// Totals gives, per category, the number of candidate sites the program
+	// contains (from om.Stats). The journal accounts for 100% of them:
+	// len(events of cat) == Totals[cat], enforced by Check.
+	Totals map[string]uint64 `json:"totals"`
+	// Counts is the per-reason event tally (redundant with Events, present
+	// so summaries don't require a full scan).
+	Counts map[string]uint64 `json:"reason_counts"`
+	Events []Event           `json:"events"`
+}
+
+// Recount tallies events by reason code.
+func (d *JournalDoc) Recount() map[string]uint64 {
+	m := make(map[string]uint64)
+	for _, e := range d.Events {
+		m[e.Reason]++
+	}
+	return m
+}
+
+// Check verifies the journal's internal accounting: every category's event
+// count equals its declared total (no candidate site missing from the
+// journal) and the stored reason counts match the events.
+func (d *JournalDoc) Check() error {
+	if d.Schema != JournalSchema {
+		return fmt.Errorf("journal: schema %q, want %q", d.Schema, JournalSchema)
+	}
+	byCat := make(map[string]uint64)
+	for _, e := range d.Events {
+		byCat[e.Cat]++
+	}
+	for cat, want := range d.Totals {
+		if got := byCat[cat]; got != want {
+			return fmt.Errorf("journal: %s events %d, want %d (sites unaccounted for)", cat, got, want)
+		}
+	}
+	for cat, got := range byCat {
+		if _, ok := d.Totals[cat]; !ok {
+			return fmt.Errorf("journal: %d %s events but no declared total", got, cat)
+		}
+	}
+	counts := d.Recount()
+	if len(counts) != len(d.Counts) {
+		return fmt.Errorf("journal: %d distinct reasons in events, %d in reason_counts", len(counts), len(d.Counts))
+	}
+	for reason, n := range counts {
+		if d.Counts[reason] != n {
+			return fmt.Errorf("journal: reason %s: %d events, reason_counts says %d", reason, n, d.Counts[reason])
+		}
+	}
+	return nil
+}
+
+// Reasons returns the journal's reason codes sorted by descending count
+// (ties by name) for stable summaries.
+func (d *JournalDoc) Reasons() []string {
+	reasons := make([]string, 0, len(d.Counts))
+	for r := range d.Counts {
+		reasons = append(reasons, r)
+	}
+	sort.Slice(reasons, func(i, j int) bool {
+		if d.Counts[reasons[i]] != d.Counts[reasons[j]] {
+			return d.Counts[reasons[i]] > d.Counts[reasons[j]]
+		}
+		return reasons[i] < reasons[j]
+	})
+	return reasons
+}
+
+// WriteJournal serializes the journal as indented JSON (the same style as
+// the repo's BENCH_*.json records).
+func WriteJournal(w io.Writer, d *JournalDoc) error {
+	data, err := json.MarshalIndent(d, "", "\t")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadJournal parses a journal written by WriteJournal.
+func ReadJournal(r io.Reader) (*JournalDoc, error) {
+	var d JournalDoc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &d, nil
+}

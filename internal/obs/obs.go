@@ -1,0 +1,208 @@
+// Package obs is the pipeline's observability core: allocation-conscious
+// counters, duration histograms, a named-metric registry, and a structured
+// event journal with stable reason codes.
+//
+// Every type is nil-tolerant: methods on a nil *Counter, *Timer, or
+// *Registry are no-ops (or return zero values), so instrumented code can
+// thread an optional registry without branching — the same pattern
+// buildcache uses for its optional cache. Hot paths that must stay
+// allocation-free (the simulator run loop, the OM pass bodies) are never
+// instrumented per-event; they accumulate into preallocated arrays and the
+// observability layer summarizes afterwards.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Add increments the counter by d. Safe on a nil receiver.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// timerBuckets covers [1µs, ~1h) in powers of two; durations outside the
+// range clamp to the first/last bucket.
+const timerBuckets = 32
+
+// Timer accumulates observed durations: count, sum, min, max, and an
+// exponential histogram (bucket i holds durations in [2^i, 2^(i+1)) µs).
+type Timer struct {
+	mu      sync.Mutex
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [timerBuckets]uint64
+}
+
+// Observe records one duration. Safe on a nil receiver.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.count++
+	t.sum += d
+	if t.count == 1 || d < t.min {
+		t.min = d
+	}
+	if d > t.max {
+		t.max = d
+	}
+	i := bits.Len64(uint64(d / time.Microsecond))
+	if i >= timerBuckets {
+		i = timerBuckets - 1
+	}
+	t.buckets[i]++
+	t.mu.Unlock()
+}
+
+// StartSpan starts a span against the timer and returns the function that
+// ends it. Usable as `defer StartSpan(t)()` or stored and called at a
+// phase boundary. A nil timer yields a no-op span.
+func StartSpan(t *Timer) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start)) }
+}
+
+// TimerStats is a timer snapshot.
+type TimerStats struct {
+	Count uint64        `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Stats snapshots the timer (zero value for a nil timer).
+func (t *Timer) Stats() TimerStats {
+	if t == nil {
+		return TimerStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TimerStats{Count: t.count, Sum: t.sum, Min: t.min, Max: t.max}
+}
+
+// Registry is a set of named counters, timers, and gauges. Names use
+// slash-separated components ("harness/compile", "om/lift"); a snapshot
+// lists them sorted so output is deterministic.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+	gauges   map[string]float64
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		timers:   make(map[string]*Timer),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil counter, whose Add is a no-op.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns the named timer, creating it on first use. A nil registry
+// returns a nil timer, whose Observe is a no-op.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// SetGauge records a point-in-time value (a utilization, a ratio). Safe on
+// a nil receiver.
+func (r *Registry) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// SnapshotEntry is one named metric in a snapshot.
+type SnapshotEntry struct {
+	Name    string      `json:"name"`
+	Kind    string      `json:"kind"` // "counter", "timer", or "gauge"
+	Count   uint64      `json:"count,omitempty"`
+	Gauge   float64     `json:"gauge,omitempty"`
+	Timings *TimerStats `json:"timings,omitempty"`
+}
+
+// Snapshot returns every metric, sorted by name (timers and counters with
+// the same name both appear, counter first).
+func (r *Registry) Snapshot() []SnapshotEntry {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	var out []SnapshotEntry
+	for name, c := range r.counters {
+		out = append(out, SnapshotEntry{Name: name, Kind: "counter", Count: c.Value()})
+	}
+	for name, t := range r.timers {
+		st := t.Stats()
+		out = append(out, SnapshotEntry{Name: name, Kind: "timer", Timings: &st})
+	}
+	for name, v := range r.gauges {
+		out = append(out, SnapshotEntry{Name: name, Kind: "gauge", Gauge: v})
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Errorf("Value() = %d, want 7", got)
+	}
+}
+
+func TestNilReceiversAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(1) // must not panic
+	if got := c.Value(); got != 0 {
+		t.Errorf("nil Counter.Value() = %d, want 0", got)
+	}
+	var tm *Timer
+	tm.Observe(time.Second)
+	if st := tm.Stats(); st.Count != 0 {
+		t.Errorf("nil Timer.Stats().Count = %d, want 0", st.Count)
+	}
+	StartSpan(nil)() // no-op span
+	var r *Registry
+	if r.Counter("x") != nil {
+		t.Error("nil Registry.Counter() != nil")
+	}
+	if r.Timer("x") != nil {
+		t.Error("nil Registry.Timer() != nil")
+	}
+	r.SetGauge("x", 1)
+	if r.Snapshot() != nil {
+		t.Error("nil Registry.Snapshot() != nil")
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	var tm Timer
+	tm.Observe(2 * time.Millisecond)
+	tm.Observe(5 * time.Millisecond)
+	tm.Observe(1 * time.Millisecond)
+	tm.Observe(-time.Second) // clamps to 0
+	st := tm.Stats()
+	if st.Count != 4 {
+		t.Errorf("Count = %d, want 4", st.Count)
+	}
+	if st.Sum != 8*time.Millisecond {
+		t.Errorf("Sum = %v, want 8ms", st.Sum)
+	}
+	if st.Min != 0 {
+		t.Errorf("Min = %v, want 0", st.Min)
+	}
+	if st.Max != 5*time.Millisecond {
+		t.Errorf("Max = %v, want 5ms", st.Max)
+	}
+}
+
+func TestTimerConcurrent(t *testing.T) {
+	var tm Timer
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				tm.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tm.Stats(); st.Count != 800 {
+		t.Errorf("Count = %d, want 800", st.Count)
+	}
+}
+
+func TestStartSpan(t *testing.T) {
+	var tm Timer
+	end := StartSpan(&tm)
+	end()
+	if st := tm.Stats(); st.Count != 1 {
+		t.Errorf("span did not record: Count = %d", st.Count)
+	}
+}
+
+func TestRegistrySnapshotDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b/count").Add(2)
+	r.Counter("a/count").Add(1)
+	r.Timer("a/time").Observe(time.Millisecond)
+	r.SetGauge("c/util", 0.5)
+	// Same name twice returns the same instance.
+	r.Counter("a/count").Add(1)
+	snap := r.Snapshot()
+	var names []string
+	for _, e := range snap {
+		names = append(names, e.Name+":"+e.Kind)
+	}
+	want := "a/count:counter a/time:timer b/count:counter c/util:gauge"
+	if got := strings.Join(names, " "); got != want {
+		t.Errorf("snapshot order = %q, want %q", got, want)
+	}
+	if snap[0].Count != 2 {
+		t.Errorf("a/count = %d, want 2", snap[0].Count)
+	}
+	if snap[3].Gauge != 0.5 {
+		t.Errorf("c/util = %v, want 0.5", snap[3].Gauge)
+	}
+}
+
+func testDoc() *JournalDoc {
+	d := &JournalDoc{
+		Schema: JournalSchema,
+		Level:  "om-full",
+		Totals: map[string]uint64{"addr": 2, "call": 1},
+		Events: []Event{
+			{Cat: "addr", Proc: "main", Index: 0, Reason: "addr:converted-lda"},
+			{Cat: "addr", Proc: "main", Index: 4, Reason: "addr:kept:out-of-gp-range", Detail: "gp+0x10000"},
+			{Cat: "call", Proc: "main", Index: 2, Target: "f", Reason: "call:converted-bsr"},
+		},
+	}
+	d.Counts = d.Recount()
+	return d
+}
+
+func TestJournalCheck(t *testing.T) {
+	if err := testDoc().Check(); err != nil {
+		t.Fatalf("Check() on consistent doc: %v", err)
+	}
+
+	d := testDoc()
+	d.Schema = "bogus/v0"
+	if err := d.Check(); err == nil {
+		t.Error("Check() accepted wrong schema")
+	}
+
+	d = testDoc()
+	d.Totals["addr"] = 3 // one addr site unaccounted for
+	if err := d.Check(); err == nil {
+		t.Error("Check() accepted missing events")
+	}
+
+	d = testDoc()
+	d.Events = append(d.Events, Event{Cat: "gpreset", Reason: "gpreset:other"})
+	if err := d.Check(); err == nil {
+		t.Error("Check() accepted events with no declared total")
+	}
+
+	d = testDoc()
+	d.Counts["addr:converted-lda"] = 9
+	if err := d.Check(); err == nil {
+		t.Error("Check() accepted stale reason_counts")
+	}
+}
+
+func TestJournalReasons(t *testing.T) {
+	d := &JournalDoc{Counts: map[string]uint64{"b": 2, "a": 2, "c": 5}}
+	got := strings.Join(d.Reasons(), " ")
+	if want := "c a b"; got != want {
+		t.Errorf("Reasons() = %q, want %q", got, want)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	d := testDoc()
+	var buf bytes.Buffer
+	if err := WriteJournal(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Error("WriteJournal output lacks trailing newline")
+	}
+	got, err := ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Check(); err != nil {
+		t.Errorf("round-tripped doc fails Check: %v", err)
+	}
+	if len(got.Events) != len(d.Events) || got.Level != d.Level {
+		t.Errorf("round trip lost data: %+v", got)
+	}
+}

@@ -1,0 +1,190 @@
+package om
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// traceAt runs OM with the decision journal enabled and returns the result.
+func traceAt(t *testing.T, level Level) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), freshProgram(t), WithLevel(level), WithTrace())
+	if err != nil {
+		t.Fatalf("om %v: %v", level, err)
+	}
+	if res.Journal == nil {
+		t.Fatalf("om %v: WithTrace produced no journal", level)
+	}
+	return res
+}
+
+// TestJournalAccounting is the tentpole invariant: at every level, the
+// journal accounts for 100% of candidate sites, and the per-reason sums
+// reproduce the Stats figures they explain.
+func TestJournalAccounting(t *testing.T) {
+	for _, level := range []Level{LevelNone, LevelSimple, LevelFull} {
+		t.Run(level.String(), func(t *testing.T) {
+			res := traceAt(t, level)
+			d, st := res.Journal, res.Stats
+			if err := d.Check(); err != nil {
+				t.Fatalf("journal self-check: %v", err)
+			}
+			if d.Level != level.String() {
+				t.Errorf("journal level %q, want %q", d.Level, level.String())
+			}
+
+			// Tally by category and by reason family.
+			sum := func(pred func(reason string) bool) int {
+				n := 0
+				for _, e := range d.Events {
+					if pred(e.Reason) {
+						n++
+					}
+				}
+				return n
+			}
+			prefix := func(p string) func(string) bool {
+				return func(r string) bool { return strings.HasPrefix(r, p) }
+			}
+
+			if got := sum(prefix("addr:")); got != st.AddressLoads {
+				t.Errorf("addr events %d, want AddressLoads %d", got, st.AddressLoads)
+			}
+			if got := sum(prefix("addr:converted")); got != st.AddrConverted {
+				t.Errorf("converted events %d, want AddrConverted %d", got, st.AddrConverted)
+			}
+			if got := sum(prefix("addr:nullified")); got != st.AddrNullified {
+				t.Errorf("nullified events %d, want AddrNullified %d", got, st.AddrNullified)
+			}
+			if got := sum(prefix("addr:kept:")); got != st.AddressLoads-st.AddrConverted-st.AddrNullified {
+				t.Errorf("kept addr events %d, want %d", got, st.AddressLoads-st.AddrConverted-st.AddrNullified)
+			}
+
+			if got := sum(prefix("call:")); got != st.CallSites {
+				t.Errorf("call events %d, want CallSites %d", got, st.CallSites)
+			}
+			if got := sum(func(r string) bool { return r == ReasonCallKeptIndirect }); got != st.IndirectCalls {
+				t.Errorf("indirect-call events %d, want IndirectCalls %d", got, st.IndirectCalls)
+			}
+			// Every call that is still a jsr is either indirect or kept with a
+			// jsr reason; converted/already-direct calls are bsr.
+			if got := sum(prefix("call:kept:")); got != st.JSRAfter {
+				t.Errorf("kept call events %d, want JSRAfter %d", got, st.JSRAfter)
+			}
+
+			if got := sum(prefix("gpreset:")); got != st.GPResetBefore {
+				t.Errorf("gpreset events %d, want GPResetBefore %d", got, st.GPResetBefore)
+			}
+			if got := sum(func(r string) bool { return r == ReasonResetRemoved }); got != st.GPResetBefore-st.GPResetAfter {
+				t.Errorf("removed gpreset events %d, want %d", got, st.GPResetBefore-st.GPResetAfter)
+			}
+			if got := sum(prefix("gpreset:kept:")); got != st.GPResetAfter {
+				t.Errorf("kept gpreset events %d, want GPResetAfter %d", got, st.GPResetAfter)
+			}
+
+			// The program exercises the interesting paths: at full level some
+			// loads convert, some calls become bsr, and resets disappear.
+			if level == LevelFull {
+				if st.AddrConverted+st.AddrNullified == 0 {
+					t.Error("fixture removed no address loads; journal test is vacuous")
+				}
+				if sum(prefix("call:converted")) == 0 {
+					t.Error("fixture converted no calls; journal test is vacuous")
+				}
+			}
+		})
+	}
+}
+
+// TestJournalLevelsDiffer sanity-checks that the journal reflects the level:
+// at LevelNone everything is kept, at LevelFull it is not.
+func TestJournalLevelsDiffer(t *testing.T) {
+	none := traceAt(t, LevelNone).Journal
+	for _, e := range none.Events {
+		if !strings.Contains(e.Reason, ":kept:") && e.Reason != ReasonCallDirect {
+			t.Fatalf("LevelNone journal has optimized site: %+v", e)
+		}
+	}
+	full := traceAt(t, LevelFull).Journal
+	if full.Counts[ReasonAddrKeptNoOpt] != 0 {
+		t.Errorf("LevelFull journal uses the no-optimization reason")
+	}
+}
+
+// TestJournalReasonCodesGolden pins the reason-code strings. These are a
+// stable interface consumed by omtrace, omdump -stats, and CI checks:
+// extending the list is fine, renaming an existing code is a breaking
+// change and must fail here.
+func TestJournalReasonCodesGolden(t *testing.T) {
+	want := []string{
+		"addr:converted-lda",
+		"addr:converted-ldah",
+		"addr:nullified-gp-direct",
+		"addr:nullified-pv-dead",
+		"addr:kept:no-optimization",
+		"addr:kept:pass-disabled",
+		"addr:kept:text-address",
+		"addr:kept:cross-region",
+		"addr:kept:no-address",
+		"addr:kept:out-of-gp-range",
+		"addr:kept:far-mixed-use",
+		"addr:kept:far-disp-overflow",
+		"addr:kept:other",
+		"call:already-direct",
+		"call:converted-bsr",
+		"call:converted-bsr-entry-skip",
+		"call:converted-bsr-no-prologue",
+		"call:kept:no-optimization",
+		"call:kept:pass-disabled",
+		"call:kept:indirect-call",
+		"call:kept:unknown-callee",
+		"call:kept:cross-region",
+		"call:kept:other",
+		"gpreset:removed-same-gat",
+		"gpreset:kept:no-optimization",
+		"gpreset:kept:pass-disabled",
+		"gpreset:kept:unknown-callee",
+		"gpreset:kept:different-gat",
+		"gpreset:kept:other",
+	}
+	got := JournalReasons()
+	if len(got) != len(want) {
+		t.Fatalf("JournalReasons() has %d codes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("JournalReasons()[%d] = %q, want %q (reason codes are a stable interface)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalOffByDefault: without WithTrace, Run pays nothing for the
+// journal and the result omits it.
+func TestJournalOffByDefault(t *testing.T) {
+	res, err := Run(context.Background(), freshProgram(t), WithLevel(LevelFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Journal != nil {
+		t.Error("journal built without WithTrace")
+	}
+}
+
+// TestStatsFracZeroDenominators: the fraction helpers must not divide by
+// zero on an empty program (a Stats of all zeros).
+func TestStatsFracZeroDenominators(t *testing.T) {
+	var s Stats
+	for name, f := range map[string]func() float64{
+		"AddrRemovedFrac":   s.AddrRemovedFrac,
+		"NullifiedFrac":     s.NullifiedFrac,
+		"PVFracBefore":      s.PVFracBefore,
+		"PVFracAfter":       s.PVFracAfter,
+		"GPResetFracBefore": s.GPResetFracBefore,
+		"GPResetFracAfter":  s.GPResetFracAfter,
+	} {
+		if got := f(); got != 0 {
+			t.Errorf("%s() on zero Stats = %v, want 0", name, got)
+		}
+	}
+}

@@ -89,6 +89,9 @@ type CallInfo struct {
 	// EntryOffset is the byte offset into the target (0 or 8 for the local
 	// entry point past the GP-setup pair).
 	EntryOffset uint64
+	// FromJSR: the call was a GAT-indirect jsr that the call optimization
+	// converted to this direct bsr (vs. a bsr the compiler emitted).
+	FromJSR bool
 }
 
 // GPRelKind distinguishes the GP-relative rewrite applied to an instruction.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/link"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 )
 
 // config is the resolved option set of one Run.
@@ -15,6 +16,8 @@ type config struct {
 	ablation    Ablation
 	instrument  bool
 	parallelism int
+	trace       bool
+	metrics     *obs.Registry
 }
 
 // Option configures a Run.
@@ -48,6 +51,15 @@ func WithInstrumentation() Option { return func(c *config) { c.instrument = true
 // the plan is applied in program order.
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
+// WithTrace collects the decision journal: one event per address load,
+// call site, and GP-reset pair, explaining its final disposition with a
+// stable reason code (Result.Journal). Ignored for instrumentation runs.
+func WithTrace() Option { return func(c *config) { c.trace = true } }
+
+// WithMetrics records per-phase wall time (om/lift, om/passes, om/emit)
+// into the registry. A nil registry disables recording.
+func WithMetrics(m *obs.Registry) Option { return func(c *config) { c.metrics = m } }
+
 // Result is the outcome of a Run.
 type Result struct {
 	// Image is the regenerated executable.
@@ -57,6 +69,8 @@ type Result struct {
 	Stats *Stats
 	// Blocks maps profile ids to basic blocks (instrumentation runs only).
 	Blocks []BlockInfo
+	// Journal is the decision journal (WithTrace runs only).
+	Journal *obs.JournalDoc
 }
 
 // Run is the single OM entrypoint: lift the merged program to symbolic
@@ -72,7 +86,9 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	if cfg.parallelism <= 0 {
 		cfg.parallelism = runtime.GOMAXPROCS(0)
 	}
+	liftDone := obs.StartSpan(cfg.metrics.Timer("om/lift"))
 	pg, err := lift(ctx, p, cfg.parallelism)
+	liftDone()
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +121,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		stats.GATBytesBefore += uint64(len(slots)) * 8
 	}
 
+	passDone := obs.StartSpan(cfg.metrics.Timer("om/passes"))
 	var pl *Plan
 	switch cfg.level {
 	case LevelNone:
@@ -114,20 +131,28 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	case LevelFull:
 		pl, err = runFull(ctx, pg, cfg.ablation)
 	}
+	passDone()
 	if err != nil {
 		return nil, err
 	}
 	collectAfter(pg, pl, stats)
 
+	var journal *obs.JournalDoc
+	if cfg.trace {
+		journal = buildJournal(pg, pl, cfg, stats)
+	}
+
 	sched := cfg.schedule && cfg.level == LevelFull
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	emitDone := obs.StartSpan(cfg.metrics.Timer("om/emit"))
 	im, err := Emit(pg, pl, sched)
+	emitDone()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Image: im, Stats: stats}, nil
+	return &Result{Image: im, Stats: stats, Journal: journal}, nil
 }
 
 // Options select the OM optimization level and whether OM-full also

@@ -60,7 +60,7 @@ func applyCallOpts(pg *Prog, pl *Plan, full bool) bool {
 				needPV = true
 			}
 			si.In = axp.BranchInst(axp.BSR, axp.RA, 0)
-			si.Call = &CallInfo{Target: callee, EntryOffset: entryOff}
+			si.Call = &CallInfo{Target: callee, EntryOffset: entryOff, FromJSR: true}
 			si.Use = nil
 			for i, u := range lit.Lit.Uses {
 				if u == si {

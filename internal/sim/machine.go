@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/axp"
 	"repro/internal/objfile"
@@ -32,6 +33,12 @@ type Config struct {
 	L2MissPenalty int
 	// TakenBranchBubble is the cycle bubble after a taken branch or jump.
 	TakenBranchBubble int
+	// Profile enables execution profiling: per-block execution counts (the
+	// hot-block report) and an instruction-mix histogram, returned in
+	// Result.BlockProfile and Result.InstMix. Disabled, the run loop pays
+	// only a pair of never-taken branches and allocates nothing extra, so
+	// the zero-allocation property and benchmark throughput are preserved.
+	Profile bool
 }
 
 // DefaultConfig returns the 21064-flavored timing configuration.
@@ -71,6 +78,21 @@ type Result struct {
 	// Profile holds per-block execution counts when the program was
 	// instrumented with profiling traps (nil otherwise).
 	Profile map[uint32]uint64
+	// BlockProfile holds per-block execution counts from the engine's
+	// profiling mode (Config.Profile), sorted by descending count. Each
+	// entry is one basic-block entry point actually executed.
+	BlockProfile []BlockCount
+	// InstMix maps opcode mnemonics to dynamic execution counts
+	// (Config.Profile runs only).
+	InstMix map[string]uint64
+}
+
+// BlockCount is one hot-block report entry: a basic-block entry point, the
+// straight-line run length from it, and how often execution entered there.
+type BlockCount struct {
+	PC    uint64
+	Len   int
+	Count uint64
 }
 
 // Machine executes a linked image.
@@ -91,6 +113,13 @@ type Machine struct {
 	out     []int64
 	outB    []byte
 	profile map[uint32]uint64
+
+	// Profiling mode (cfg.Profile): per-segment block-entry counts parallel
+	// to segs[i].uops, and per-opcode execution counts. Preallocated at
+	// construction so the run loop only increments array slots.
+	profiling  bool
+	profBlocks [][]uint64
+	profOps    []uint64
 
 	// Timing state. The config's penalties are hoisted into machine fields
 	// once at construction so the per-instruction path reads no Config.
@@ -173,6 +202,14 @@ func New(im *objfile.Image, cfg Config) (*Machine, error) {
 	if len(m.segs) == 0 {
 		return nil, fmt.Errorf("sim: image has no text segment")
 	}
+	if cfg.Profile {
+		m.profiling = true
+		m.profBlocks = make([][]uint64, len(m.segs))
+		for i := range m.segs {
+			m.profBlocks[i] = make([]uint64, len(m.segs[i].uops))
+		}
+		m.profOps = make([]uint64, 256) // axp.Op is a uint8
+	}
 	m.PC = im.Entry
 	m.R[axp.SP] = objfile.StackTop
 	m.R[axp.PV] = im.Entry
@@ -242,10 +279,16 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		end := int(seg.blockEnd[idx])
+		if m.profiling {
+			m.profBlocks[m.curSeg][idx]++
+		}
 		for {
 			u := &seg.uops[idx]
 			pc := m.PC
 			m.stats.Instructions++
+			if m.profiling {
+				m.profOps[u.op]++
+			}
 			taken, memAddr, isMem, err := m.execUop(u)
 			if err != nil {
 				return nil, fmt.Errorf("%w (pc=%#x, inst=%v)", err, pc, seg.insts[idx])
@@ -281,7 +324,49 @@ func (m *Machine) RunContext(ctx context.Context) (*Result, error) {
 		}
 		m.stats.Cycles = m.cycle
 	}
-	return &Result{Exit: m.exit, Output: m.out, OutBytes: m.outB, Stats: m.stats, Profile: m.profile}, nil
+	res := &Result{Exit: m.exit, Output: m.out, OutBytes: m.outB, Stats: m.stats, Profile: m.profile}
+	if m.profiling {
+		res.BlockProfile = m.blockProfile()
+		res.InstMix = m.instMix()
+	}
+	return res, nil
+}
+
+// blockProfile summarizes the block-entry counters, sorted by descending
+// count (ties by PC, so the report is deterministic).
+func (m *Machine) blockProfile() []BlockCount {
+	var out []BlockCount
+	for s := range m.segs {
+		seg := &m.segs[s]
+		for i, n := range m.profBlocks[s] {
+			if n == 0 {
+				continue
+			}
+			out = append(out, BlockCount{
+				PC:    seg.base + uint64(4*i),
+				Len:   int(seg.blockEnd[i]) - i,
+				Count: n,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// instMix maps executed opcode mnemonics to their dynamic counts.
+func (m *Machine) instMix() map[string]uint64 {
+	mix := make(map[string]uint64)
+	for op, n := range m.profOps {
+		if n > 0 {
+			mix[axp.Op(op).String()] = n
+		}
+	}
+	return mix
 }
 
 // fetch returns the decoded instruction at PC. An unaligned PC is reported

@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/axp"
+)
+
+// loopImage is 500k iterations of {subq, bgt}: one hot two-instruction
+// block plus a cold prologue.
+func loopProgram() []axp.Inst {
+	return []axp.Inst{
+		axp.MemInst(axp.LDAH, axp.T0, axp.Zero, 8), // t0 = 524288
+		axp.OpLitInst(axp.SUBQ, axp.T0, 1, axp.T0),
+		axp.BranchInst(axp.BGT, axp.T0, -2),
+		axp.Pal(axp.PalHalt),
+	}
+}
+
+func TestProfileDisabledByDefault(t *testing.T) {
+	im := image(t, loopProgram())
+	res, err := Run(im, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BlockProfile != nil || res.InstMix != nil {
+		t.Error("profiling data collected without Config.Profile")
+	}
+}
+
+func TestProfileCountsMatchExecution(t *testing.T) {
+	im := image(t, loopProgram())
+	cfg := DefaultConfig()
+	cfg.Profile = true
+	res, err := Run(im, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BlockProfile) == 0 {
+		t.Fatal("Profile on but BlockProfile empty")
+	}
+	// The instruction mix accounts for every retired instruction.
+	var mixed uint64
+	for _, n := range res.InstMix {
+		mixed += n
+	}
+	if mixed != res.Stats.Instructions {
+		t.Errorf("instruction mix sums to %d, want Stats.Instructions %d", mixed, res.Stats.Instructions)
+	}
+	// The loop body dominates: subq and bgt each retire ~524288 times.
+	if n := res.InstMix["subq"]; n != 524288 {
+		t.Errorf("subq count = %d, want 524288", n)
+	}
+	if n := res.InstMix["bgt"]; n != 524288 {
+		t.Errorf("bgt count = %d, want 524288", n)
+	}
+	// BlockProfile is sorted hottest-first and its top entry is the loop
+	// block: dispatched once per taken back-branch (the first iteration
+	// reaches it by fallthrough from the prologue's dispatch).
+	top := res.BlockProfile[0]
+	if top.Count != 524287 {
+		t.Errorf("hottest block count = %d, want 524287", top.Count)
+	}
+	for i := 1; i < len(res.BlockProfile); i++ {
+		if res.BlockProfile[i].Count > res.BlockProfile[i-1].Count {
+			t.Fatalf("BlockProfile not sorted by descending count at %d", i)
+		}
+	}
+	// Block entry counts weighted by block length also retire every
+	// instruction (each block here runs to its end).
+	var byBlock uint64
+	for _, b := range res.BlockProfile {
+		byBlock += uint64(b.Len) * b.Count
+	}
+	if byBlock != res.Stats.Instructions {
+		t.Errorf("block profile covers %d instructions, want %d", byBlock, res.Stats.Instructions)
+	}
+}
+
+// TestProfileRunStaysAllocationFree mirrors the zero-allocation guarantee
+// with profiling ON: the counters are preallocated arrays, so the run loop
+// still allocates nothing per instruction.
+func TestProfileRunStaysAllocationFree(t *testing.T) {
+	mk := func() *Machine {
+		im := image(t, loopProgram())
+		cfg := DefaultConfig()
+		cfg.Profile = true
+		m, err := New(im, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	mk() // warm up lazy runtime state outside the measured window
+
+	m := mk()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := m.RunContext(context.Background())
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Instructions < 1_000_000 {
+		t.Fatalf("loop ran only %d instructions", res.Stats.Instructions)
+	}
+	if allocs := after.Mallocs - before.Mallocs; allocs > 1000 {
+		t.Errorf("%d allocations for a %d-instruction profiled run", allocs, res.Stats.Instructions)
+	}
+}
