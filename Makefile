@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench bench-smoke trace-smoke clean
+.PHONY: all build vet test race verify fmt-check bench bench-smoke trace-smoke pgo-smoke clean
 
 all: build
 
@@ -47,8 +47,18 @@ trace-smoke:
 	$(GO) run ./cmd/omtrace -check $$dir/*.json; \
 	status=$$?; rm -rf $$dir; exit $$status
 
+# pgo-smoke closes the profile feedback loop on two call-heavy benchmarks:
+# instrument -> profile -> relink with layout -> verify identical output,
+# strict (any cycle regression fails), and the layout journal must account
+# for every procedure (omtrace -check).
+pgo-smoke:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/omrepro -fig pgo -bench li,sc -pgostrict -trace $$dir && \
+	$(GO) run ./cmd/omtrace -check $$dir/*.pgo.json; \
+	status=$$?; rm -rf $$dir; exit $$status
+
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check bench-smoke trace-smoke
+verify: build vet test race fmt-check bench-smoke trace-smoke pgo-smoke
 
 clean:
 	$(GO) clean ./...

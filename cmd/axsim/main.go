@@ -2,11 +2,13 @@
 // reports the program's output and, with -timing, the pipeline statistics.
 // With -profile it additionally prints a hot-block report (per-block
 // execution counts attributed to procedures) and the dynamic instruction
-// mix; -metrics emits the run's counters as JSON on stderr.
+// mix; -profileout writes the counts as an om-profile/v1 document that
+// om -profile and omprof consume; -metrics emits the run's counters as
+// JSON on stderr.
 //
 // Usage:
 //
-//	axsim [-timing] [-profile] [-metrics] [-max n] a.out
+//	axsim [-timing] [-profile] [-profileout file] [-metrics] [-max n] a.out
 package main
 
 import (
@@ -17,17 +19,19 @@ import (
 	"sort"
 
 	"repro/internal/objfile"
+	"repro/internal/profile"
 	"repro/internal/sim"
 )
 
 func main() {
 	timing := flag.Bool("timing", false, "model the dual-issue pipeline and caches")
-	profile := flag.Bool("profile", false, "collect per-block execution counts and the instruction mix")
+	prof := flag.Bool("profile", false, "collect per-block execution counts and the instruction mix")
+	profOut := flag.String("profileout", "", "write the block counts as an om-profile JSON document to this file")
 	metrics := flag.Bool("metrics", false, "print run statistics as JSON on stderr")
 	maxInst := flag.Uint64("max", 0, "abort after this many instructions (0 = default cap)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: axsim [-timing] [-profile] [-metrics] a.out")
+		fmt.Fprintln(os.Stderr, "usage: axsim [-timing] [-profile] [-profileout file] [-metrics] a.out")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -46,7 +50,7 @@ func main() {
 		cfg = sim.DefaultConfig()
 		cfg.MaxInstructions = *maxInst
 	}
-	cfg.Profile = *profile
+	cfg.Profile = *prof || *profOut != ""
 	res, err := sim.Run(im, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "axsim:", err)
@@ -65,8 +69,14 @@ func main() {
 			s.DualIssued, s.Loads, s.Stores, s.TakenBranch,
 			s.ICacheHits, s.ICacheMisses, s.DCacheHits, s.DCacheMisses)
 	}
-	if *profile {
+	if *prof {
 		printProfile(im, res)
+	}
+	if *profOut != "" {
+		if err := writeProfile(*profOut, im, res); err != nil {
+			fmt.Fprintln(os.Stderr, "axsim:", err)
+			os.Exit(1)
+		}
 	}
 	if *metrics {
 		data, err := json.MarshalIndent(res.Stats, "", "\t")
@@ -111,6 +121,29 @@ func printProfile(im *objfile.Image, res *sim.Result) {
 	for _, m := range mixes {
 		fmt.Fprintf(os.Stderr, "  %-8s %12d  %5.1f%%\n", m.op, m.n, 100*float64(m.n)/float64(total))
 	}
+}
+
+// writeProfile converts the engine's block counts into an om-profile
+// document (procedure weights, entry counts, and the bsr call edges
+// decodable from the image) and writes it to the named file.
+func writeProfile(name string, im *objfile.Image, res *sim.Result) error {
+	blocks := make([]profile.PCBlock, len(res.BlockProfile))
+	for i, b := range res.BlockProfile {
+		blocks[i] = profile.PCBlock{PC: b.PC, Len: b.Len, Count: b.Count}
+	}
+	p, err := profile.FromImage(im, blocks)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := profile.Write(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // procNameAt finds the procedure symbol covering the address.

@@ -5,7 +5,12 @@
 // Usage:
 //
 //	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib]
-//	   [-stats] [-trace file] [-metrics] [-v] file.o...
+//	   [-profile file] [-stats] [-trace file] [-metrics] [-v] file.o...
+//
+// -profile enables profile-guided procedure layout from an om-profile/v1
+// document (collected with axsim -profileout or om -instrument feedback);
+// the profile must match the program being linked — stale procedure names
+// fail the link.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"repro/internal/objfile"
 	"repro/internal/obs"
 	"repro/internal/om"
+	"repro/internal/profile"
 	"repro/internal/rtlib"
 )
 
@@ -30,6 +36,7 @@ func main() {
 	sched := flag.Bool("schedule", false, "reschedule code after optimizing (full only)")
 	nostdlib := flag.Bool("nostdlib", false, "do not link the runtime library")
 	shared := flag.String("shared", "", "comma-separated module names to treat as a dynamically-linked shared library")
+	profFile := flag.String("profile", "", "om-profile JSON document driving profile-guided procedure layout")
 	stats := flag.Bool("stats", false, "print static optimization statistics")
 	jobs := flag.Int("j", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write the decision journal (one event per address load/call/GP-reset) to this file")
@@ -99,6 +106,22 @@ func main() {
 	}
 	opts := []om.Option{
 		om.WithLevel(lvl), om.WithSchedule(*sched), om.WithParallelism(*jobs),
+	}
+	if *profFile != "" {
+		pf, err := os.Open(*profFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om:", err)
+			os.Exit(1)
+		}
+		prof, err := profile.Read(pf)
+		pf.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "om: %s: %v\n", *profFile, err)
+			os.Exit(1)
+		}
+		opts = append(opts, om.WithProfile(prof))
+		logger.Logf("om: profile %s: %d procedures, %d call edges",
+			*profFile, len(prof.Procs), len(prof.Edges))
 	}
 	var reg *obs.Registry
 	if *metrics {

@@ -16,8 +16,15 @@
 //
 // Usage:
 //
-//	omrepro [-fig 3|4|5|6|7|gat|size|all] [-bench name,name,...]
-//	        [-j N] [-cache dir|off] [-trace dir] [-metrics] [-v]
+//	omrepro [-fig 3|4|5|6|7|gat|size|ablate|pgo|all] [-bench name,name,...]
+//	        [-j N] [-cache dir|off] [-trace dir] [-metrics] [-pgostrict] [-v]
+//
+// -fig pgo runs the profile-guided-layout feedback loop (F-PGO): each
+// benchmark is built instrumented, run to collect a call-edge profile, and
+// relinked with OM-full plus Pettis-Hansen procedure layout; the table
+// reports cycle and I-cache-miss deltas against the OM-full baseline under
+// a scaled-down I-cache. With -pgostrict the run fails if layout costs
+// cycles anywhere.
 package main
 
 import (
@@ -37,13 +44,14 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3, 4, 5, 6, 7, gat, size, ablate, or all")
+	fig := flag.String("fig", "all", "figure to reproduce: 3, 4, 5, 6, 7, gat, size, ablate, pgo, or all")
 	benchList := flag.String("bench", "", "comma-separated benchmark subset (default: all 19)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent build/measure jobs")
 	cacheDir := flag.String("cache", os.Getenv("OMREPRO_CACHE"),
 		"build cache directory ('' = in-memory only, 'off' = disabled; default $OMREPRO_CACHE)")
 	traceDir := flag.String("trace", "", "write per-cell decision journals into this directory")
 	metrics := flag.Bool("metrics", false, "print phase metrics as JSON on stderr")
+	pgoStrict := flag.Bool("pgostrict", false, "with -fig pgo: exit 1 if layout costs cycles on any benchmark")
 	verbose := flag.Bool("v", false, "print per-variant progress")
 	flag.Parse()
 
@@ -84,6 +92,28 @@ func main() {
 	var names []string
 	if *benchList != "" {
 		names = strings.Split(*benchList, ",")
+	}
+
+	if *fig == "pgo" {
+		rows, err := r.RunPGO(ctx, names)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omrepro:", err)
+			os.Exit(1)
+		}
+		fmt.Println(harness.PGOTable(rows))
+		if *traceDir != "" {
+			if err := writePGOJournals(*traceDir, rows, logger); err != nil {
+				fmt.Fprintln(os.Stderr, "omrepro:", err)
+				os.Exit(1)
+			}
+		}
+		reportCache(r, logger, *verbose)
+		reportMetrics(r)
+		if bad := harness.PGORegressions(rows); *pgoStrict && len(bad) > 0 {
+			fmt.Fprintln(os.Stderr, "omrepro: pgo regressions:", strings.Join(bad, "; "))
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *fig == "ablate" {
@@ -152,6 +182,31 @@ func writeJournals(dir string, results []*harness.Result, logger harness.Logger)
 		}
 	}
 	logger.Logf("wrote %d decision journals to %s", n, dir)
+	return nil
+}
+
+// writePGOJournals stores each benchmark's PGO-link decision journal as
+// dir/<bench>.pgo.json, the input format of omtrace.
+func writePGOJournals(dir string, rows []harness.PGORow, logger harness.Logger) error {
+	n := 0
+	for _, row := range rows {
+		if row.Journal == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, row.Bench+".pgo.json"))
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJournal(f, row.Journal); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		n++
+	}
+	logger.Logf("wrote %d pgo decision journals to %s", n, dir)
 	return nil
 }
 

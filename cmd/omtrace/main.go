@@ -50,8 +50,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "omtrace: %s: FAIL: %v\n", name, err)
 				ok = false
 			} else {
-				fmt.Printf("%s: ok (%d addr, %d call, %d gpreset events, all accounted for)\n",
-					name, d.Totals["addr"], d.Totals["call"], d.Totals["gpreset"])
+				extra := ""
+				if n, present := d.Totals["layout"]; present {
+					extra = fmt.Sprintf(", %d layout", n)
+				}
+				fmt.Printf("%s: ok (%d addr, %d call, %d gpreset%s events, all accounted for)\n",
+					name, d.Totals["addr"], d.Totals["call"], d.Totals["gpreset"], extra)
 			}
 		case *jsonOut:
 			emitJSON(name, d)
@@ -119,6 +123,7 @@ func describe(e obs.Event) string {
 		"addr":    "address load",
 		"call":    "call",
 		"gpreset": "GP-reset pair",
+		"layout":  "procedure",
 	}[e.Cat]
 	target := ""
 	if e.Target != "" {

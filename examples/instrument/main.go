@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/om"
+	"repro/internal/profile"
 	"repro/internal/rtlib"
 	"repro/internal/sim"
 	"repro/internal/spec"
@@ -118,7 +120,12 @@ func main() {
 	for name, c := range perProc {
 		hots = append(hots, hot{name, c})
 	}
-	sort.Slice(hots, func(i, j int) bool { return hots[i].count > hots[j].count })
+	sort.Slice(hots, func(i, j int) bool {
+		if hots[i].count != hots[j].count {
+			return hots[i].count > hots[j].count
+		}
+		return hots[i].name < hots[j].name
+	})
 	fmt.Printf("\ndynamic profile (%d blocks instrumented, program output %v):\n", len(blocks), res.Output)
 	fmt.Printf("%-18s %14s\n", "procedure", "block entries")
 	for i, h := range hots {
@@ -127,4 +134,32 @@ func main() {
 		}
 		fmt.Printf("%-18s %14d\n", h.name, h.count)
 	}
+
+	// Close the feedback loop: the counts become an om-profile, and
+	// relinking with it lays the hot procedures out front (Pettis-Hansen
+	// chain merging), verified against the plain OM-full link.
+	prof := profile.FromTraps(om.TrapBlocks(blocks), res.Profile)
+	fmt.Printf("\nprofile: %d procedures, %d call edges (hash %.12s)\n",
+		len(prof.Procs), len(prof.Edges), prof.Hash())
+	relink := func(opts ...om.Option) *sim.Result {
+		p, err := link.Merge(append(objs, lib...))
+		if err != nil {
+			log.Fatal(err)
+		}
+		omres, err := om.Run(context.Background(), p, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := sim.Run(omres.Image, sim.Config{MaxInstructions: 200_000_000})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	base := relink(om.WithLevel(om.LevelFull))
+	pgo := relink(om.WithLevel(om.LevelFull), om.WithProfile(prof))
+	if fmt.Sprint(base.Exit, base.Output) != fmt.Sprint(pgo.Exit, pgo.Output) {
+		log.Fatal("profile-guided layout changed program behavior")
+	}
+	fmt.Println("relinked with profile-guided layout: output identical to OM-full")
 }

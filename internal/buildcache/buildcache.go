@@ -45,6 +45,10 @@ type Stats struct {
 	// DiskHits counts the subset of Hits served from the backing directory
 	// rather than process memory.
 	DiskHits uint64
+	// ImageHits / ImageMisses count linked-image lookups (GetImage); they
+	// are tallied separately so the compile-count identity above survives.
+	ImageHits   uint64
+	ImageMisses uint64
 }
 
 // Cache is a content-addressed store of serialized object modules.
@@ -216,4 +220,110 @@ func (c *Cache) Compile(unit string, sources []tcc.Source, opts tcc.Options) (*o
 
 func (c *Cache) entryPath(key string) string {
 	return filepath.Join(c.dir, key+".o")
+}
+
+// ImageKey derives the content address of a linked image: the serialized
+// input objects, the link/optimization configuration, and the content hash
+// of the profile steering the layout ("" when unprofiled). Anything that
+// influences the emitted image must feed this key — in particular a changed
+// profile yields a changed key, so a warm rerun can never reuse a layout
+// computed from stale counts.
+func ImageKey(objs []*objfile.Object, variant, profileHash string) (string, error) {
+	h := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeStr(keyVersion + "/image")
+	writeStr(variant)
+	writeStr(profileHash)
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(objs)))
+	h.Write(n[:])
+	for _, obj := range objs {
+		var buf bytes.Buffer
+		if err := obj.Write(&buf); err != nil {
+			return "", fmt.Errorf("buildcache: serialize %s: %w", obj.Name, err)
+		}
+		binary.LittleEndian.PutUint64(n[:], uint64(buf.Len()))
+		h.Write(n[:])
+		h.Write(buf.Bytes())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+// GetImage returns a freshly decoded linked image for the key, if cached.
+func (c *Cache) GetImage(key string) (*objfile.Image, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	data, ok := c.mem[key]
+	if !ok && c.dir != "" {
+		if b, err := os.ReadFile(c.imagePath(key)); err == nil {
+			data, ok = b, true
+			c.mem[key] = b
+		}
+	}
+	c.mu.Unlock()
+	var im *objfile.Image
+	if ok {
+		i, err := objfile.ReadImage(bytes.NewReader(data))
+		if err != nil {
+			ok = false // corrupt entry behaves like a miss
+		} else {
+			im = i
+		}
+	}
+	c.mu.Lock()
+	if ok {
+		c.stats.ImageHits++
+	} else {
+		c.stats.ImageMisses++
+	}
+	c.mu.Unlock()
+	return im, ok
+}
+
+// PutImage stores a linked image under the key, in memory and (when
+// configured) on disk, with the same atomic-rename discipline as Put.
+func (c *Cache) PutImage(key string, im *objfile.Image) error {
+	if c == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := im.Write(&buf); err != nil {
+		return fmt.Errorf("buildcache: serialize image: %w", err)
+	}
+	data := buf.Bytes()
+	c.mu.Lock()
+	c.mem[key] = data
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("buildcache: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("buildcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("buildcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.imagePath(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("buildcache: %w", err)
+	}
+	return nil
+}
+
+func (c *Cache) imagePath(key string) string {
+	return filepath.Join(c.dir, key+".img")
 }

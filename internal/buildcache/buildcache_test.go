@@ -1,8 +1,14 @@
 package buildcache
 
 import (
+	"context"
 	"testing"
 
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/profile"
+	"repro/internal/rtlib"
 	"repro/internal/tcc"
 )
 
@@ -80,6 +86,100 @@ func TestDiskPersistenceAcrossInstances(t *testing.T) {
 	}
 	if len(got.Symbols) != len(want.Symbols) {
 		t.Errorf("decoded object has %d symbols, want %d", len(got.Symbols), len(want.Symbols))
+	}
+}
+
+// TestImageCacheProfileHash is the PGO-relink contract: the same objects
+// and the same profile hit the cache; mutating a single count in the
+// profile changes its content hash and forces a relink.
+func TestImageCacheProfileHash(t *testing.T) {
+	obj, err := tcc.Compile("u", testSrc, tcc.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := []*objfile.Object{obj}
+
+	prof := profile.New("synthetic")
+	prof.Procs = []profile.ProcCount{{Name: "main", Entries: 1, Weight: 10}}
+	key1, err := ImageKey(objs, "om-full+pgo", prof.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := ImageKey(objs, "om-full+pgo", prof.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same != key1 {
+		t.Error("identical inputs produced different image keys")
+	}
+
+	prof.Procs[0].Weight = 11 // stale counts must not reuse the old layout
+	key2, err := ImageKey(objs, "om-full+pgo", prof.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key2 == key1 {
+		t.Error("mutated profile did not change the image key")
+	}
+	if k, err := ImageKey(objs, "om-full", ""); err != nil || k == key1 {
+		t.Errorf("link variant not in key (err %v)", err)
+	}
+
+	dir := t.TempDir()
+	c1, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := link.Merge(append(append([]*objfile.Object(nil), objs...), lib...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := om.Run(context.Background(), p, om.WithLevel(om.LevelFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c1.GetImage(key1); ok {
+		t.Fatal("empty cache reported an image hit")
+	}
+	if err := c1.PutImage(key1, res.Image); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c1.GetImage(key1)
+	if !ok {
+		t.Fatal("image stored but not found")
+	}
+	if got == res.Image {
+		t.Error("cache returned the stored image; each GetImage must decode a fresh one")
+	}
+	if got.Entry != res.Image.Entry || len(got.Segments) != len(res.Image.Segments) {
+		t.Error("decoded image differs from the stored one")
+	}
+	if _, ok := c1.GetImage(key2); ok {
+		t.Error("mutated-profile key hit the stale entry")
+	}
+	if st := c1.Stats(); st.ImageHits != 1 || st.ImageMisses != 2 {
+		t.Errorf("image stats = %+v, want 1 hit / 2 misses", st)
+	}
+
+	// Entries persist: a second instance over the same directory hits.
+	c2, err := New(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.GetImage(key1); !ok {
+		t.Error("image entry did not persist across instances")
+	}
+
+	var nilCache *Cache
+	if _, ok := nilCache.GetImage(key1); ok {
+		t.Error("nil cache reported an image hit")
+	}
+	if err := nilCache.PutImage(key1, res.Image); err != nil {
+		t.Error(err)
 	}
 }
 

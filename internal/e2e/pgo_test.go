@@ -1,0 +1,143 @@
+package e2e_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/om"
+	"repro/internal/profile"
+	"repro/internal/progen"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+// TestPGOLayoutPreservesOutputProperty is the layout subsystem's central
+// property: for random programs and arbitrary (even nonsensical) profiles
+// over their procedures, OM-full plus profile-guided layout produces the
+// same output as OM-full — placement may only move code, never change it —
+// and the laid-out link is deterministic: relinking with the same profile
+// yields a byte-identical image.
+func TestPGOLayoutPreservesOutputProperty(t *testing.T) {
+	lib, err := rtlib.StandardObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= seeds; seed++ {
+		srcs := progen.Generate(seed, progen.DefaultConfig())
+		var objs []*objfile.Object
+		for _, s := range srcs {
+			obj, err := tcc.Compile(s.Name, []tcc.Source{s}, tcc.DefaultOptions())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			objs = append(objs, obj)
+		}
+		all := append(objs, lib...)
+		merge := func() *link.Program {
+			p, err := link.Merge(all)
+			if err != nil {
+				t.Fatalf("seed %d: merge: %v", seed, err)
+			}
+			return p
+		}
+
+		base, err := om.Run(ctx, merge(), om.WithLevel(om.LevelFull))
+		if err != nil {
+			t.Fatalf("seed %d: om-full: %v", seed, err)
+		}
+		want := runImage(t, base.Image)
+
+		pg, err := om.Lift(merge())
+		if err != nil {
+			t.Fatalf("seed %d: lift: %v", seed, err)
+		}
+		var names []string
+		for _, pr := range pg.Procs {
+			names = append(names, pr.Name)
+		}
+		rng := rand.New(rand.NewSource(seed*7919 + 13))
+		prof := synthProfile(rng, names)
+
+		var imgs [][]byte
+		for trial := 0; trial < 2; trial++ {
+			res, err := om.Run(ctx, merge(),
+				om.WithLevel(om.LevelFull), om.WithProfile(prof))
+			if err != nil {
+				t.Fatalf("seed %d: om-full+layout: %v", seed, err)
+			}
+			if got := runImage(t, res.Image); got != want {
+				t.Errorf("seed %d: layout changed output\n got: %s\nwant: %s", seed, got, want)
+			}
+			var buf bytes.Buffer
+			if err := res.Image.Write(&buf); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			imgs = append(imgs, buf.Bytes())
+		}
+		if !bytes.Equal(imgs[0], imgs[1]) {
+			t.Errorf("seed %d: relink with the same profile is not byte-identical", seed)
+		}
+
+		// Layout also composes with rescheduling.
+		res, err := om.Run(ctx, merge(), om.WithLevel(om.LevelFull),
+			om.WithSchedule(true), om.WithProfile(prof))
+		if err != nil {
+			t.Fatalf("seed %d: om-full+sched+layout: %v", seed, err)
+		}
+		schedBase, err := om.Run(ctx, merge(), om.WithLevel(om.LevelFull), om.WithSchedule(true))
+		if err != nil {
+			t.Fatalf("seed %d: om-full+sched: %v", seed, err)
+		}
+		wantSched := runImage(t, schedBase.Image)
+		if got := runImage(t, res.Image); got != wantSched {
+			t.Errorf("seed %d: layout+sched changed output", seed)
+		}
+	}
+}
+
+// synthProfile fabricates a randomized profile over the program's real
+// procedure names: a random subset gets random weights (including weight
+// zero), and random call edges connect arbitrary pairs — self-edges and
+// zero-weight edges included, which the layout must tolerate.
+func synthProfile(rng *rand.Rand, names []string) *profile.Profile {
+	p := profile.New("synthetic")
+	for _, n := range names {
+		if rng.Intn(3) == 0 {
+			continue // procedure absent from the profile: stays cold
+		}
+		p.Procs = append(p.Procs, profile.ProcCount{
+			Name:    n,
+			Entries: uint64(rng.Intn(1000)),
+			Weight:  uint64(rng.Intn(100000)),
+		})
+	}
+	for i := 0; i < 2*len(names); i++ {
+		p.Edges = append(p.Edges, profile.Edge{
+			Caller: names[rng.Intn(len(names))],
+			Callee: names[rng.Intn(len(names))],
+			Weight: uint64(rng.Intn(5000)), // zero-weight edges occur
+		})
+	}
+	return p
+}
+
+// runImage executes the image functionally and fingerprints the behavior.
+func runImage(t *testing.T, im *objfile.Image) string {
+	t.Helper()
+	res, err := sim.Run(im, sim.Config{MaxInstructions: 50_000_000})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return fmt.Sprint(res.Exit, res.Output)
+}

@@ -1,0 +1,212 @@
+// Package layout computes a profile-guided procedure order using
+// Pettis–Hansen-style call-graph chain merging: combine the directed call
+// edges into undirected pair weights, process pairs hottest-first, merging
+// the chains containing the two procedures so hot caller/callee pairs land
+// adjacent in the address space, then place chains by total weight and
+// leave never-executed procedures at the end in their original order.
+//
+// The ordering is deterministic and input-order invariant: every tie breaks
+// on the procedures' stable Key strings, never on input position, so
+// re-laying-out an already-laid-out program reproduces the same order
+// (idempotence — a property the OM layout pass's tests rely on).
+package layout
+
+import "sort"
+
+// Proc is one placeable procedure.
+type Proc struct {
+	// Key is a unique, stable identity (the procedure name); all
+	// tie-breaking uses it.
+	Key string
+	// Weight is the procedure's dynamic hotness (its total block-entry
+	// count). Zero means never executed.
+	Weight uint64
+}
+
+// Edge is one directed call-graph edge between procs, as indices into the
+// Order input slice.
+type Edge struct {
+	From, To int
+	Weight   uint64
+}
+
+// Kind classifies how a procedure was placed.
+type Kind uint8
+
+const (
+	// Cold: never executed (and on no hot edge); kept at the end in the
+	// original order.
+	Cold Kind = iota
+	// Hot: executed, but on no merged edge — placed alone by weight.
+	Hot
+	// Chained: merged into a multi-procedure chain along hot call edges.
+	Chained
+)
+
+// String names the placement kind.
+func (k Kind) String() string {
+	switch k {
+	case Cold:
+		return "cold"
+	case Hot:
+		return "hot"
+	case Chained:
+		return "chained"
+	}
+	return "?"
+}
+
+// Placement is the result of Order.
+type Placement struct {
+	// Order is a permutation of the input indices: Order[0] is placed first.
+	Order []int
+	// Kind classifies each input index's placement.
+	Kind []Kind
+	// Chain gives each input index's chain ordinal (in placement order) for
+	// Chained procedures, -1 otherwise.
+	Chain []int
+}
+
+// pair is an undirected procedure pair with combined weight.
+type pair struct {
+	a, b   int // a, b ordered so key(a) <= key(b)
+	weight uint64
+}
+
+// Order computes the Pettis–Hansen placement. Self-edges and zero-weight
+// edges are ignored. Procs touched by a positive edge count as executed
+// even if their own weight is zero (a defensive rule for synthetic
+// profiles; real profiles cannot produce that combination).
+func Order(procs []Proc, edges []Edge) Placement {
+	n := len(procs)
+	pl := Placement{
+		Order: make([]int, 0, n),
+		Kind:  make([]Kind, n),
+		Chain: make([]int, n),
+	}
+	for i := range pl.Chain {
+		pl.Chain[i] = -1
+	}
+
+	// Combine directed edges into undirected pair weights.
+	type pkey [2]int
+	combined := make(map[pkey]uint64)
+	hot := make([]bool, n)
+	for i, p := range procs {
+		hot[i] = p.Weight > 0
+	}
+	for _, e := range edges {
+		if e.Weight == 0 || e.From == e.To {
+			continue
+		}
+		if e.From < 0 || e.From >= n || e.To < 0 || e.To >= n {
+			continue
+		}
+		a, b := e.From, e.To
+		if procs[b].Key < procs[a].Key {
+			a, b = b, a
+		}
+		combined[pkey{a, b}] += e.Weight
+		hot[e.From], hot[e.To] = true, true
+	}
+	pairs := make([]pair, 0, len(combined))
+	for k, w := range combined {
+		pairs = append(pairs, pair{a: k[0], b: k[1], weight: w})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].weight != pairs[j].weight {
+			return pairs[i].weight > pairs[j].weight
+		}
+		if procs[pairs[i].a].Key != procs[pairs[j].a].Key {
+			return procs[pairs[i].a].Key < procs[pairs[j].a].Key
+		}
+		return procs[pairs[i].b].Key < procs[pairs[j].b].Key
+	})
+
+	// Merge chains along the sorted pairs. Each hot procedure starts as a
+	// singleton chain; merging orients the two chains so the pair's
+	// procedures become adjacent when both are chain endpoints.
+	chainOf := make([]int, n)
+	chains := make(map[int][]int)
+	for i := range procs {
+		chainOf[i] = i
+		if hot[i] {
+			chains[i] = []int{i}
+		}
+	}
+	reverse := func(c []int) {
+		for i, j := 0, len(c)-1; i < j; i, j = i+1, j-1 {
+			c[i], c[j] = c[j], c[i]
+		}
+	}
+	for _, pr := range pairs {
+		ca, cb := chainOf[pr.a], chainOf[pr.b]
+		if ca == cb {
+			continue
+		}
+		A, B := chains[ca], chains[cb]
+		// Orient so pr.a sits at A's tail and pr.b at B's head, when both
+		// are endpoints; interior members just concatenate the chains.
+		switch {
+		case A[len(A)-1] == pr.a:
+			// already good
+		case A[0] == pr.a:
+			reverse(A)
+		}
+		switch {
+		case B[0] == pr.b:
+			// already good
+		case B[len(B)-1] == pr.b:
+			reverse(B)
+		}
+		merged := append(A, B...)
+		delete(chains, cb)
+		chains[ca] = merged
+		for _, p := range B {
+			chainOf[p] = ca
+		}
+	}
+
+	// Collect chains, order them by total weight (ties by smallest member
+	// key), and emit.
+	type chainInfo struct {
+		members []int
+		weight  uint64
+		minKey  string
+	}
+	var out []chainInfo
+	for _, members := range chains {
+		ci := chainInfo{members: members, minKey: procs[members[0]].Key}
+		for _, p := range members {
+			ci.weight += procs[p].Weight
+			if procs[p].Key < ci.minKey {
+				ci.minKey = procs[p].Key
+			}
+		}
+		out = append(out, ci)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].weight != out[j].weight {
+			return out[i].weight > out[j].weight
+		}
+		return out[i].minKey < out[j].minKey
+	})
+	for ci, c := range out {
+		for _, p := range c.members {
+			pl.Order = append(pl.Order, p)
+			if len(c.members) > 1 {
+				pl.Kind[p] = Chained
+				pl.Chain[p] = ci
+			} else {
+				pl.Kind[p] = Hot
+			}
+		}
+	}
+	for i := range procs {
+		if !hot[i] {
+			pl.Order = append(pl.Order, i)
+			pl.Kind[i] = Cold
+		}
+	}
+	return pl
+}

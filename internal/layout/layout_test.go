@@ -1,0 +1,226 @@
+package layout
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// apply returns the keys in placement order.
+func apply(procs []Proc, pl Placement) []string {
+	out := make([]string, 0, len(procs))
+	for _, i := range pl.Order {
+		out = append(out, procs[i].Key)
+	}
+	return out
+}
+
+// TestOrderChainsHotPair: the hottest caller/callee pair becomes adjacent,
+// ahead of everything else; cold procedures stay last in input order.
+func TestOrderChainsHotPair(t *testing.T) {
+	procs := []Proc{
+		{Key: "cold1"},
+		{Key: "main", Weight: 10},
+		{Key: "cold2"},
+		{Key: "leaf", Weight: 1000},
+		{Key: "mid", Weight: 900},
+	}
+	edges := []Edge{
+		{From: 1, To: 4, Weight: 10},   // main -> mid
+		{From: 4, To: 3, Weight: 1000}, // mid -> leaf
+	}
+	pl := Order(procs, edges)
+	got := apply(procs, pl)
+	want := []string{"main", "mid", "leaf", "cold1", "cold2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i, k := range []Kind{Cold, Chained, Cold, Chained, Chained} {
+		if pl.Kind[i] != k {
+			t.Errorf("Kind[%s] = %v, want %v", procs[i].Key, pl.Kind[i], k)
+		}
+	}
+}
+
+// TestOrderAdjacency: merging orients chains so the hot pair's endpoints
+// touch: a->b hot and c->d hot, then b->c merges the two chains with b and
+// c adjacent.
+func TestOrderAdjacency(t *testing.T) {
+	procs := []Proc{
+		{Key: "a", Weight: 100},
+		{Key: "b", Weight: 100},
+		{Key: "c", Weight: 100},
+		{Key: "d", Weight: 100},
+	}
+	edges := []Edge{
+		{From: 0, To: 1, Weight: 50},
+		{From: 2, To: 3, Weight: 40},
+		{From: 1, To: 2, Weight: 30},
+	}
+	pl := Order(procs, edges)
+	got := apply(procs, pl)
+	pos := map[string]int{}
+	for i, k := range got {
+		pos[k] = i
+	}
+	adjacent := func(x, y string) bool {
+		d := pos[x] - pos[y]
+		return d == 1 || d == -1
+	}
+	if !adjacent("a", "b") || !adjacent("c", "d") || !adjacent("b", "c") {
+		t.Fatalf("hot pairs not adjacent in %v", got)
+	}
+}
+
+// TestOrderSingletons: executed procedures with no edges order by weight,
+// ties by key; Kind is Hot.
+func TestOrderSingletons(t *testing.T) {
+	procs := []Proc{
+		{Key: "b", Weight: 5},
+		{Key: "a", Weight: 5},
+		{Key: "z", Weight: 7},
+	}
+	pl := Order(procs, nil)
+	got := apply(procs, pl)
+	want := []string{"z", "a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+	for i := range procs {
+		if pl.Kind[i] != Hot {
+			t.Errorf("Kind[%s] = %v, want Hot", procs[i].Key, pl.Kind[i])
+		}
+	}
+}
+
+// TestOrderEdgePromotesCold: a procedure with zero weight but a positive
+// incident edge is treated as executed (defensive rule for synthetic
+// profiles).
+func TestOrderEdgePromotesCold(t *testing.T) {
+	procs := []Proc{{Key: "a", Weight: 10}, {Key: "b"}}
+	pl := Order(procs, []Edge{{From: 0, To: 1, Weight: 3}})
+	if pl.Kind[1] != Chained {
+		t.Fatalf("Kind[b] = %v, want Chained", pl.Kind[1])
+	}
+}
+
+// TestOrderIgnoresDegenerateEdges: self-edges, zero weights, and
+// out-of-range indices must not disturb the placement.
+func TestOrderIgnoresDegenerateEdges(t *testing.T) {
+	procs := []Proc{{Key: "a", Weight: 1}, {Key: "b", Weight: 2}}
+	pl := Order(procs, []Edge{
+		{From: 0, To: 0, Weight: 99},
+		{From: 0, To: 1, Weight: 0},
+		{From: -1, To: 1, Weight: 5},
+		{From: 1, To: 7, Weight: 5},
+	})
+	got := apply(procs, pl)
+	want := []string{"b", "a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order = %v, want %v", got, want)
+	}
+}
+
+// shuffle returns the procs permuted by perm, with edges re-indexed.
+func shuffle(procs []Proc, edges []Edge, perm []int) ([]Proc, []Edge) {
+	// perm[i] = new position of old index i.
+	np := make([]Proc, len(procs))
+	for i, p := range procs {
+		np[perm[i]] = p
+	}
+	ne := make([]Edge, len(edges))
+	for i, e := range edges {
+		ne[i] = Edge{From: perm[e.From], To: perm[e.To], Weight: e.Weight}
+	}
+	return np, ne
+}
+
+// randomCase builds a random placement problem.
+func randomCase(r *rand.Rand, n int) ([]Proc, []Edge) {
+	procs := make([]Proc, n)
+	for i := range procs {
+		procs[i] = Proc{Key: string(rune('A'+i%26)) + string(rune('a'+i/26))}
+		if r.Intn(3) > 0 {
+			procs[i].Weight = uint64(r.Intn(1000))
+		}
+	}
+	var edges []Edge
+	for e := 0; e < n*2; e++ {
+		edges = append(edges, Edge{
+			From: r.Intn(n), To: r.Intn(n), Weight: uint64(r.Intn(500)),
+		})
+	}
+	return procs, edges
+}
+
+// TestOrderIdempotent: the ordering is a fixpoint under hot-proc
+// re-presentation — applying Order to the already-ordered list (same
+// weights, re-indexed edges) returns the identity permutation for the hot
+// part, and leaves cold procedures in the (already placed) order. This is
+// the property that makes OM's layout pass idempotent.
+func TestOrderIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		procs, edges := randomCase(r, 4+r.Intn(40))
+		pl := Order(procs, edges)
+
+		// Re-present the problem in placement order.
+		perm := make([]int, len(procs))
+		for newPos, old := range pl.Order {
+			perm[old] = newPos
+		}
+		procs2, edges2 := shuffle(procs, edges, perm)
+		pl2 := Order(procs2, edges2)
+		for i, idx := range pl2.Order {
+			if idx != i {
+				t.Fatalf("trial %d: second layout moved position %d to %d (not idempotent)\norder1=%v\norder2=%v",
+					trial, idx, i, apply(procs, pl), apply(procs2, pl2))
+			}
+		}
+	}
+}
+
+// TestOrderInputOrderInvariant: permuting the input must not change the
+// resulting key sequence for executed procedures (cold procedures preserve
+// input order by design, so only the hot prefix is compared).
+func TestOrderInputOrderInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		procs, edges := randomCase(r, 4+r.Intn(40))
+		base := apply(procs, Order(procs, edges))
+
+		perm := r.Perm(len(procs))
+		procs2, edges2 := shuffle(procs, edges, perm)
+		got := apply(procs2, Order(procs2, edges2))
+
+		hotLen := 0
+		pl := Order(procs, edges)
+		for _, i := range pl.Order {
+			if pl.Kind[i] != Cold {
+				hotLen++
+			}
+		}
+		if !reflect.DeepEqual(base[:hotLen], got[:hotLen]) {
+			t.Fatalf("trial %d: hot order depends on input order\nbase=%v\ngot =%v", trial, base, got)
+		}
+	}
+}
+
+// TestOrderIsPermutation: Order always returns a permutation of the input.
+func TestOrderIsPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		procs, edges := randomCase(r, 1+r.Intn(50))
+		pl := Order(procs, edges)
+		if len(pl.Order) != len(procs) {
+			t.Fatalf("trial %d: %d placed, want %d", trial, len(pl.Order), len(procs))
+		}
+		seen := make([]bool, len(procs))
+		for _, i := range pl.Order {
+			if i < 0 || i >= len(procs) || seen[i] {
+				t.Fatalf("trial %d: invalid permutation %v", trial, pl.Order)
+			}
+			seen[i] = true
+		}
+	}
+}

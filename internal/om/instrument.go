@@ -7,6 +7,7 @@ import (
 	"repro/internal/axp"
 	"repro/internal/link"
 	"repro/internal/objfile"
+	"repro/internal/profile"
 )
 
 // BlockInfo names one instrumented basic block.
@@ -14,6 +15,11 @@ type BlockInfo struct {
 	ID    uint32
 	Proc  string
 	Index int // block ordinal within the procedure
+	// Calls names the known callees of the block's call sites (direct calls
+	// and GAT-indirect jsr with a resolvable target; calls through procedure
+	// variables are omitted). With the block's execution count this yields
+	// call-edge weights for profile-guided layout.
+	Calls []string
 }
 
 // Instrument inserts a profiling trap at the entry of every basic block —
@@ -73,11 +79,27 @@ func Instrument(pg *Prog) ([]BlockInfo, error) {
 				out = append(out, tr)
 			}
 			out = append(out, si)
+			if si.In.Op == axp.JSR || si.In.Op == axp.BSR {
+				if callee := resetCallee(pg, si); callee != nil {
+					cur := &blocks[len(blocks)-1]
+					cur.Calls = append(cur.Calls, callee.Name)
+				}
+			}
 			prevEndsBlock = si.In.Op.IsBranch() || si.In.Op.IsJump() || si.In.Op == axp.CALLPAL
 		}
 		pr.Insts = out
 	}
 	return blocks, nil
+}
+
+// TrapBlocks converts the instrumentation block table into the profile
+// package's source-neutral form, for profile.FromTraps.
+func TrapBlocks(blocks []BlockInfo) []profile.TrapBlock {
+	out := make([]profile.TrapBlock, len(blocks))
+	for i, b := range blocks {
+		out[i] = profile.TrapBlock{Proc: b.Proc, Index: b.Index, Calls: b.Calls}
+	}
+	return out
 }
 
 // OptimizeInstrumented lifts the program, instruments every basic block,

@@ -44,6 +44,7 @@ const (
 	ReasonCallKeptIndirect    = "call:kept:indirect-call"
 	ReasonCallKeptUnknown     = "call:kept:unknown-callee"
 	ReasonCallKeptCrossReg    = "call:kept:cross-region"
+	ReasonCallKeptLayout      = "call:kept:layout-range"
 	ReasonCallKeptOther       = "call:kept:other"
 
 	// GP-reset pairs (cat "gpreset").
@@ -53,6 +54,14 @@ const (
 	ReasonResetKeptUnknown  = "gpreset:kept:unknown-callee"
 	ReasonResetKeptDiffGAT  = "gpreset:kept:different-gat"
 	ReasonResetKeptOther    = "gpreset:kept:other"
+
+	// Profile-guided layout placements (cat "layout", WithProfile runs
+	// only): one event per procedure, so the 100%-accounting guarantee
+	// extends to the layout pass.
+	ReasonLayoutChain    = "layout:placed-hot-chain"
+	ReasonLayoutHot      = "layout:placed-hot"
+	ReasonLayoutCold     = "layout:kept:cold"
+	ReasonLayoutFallback = "layout:fallback-jsr-range"
 )
 
 // JournalReasons lists every reason code, grouped by category, in a fixed
@@ -67,16 +76,17 @@ func JournalReasons() []string {
 		ReasonCallDirect, ReasonCallConverted, ReasonCallConvertedSkip,
 		ReasonCallConvertedNoProl, ReasonCallKeptNoOpt, ReasonCallKeptDisabled,
 		ReasonCallKeptIndirect, ReasonCallKeptUnknown, ReasonCallKeptCrossReg,
-		ReasonCallKeptOther,
+		ReasonCallKeptLayout, ReasonCallKeptOther,
 		ReasonResetRemoved, ReasonResetKeptNoOpt, ReasonResetKeptDisabled,
 		ReasonResetKeptUnknown, ReasonResetKeptDiffGAT, ReasonResetKeptOther,
+		ReasonLayoutChain, ReasonLayoutHot, ReasonLayoutCold, ReasonLayoutFallback,
 	}
 }
 
 // buildJournal walks the post-pass program and emits one event per
 // candidate site. Totals come from the already-collected Stats so the
 // journal is checkable against the figures it explains.
-func buildJournal(pg *Prog, pl *Plan, cfg config, stats *Stats) *obs.JournalDoc {
+func buildJournal(pg *Prog, pl *Plan, cfg config, stats *Stats, lay *layoutResult) *obs.JournalDoc {
 	d := &obs.JournalDoc{
 		Schema: obs.JournalSchema,
 		Level:  cfg.level.String(),
@@ -85,6 +95,10 @@ func buildJournal(pg *Prog, pl *Plan, cfg config, stats *Stats) *obs.JournalDoc 
 			"call":    uint64(stats.CallSites),
 			"gpreset": uint64(stats.GPResetBefore),
 		},
+	}
+	if lay != nil {
+		// Layout accounts for every procedure, not every instruction site.
+		d.Totals["layout"] = uint64(len(pg.Procs))
 	}
 
 	// PV literals: address loads whose job was materializing a callee
@@ -113,7 +127,7 @@ func buildJournal(pg *Prog, pl *Plan, cfg config, stats *Stats) *obs.JournalDoc 
 				d.Events = append(d.Events, obs.Event{
 					Cat: "call", Proc: pr.Name, Index: i,
 					Target: callTarget(pg, si),
-					Reason: classifyCall(pg, pl, cfg, pr, si),
+					Reason: classifyCall(pg, pl, cfg, pr, si, lay),
 				})
 			}
 			if si.GPD != nil && si.GPD.High && !si.GPD.Entry {
@@ -122,6 +136,14 @@ func buildJournal(pg *Prog, pl *Plan, cfg config, stats *Stats) *obs.JournalDoc 
 					Reason: classifyReset(pg, pl, cfg, pr, si),
 				})
 			}
+		}
+	}
+	if lay != nil {
+		for pos, dec := range lay.decisions {
+			d.Events = append(d.Events, obs.Event{
+				Cat: "layout", Proc: dec.proc.Name, Index: pos,
+				Reason: dec.reason, Detail: dec.detail,
+			})
 		}
 	}
 	d.Counts = d.Recount()
@@ -225,9 +247,12 @@ func callTarget(pg *Prog, si *SInst) string {
 }
 
 // classifyCall explains a call site's final state.
-func classifyCall(pg *Prog, pl *Plan, cfg config, pr *Proc, si *SInst) string {
+func classifyCall(pg *Prog, pl *Plan, cfg config, pr *Proc, si *SInst, lay *layoutResult) string {
 	if si.Indirect {
 		return ReasonCallKeptIndirect
+	}
+	if lay != nil && lay.reverted[si] {
+		return ReasonCallKeptLayout
 	}
 	if si.Call != nil {
 		switch {

@@ -140,6 +140,7 @@ func TestJournalReasonCodesGolden(t *testing.T) {
 		"call:kept:indirect-call",
 		"call:kept:unknown-callee",
 		"call:kept:cross-region",
+		"call:kept:layout-range",
 		"call:kept:other",
 		"gpreset:removed-same-gat",
 		"gpreset:kept:no-optimization",
@@ -147,6 +148,10 @@ func TestJournalReasonCodesGolden(t *testing.T) {
 		"gpreset:kept:unknown-callee",
 		"gpreset:kept:different-gat",
 		"gpreset:kept:other",
+		"layout:placed-hot-chain",
+		"layout:placed-hot",
+		"layout:kept:cold",
+		"layout:fallback-jsr-range",
 	}
 	got := JournalReasons()
 	if len(got) != len(want) {

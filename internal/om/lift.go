@@ -92,6 +92,14 @@ type CallInfo struct {
 	// FromJSR: the call was a GAT-indirect jsr that the call optimization
 	// converted to this direct bsr (vs. a bsr the compiler emitted).
 	FromJSR bool
+
+	// origJSR and origPV snapshot the jsr and its PV-load instruction at
+	// conversion time (FromJSR only), so the profile-guided layout pass can
+	// revert the conversion when reordering pushes the callee beyond the
+	// bsr's 21-bit displacement. origPV matters at OM-simple, where
+	// nullification overwrites the load in place.
+	origJSR axp.Inst
+	origPV  axp.Inst
 }
 
 // GPRelKind distinguishes the GP-relative rewrite applied to an instruction.

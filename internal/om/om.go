@@ -7,6 +7,7 @@ import (
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/obs"
+	"repro/internal/profile"
 )
 
 // config is the resolved option set of one Run.
@@ -18,6 +19,7 @@ type config struct {
 	parallelism int
 	trace       bool
 	metrics     *obs.Registry
+	profile     *profile.Profile
 }
 
 // Option configures a Run.
@@ -56,9 +58,20 @@ func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n 
 // stable reason code (Result.Journal). Ignored for instrumentation runs.
 func WithTrace() Option { return func(c *config) { c.trace = true } }
 
-// WithMetrics records per-phase wall time (om/lift, om/passes, om/emit)
-// into the registry. A nil registry disables recording.
+// WithMetrics records per-phase wall time (om/lift, om/passes, om/layout,
+// om/emit) into the registry. A nil registry disables recording.
 func WithMetrics(m *obs.Registry) Option { return func(c *config) { c.metrics = m } }
+
+// WithProfile enables profile-guided code layout: after the optimization
+// passes, procedures are reordered by Pettis–Hansen call-graph chain
+// merging over the profile's edge weights (hot caller/callee pairs become
+// adjacent, never-executed procedures sink to the end), and every direct
+// call's branch range is re-verified against the new order — a conversion
+// whose callee lands beyond the bsr window reverts to its original
+// GAT-indirect jsr. The profile is validated against the lifted program's
+// procedure names; a stale profile fails the Run. A nil profile is a no-op,
+// and instrumentation runs ignore the option.
+func WithProfile(p *profile.Profile) Option { return func(c *config) { c.profile = p } }
 
 // Result is the outcome of a Run.
 type Result struct {
@@ -135,11 +148,29 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	if err != nil {
 		return nil, err
 	}
+
+	var lay *layoutResult
+	if cfg.profile != nil {
+		known := make(map[string]bool, len(pg.Procs))
+		for _, pr := range pg.Procs {
+			known[pr.Name] = true
+		}
+		if err := cfg.profile.ValidateNames(known); err != nil {
+			return nil, err
+		}
+		layoutDone := obs.StartSpan(cfg.metrics.Timer("om/layout"))
+		pl, lay, err = applyLayout(pg, pl, cfg.profile,
+			cfg.level == LevelFull, cfg.schedule && cfg.level == LevelFull)
+		layoutDone()
+		if err != nil {
+			return nil, err
+		}
+	}
 	collectAfter(pg, pl, stats)
 
 	var journal *obs.JournalDoc
 	if cfg.trace {
-		journal = buildJournal(pg, pl, cfg, stats)
+		journal = buildJournal(pg, pl, cfg, stats, lay)
 	}
 
 	sched := cfg.schedule && cfg.level == LevelFull

@@ -59,8 +59,9 @@ func applyCallOpts(pg *Prog, pl *Plan, full bool) bool {
 				// the callee's pair executes and computes GP from PV.
 				needPV = true
 			}
+			si.Call = &CallInfo{Target: callee, EntryOffset: entryOff, FromJSR: true,
+				origJSR: si.In, origPV: lit.In}
 			si.In = axp.BranchInst(axp.BSR, axp.RA, 0)
-			si.Call = &CallInfo{Target: callee, EntryOffset: entryOff, FromJSR: true}
 			si.Use = nil
 			for i, u := range lit.Lit.Uses {
 				if u == si {

@@ -76,11 +76,18 @@ type Result struct {
 	OutBytes []byte
 	Stats    Stats
 	// Profile holds per-block execution counts when the program was
-	// instrumented with profiling traps (nil otherwise).
+	// instrumented with profiling traps (om.Instrument; nil otherwise),
+	// keyed by the trap's block id. This is the pixie-style source: the
+	// binary carries the counters, and profile.FromTraps turns the counts
+	// plus the instrumenter's block table into an om-profile.
 	Profile map[uint32]uint64
 	// BlockProfile holds per-block execution counts from the engine's
-	// profiling mode (Config.Profile), sorted by descending count. Each
-	// entry is one basic-block entry point actually executed.
+	// profiling mode (Config.Profile), sorted by descending count with
+	// equal counts in ascending-PC order. Each entry is one basic-block
+	// entry point actually executed. This is the engine-side source: any
+	// unmodified image can be profiled, and profile.FromImage attributes
+	// the counts to procedure symbols. Either source feeds the
+	// profile-guided layout pipeline (om.WithProfile).
 	BlockProfile []BlockCount
 	// InstMix maps opcode mnemonics to dynamic execution counts
 	// (Config.Profile runs only).

@@ -79,6 +79,53 @@ func TestProfileCountsMatchExecution(t *testing.T) {
 	}
 }
 
+// TestBlockProfileDeterministicOrder pins the tie-break: equal-count blocks
+// come back in ascending-PC order. The ordering is a stable interface — the
+// hot-block report, profile.FromImage, and the PGO pipeline's content
+// hashing all consume it — so a change here is a breaking change.
+func TestBlockProfileDeterministicOrder(t *testing.T) {
+	// A chain of branches: every block is entered exactly once, giving
+	// maximal count ties.
+	prog := []axp.Inst{
+		axp.BranchInst(axp.BR, axp.Zero, 0), // block 0 -> block 1
+		axp.BranchInst(axp.BR, axp.Zero, 0), // block 1 -> block 2
+		axp.BranchInst(axp.BR, axp.Zero, 0), // block 2 -> block 3
+		axp.Pal(axp.PalHalt),                // block 3
+	}
+	im := image(t, prog)
+	cfg := DefaultConfig()
+	cfg.Profile = true
+	var first []BlockCount
+	for trial := 0; trial < 3; trial++ {
+		res, err := Run(im, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bp := res.BlockProfile
+		if len(bp) < 3 {
+			t.Fatalf("expected >= 3 blocks, got %d", len(bp))
+		}
+		for i := 1; i < len(bp); i++ {
+			if bp[i].Count > bp[i-1].Count {
+				t.Fatalf("not sorted by descending count at %d", i)
+			}
+			if bp[i].Count == bp[i-1].Count && bp[i].PC <= bp[i-1].PC {
+				t.Fatalf("equal-count blocks not in ascending PC order: %#x after %#x",
+					bp[i].PC, bp[i-1].PC)
+			}
+		}
+		if trial == 0 {
+			first = bp
+			continue
+		}
+		for i := range bp {
+			if bp[i] != first[i] {
+				t.Fatalf("trial %d: BlockProfile[%d] = %+v, want %+v", trial, i, bp[i], first[i])
+			}
+		}
+	}
+}
+
 // TestProfileRunStaysAllocationFree mirrors the zero-allocation guarantee
 // with profiling ON: the counters are preallocated arrays, so the run loop
 // still allocates nothing per instruction.
