@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench bench-smoke trace-smoke pgo-smoke clean
+.PHONY: all build vet test race verify fmt-check bench bench-smoke trace-smoke pgo-smoke omd-smoke clean
 
 all: build
 
@@ -13,9 +13,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel harness and OM's concurrent analysis must stay race-clean.
+# The parallel harness, OM's concurrent analysis, and the omd service
+# (coalescing, queue, drain) must stay race-clean.
 race:
-	$(GO) test -race ./internal/harness ./internal/om
+	$(GO) test -race ./internal/harness ./internal/om ./internal/omd
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -57,8 +58,14 @@ pgo-smoke:
 	$(GO) run ./cmd/omtrace -check $$dir/*.pgo.json; \
 	status=$$?; rm -rf $$dir; exit $$status
 
+# omd-smoke proves the link service's exactly-one-execution property under
+# load: an in-process daemon takes many concurrent identical submissions
+# and must collapse them to a single link with byte-identical responses.
+omd-smoke:
+	$(GO) run ./cmd/omd -loadsmoke -smoke-clients 32
+
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check bench-smoke trace-smoke pgo-smoke
+verify: build vet test race fmt-check bench-smoke trace-smoke pgo-smoke omd-smoke
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,6 +28,20 @@ import (
 	"repro/internal/spec"
 	"repro/internal/tcc"
 )
+
+// runOM merges the objects and runs OM under the given options (the
+// benchmarks' shorthand for the link.Merge + om.Run pipeline).
+func runOM(objs []*objfile.Object, opts ...om.Option) (*objfile.Image, *om.Stats, error) {
+	p, err := link.Merge(objs)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := om.Run(context.Background(), p, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Image, res.Stats, nil
+}
 
 // buildObjects compiles a benchmark's modules separately plus the library.
 func buildObjects(b *testing.B, name string) []*objfile.Object {
@@ -50,11 +65,11 @@ func buildObjects(b *testing.B, name string) []*objfile.Object {
 	return append(objs, lib...)
 }
 
-func benchOM(b *testing.B, name string, opts om.Options) {
+func benchOM(b *testing.B, name string, opts ...om.Option) {
 	objs := buildObjects(b, name)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := om.OptimizeObjects(objs, opts); err != nil {
+		if _, _, err := runOM(objs, opts...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -92,17 +107,17 @@ func BenchmarkFig7InterprocBuild(b *testing.B) {
 	}
 }
 
-func BenchmarkFig7OMNone(b *testing.B)   { benchOM(b, "li", om.Options{Level: om.LevelNone}) }
-func BenchmarkFig7OMSimple(b *testing.B) { benchOM(b, "li", om.Options{Level: om.LevelSimple}) }
-func BenchmarkFig7OMFull(b *testing.B)   { benchOM(b, "li", om.Options{Level: om.LevelFull}) }
+func BenchmarkFig7OMNone(b *testing.B)   { benchOM(b, "li", om.WithLevel(om.LevelNone)) }
+func BenchmarkFig7OMSimple(b *testing.B) { benchOM(b, "li", om.WithLevel(om.LevelSimple)) }
+func BenchmarkFig7OMFull(b *testing.B)   { benchOM(b, "li", om.WithLevel(om.LevelFull)) }
 func BenchmarkFig7OMFullSched(b *testing.B) {
-	benchOM(b, "li", om.Options{Level: om.LevelFull, Schedule: true})
+	benchOM(b, "li", om.WithLevel(om.LevelFull), om.WithSchedule(true))
 }
 
 // BenchmarkFig7SchedBigBlocks shows the superlinear scheduling cost the
 // paper observed on fpppp and doduc.
 func BenchmarkFig7SchedBigBlocks(b *testing.B) {
-	benchOM(b, "fpppp", om.Options{Level: om.LevelFull, Schedule: true})
+	benchOM(b, "fpppp", om.WithLevel(om.LevelFull), om.WithSchedule(true))
 }
 
 // --- Figures 3-5: the static measurement pipeline.
@@ -112,7 +127,7 @@ func benchStatics(b *testing.B, name string) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, lvl := range []om.Level{om.LevelNone, om.LevelSimple, om.LevelFull} {
-			_, st, err := om.OptimizeObjects(objs, om.Options{Level: lvl})
+			_, st, err := runOM(objs, om.WithLevel(lvl))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -132,7 +147,7 @@ func BenchmarkGATReduction(b *testing.B) {
 	objs := buildObjects(b, "alvinn")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, st, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+		_, st, err := runOM(objs, om.WithLevel(om.LevelFull))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +166,7 @@ func BenchmarkFig6Dynamic(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fullIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull, Schedule: true})
+	fullIm, _, err := runOM(objs, om.WithLevel(om.LevelFull), om.WithSchedule(true))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -245,11 +260,11 @@ func BenchmarkSimulateTiming(b *testing.B) {
 // couple of headline shapes once (not timed).
 func TestBenchmarkShapes(t *testing.T) {
 	objs := buildObjects2(t, "li")
-	_, simple, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelSimple})
+	_, simple, err := runOM(objs, om.WithLevel(om.LevelSimple))
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, full, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+	_, full, err := runOM(objs, om.WithLevel(om.LevelFull))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +312,7 @@ func BenchmarkAblation(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, _, err := om.OptimizeFullAblated(p, ab, false); err != nil {
+			if _, err := om.Run(context.Background(), p, om.WithAblation(ab)); err != nil {
 				b.Fatal(err)
 			}
 		}

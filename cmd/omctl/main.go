@@ -1,0 +1,209 @@
+// Command omctl is the command-line client for the omd link service.
+//
+// Usage:
+//
+//	omctl submit [-server url] [-bench name | obj.o ...] [-level none|simple|full]
+//	             [-schedule] [-trace] [-nostdlib] [-profile file] [-sim]
+//	             [-buildmode compile-each|compile-all] [-timeout dur]
+//	             [-wait] [-o image]
+//	omctl status [-server url] jobID
+//	omctl wait   [-server url] jobID
+//	omctl fetch  [-server url] -o image jobID
+//	omctl jobs   [-server url]
+//	omctl metrics [-server url]
+//
+// The server defaults to $OMD_SERVER, then http://localhost:7333. submit
+// prints the job status as JSON; with -wait it blocks until the job
+// finishes, and with -o it also downloads the linked image — a warm daemon
+// makes `omctl submit -wait -o a.out -bench li` the remote equivalent of a
+// local cmd/om run, byte for byte.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/om"
+	"repro/internal/omd"
+	"repro/internal/omd/client"
+)
+
+func serverURL(fs *flag.FlagSet) *string {
+	def := os.Getenv("OMD_SERVER")
+	if def == "" {
+		def = "http://localhost:7333"
+	}
+	return fs.String("server", def, "omd server base URL (default $OMD_SERVER)")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "omctl: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func printJSON(v any) {
+	data, err := json.MarshalIndent(v, "", "\t")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Println(string(data))
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatalf("usage: omctl submit|status|wait|fetch|jobs|metrics ... (see go doc)")
+	}
+	ctx := context.Background()
+	switch cmd := os.Args[1]; cmd {
+	case "submit":
+		cmdSubmit(ctx, os.Args[2:])
+	case "status", "wait":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		server := serverURL(fs)
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			fatalf("usage: omctl %s [-server url] jobID", cmd)
+		}
+		c := client.New(*server, nil)
+		var st *omd.JobStatus
+		var err error
+		if cmd == "wait" {
+			st, err = c.Wait(ctx, fs.Arg(0), 100*time.Millisecond)
+		} else {
+			st, err = c.Status(ctx, fs.Arg(0))
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(st)
+	case "fetch":
+		fs := flag.NewFlagSet("fetch", flag.ExitOnError)
+		server := serverURL(fs)
+		out := fs.String("o", "", "output path for the linked image (required)")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 || *out == "" {
+			fatalf("usage: omctl fetch [-server url] -o image jobID")
+		}
+		data, err := client.New(*server, nil).Image(ctx, fs.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*out, data, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "omctl: wrote %s (%d bytes)\n", *out, len(data))
+	case "jobs":
+		fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+		server := serverURL(fs)
+		fs.Parse(os.Args[2:])
+		list, err := client.New(*server, nil).List(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(list)
+	case "metrics":
+		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+		server := serverURL(fs)
+		fs.Parse(os.Args[2:])
+		snap, err := client.New(*server, nil).Metrics(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printJSON(snap)
+	default:
+		fatalf("unknown command %q (want submit|status|wait|fetch|jobs|metrics)", cmd)
+	}
+}
+
+func cmdSubmit(ctx context.Context, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	server := serverURL(fs)
+	bench := fs.String("bench", "", "benchmark of the built-in suite to link")
+	buildMode := fs.String("buildmode", "", "benchmark build mode: compile-each (default) or compile-all")
+	levelName := fs.String("level", "full", "optimization level: none, simple, or full")
+	schedule := fs.Bool("schedule", false, "enable instruction scheduling")
+	trace := fs.Bool("trace", false, "record a decision journal")
+	noStdlib := fs.Bool("nostdlib", false, "do not link the runtime library")
+	profPath := fs.String("profile", "", "om-profile/v1 file for profile-guided layout")
+	simulate := fs.Bool("sim", false, "simulate the linked image and report dynamic stats")
+	timeout := fs.Duration("timeout", 0, "per-job deadline override (0 = server default)")
+	wait := fs.Bool("wait", false, "block until the job finishes")
+	out := fs.String("o", "", "with -wait: download the linked image here")
+	fs.Parse(args)
+	if (*bench == "") == (fs.NArg() == 0) {
+		fatalf("usage: omctl submit (-bench name | obj.o ...) [flags]")
+	}
+	if *out != "" && !*wait {
+		fatalf("-o requires -wait")
+	}
+
+	level, err := om.ParseLevel(*levelName)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	opts := []om.Option{om.WithLevel(level), om.WithSchedule(*schedule)}
+	if *trace {
+		opts = append(opts, om.WithTrace())
+	}
+	optDoc, err := om.MarshalOptions(opts...)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	spec := &omd.JobSpec{
+		Version:   omd.SpecVersion,
+		Benchmark: *bench,
+		BuildMode: *buildMode,
+		NoStdlib:  *noStdlib,
+		Options:   optDoc,
+		Simulate:  *simulate,
+		TimeoutMS: timeout.Milliseconds(),
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Objects = append(spec.Objects, data)
+	}
+	if *profPath != "" {
+		data, err := os.ReadFile(*profPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		spec.Profile = data
+	}
+
+	c := client.New(*server, nil)
+	var st *omd.JobStatus
+	if *wait {
+		st, err = c.SubmitWait(ctx, spec)
+	} else {
+		st, err = c.Submit(ctx, spec)
+	}
+	if err != nil {
+		if client.IsQueueFull(err) {
+			ae := err.(*client.APIError)
+			fatalf("server busy, retry in %ds: %v", ae.RetryAfter, err)
+		}
+		fatalf("%v", err)
+	}
+	printJSON(st)
+	if st.State == omd.JobFailed {
+		os.Exit(1)
+	}
+	if *out != "" {
+		data, err := c.Image(ctx, st.ID)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*out, data, 0o666); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "omctl: wrote %s (%d bytes)\n", *out, len(data))
+	}
+}

@@ -1,0 +1,178 @@
+// Command omd runs the link-time optimization service: a resident daemon
+// that accepts omd-job/v1 link jobs over HTTP/JSON, executes them on a
+// bounded worker pool behind an explicit admission queue, coalesces
+// identical in-flight requests into one execution, and keeps the build
+// cache warm across requests.
+//
+// Usage:
+//
+//	omd [-addr :7333] [-j N] [-queue N] [-timeout 5m] [-cache dir|off] [-v]
+//	omd -loadsmoke [-smoke-clients N]
+//
+// SIGINT/SIGTERM drains gracefully: admissions stop (503), queued and
+// running jobs finish, then the process exits; a second signal (or the
+// drain timeout) hard-cancels in-flight work.
+//
+// -loadsmoke is the self-test mode used by `make omd-smoke`: it starts an
+// in-process server, fires many concurrent identical submissions at it, and
+// exits nonzero unless the batch collapsed to exactly one execution with
+// every client receiving identical bytes.
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/buildcache"
+	"repro/internal/obs"
+	"repro/internal/omd"
+	"repro/internal/omd/client"
+)
+
+type stderrLogger struct{}
+
+func (stderrLogger) Logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+func main() {
+	addr := flag.String("addr", ":7333", "listen address")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrently executing jobs")
+	queue := flag.Int("queue", 64, "admission queue depth (excess submissions get 429)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-job deadline (queue wait + execution)")
+	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget before in-flight jobs are canceled")
+	cacheDir := flag.String("cache", os.Getenv("OMD_CACHE"),
+		"build cache directory ('' = in-memory only, 'off' = disabled; default $OMD_CACHE)")
+	verbose := flag.Bool("v", false, "log job progress to stderr")
+	loadSmoke := flag.Bool("loadsmoke", false, "run the coalescing load self-test and exit")
+	smokeClients := flag.Int("smoke-clients", 32, "with -loadsmoke: concurrent identical submissions")
+	flag.Parse()
+
+	cfg := omd.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		JobTimeout: *timeout,
+		Metrics:    obs.NewRegistry(),
+	}
+	if *verbose || *loadSmoke {
+		cfg.Logger = stderrLogger{}
+	}
+	if *cacheDir != "off" {
+		cache, err := buildcache.New(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omd:", err)
+			os.Exit(1)
+		}
+		cfg.Cache = cache
+	}
+	srv := omd.NewServer(cfg)
+
+	if *loadSmoke {
+		if err := runLoadSmoke(srv, *smokeClients); err != nil {
+			fmt.Fprintln(os.Stderr, "omd: loadsmoke FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("omd: loadsmoke ok")
+		return
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "omd: listening on %s (%d workers, queue %d)\n", *addr, cfg.Workers, *queue)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "omd:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "omd: %v: draining (again to force)\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	go func() {
+		<-sigc
+		cancel()
+	}()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "omd:", err)
+	}
+	cancel()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	_ = hs.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "omd: drained, exiting")
+}
+
+// runLoadSmoke hammers an in-process server with n concurrent identical
+// submissions and verifies the exactly-one-execution property: every client
+// gets the same image, and the executed-jobs counter reads 1.
+func runLoadSmoke(srv *omd.Server, n int) error {
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+	c := client.New(ts.URL, ts.Client())
+
+	spec := &omd.JobSpec{Version: omd.SpecVersion, Benchmark: "li"}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	images := make([][]byte, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.SubmitWait(ctx, spec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if st.State != omd.JobDone {
+				errs[i] = fmt.Errorf("job %s: state %s (%s)", st.ID, st.State, st.Error)
+				return
+			}
+			images[i], errs[i] = c.Image(ctx, st.ID)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("client %d: %w", i, err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(images[i], images[0]) {
+			return fmt.Errorf("client %d received a different image (%d vs %d bytes)", i, len(images[i]), len(images[0]))
+		}
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	executed := snap.Counter("omd/jobs-executed")
+	coalesced := snap.Counter("omd/coalesce-hits") + snap.Counter("omd/memo-hits")
+	if executed != 1 {
+		return fmt.Errorf("%d identical submissions ran %d executions, want exactly 1", n, executed)
+	}
+	if got := executed + coalesced; got != uint64(n) {
+		return fmt.Errorf("accounting: executed+coalesced+memo = %d, want %d", got, n)
+	}
+	fmt.Fprintf(os.Stderr, "omd: loadsmoke: %d clients -> 1 execution (%d coalesced/memo) in %v, image %d bytes\n",
+		n, coalesced, time.Since(start), len(images[0]))
+	return nil
+}

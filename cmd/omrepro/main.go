@@ -58,27 +58,22 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	r, err := harness.NewRunner()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "omrepro:", err)
-		os.Exit(1)
-	}
-	r.Parallelism = *jobs
 	logger := harness.LoggerFunc(func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	})
+	ropts := []harness.RunnerOption{harness.WithParallelism(*jobs)}
 	if *verbose {
-		r.Logger = logger
+		ropts = append(ropts, harness.WithLogger(logger))
 	}
 	if *metrics {
-		r.Metrics = obs.NewRegistry()
+		ropts = append(ropts, harness.WithMetrics(obs.NewRegistry()))
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o777); err != nil {
 			fmt.Fprintln(os.Stderr, "omrepro:", err)
 			os.Exit(1)
 		}
-		r.Trace = true
+		ropts = append(ropts, harness.WithTrace(true))
 	}
 	if *cacheDir != "off" {
 		cache, err := buildcache.New(*cacheDir)
@@ -86,7 +81,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "omrepro:", err)
 			os.Exit(1)
 		}
-		r.Cache = cache
+		ropts = append(ropts, harness.WithCache(cache))
+	}
+	r, err := harness.New(ropts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "omrepro:", err)
+		os.Exit(1)
 	}
 
 	var names []string

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,14 +63,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	simpleIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelSimple})
+	p, err := link.Merge(objs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fullIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+	simpleRes, err := om.Run(context.Background(), p, om.WithLevel(om.LevelSimple))
 	if err != nil {
 		log.Fatal(err)
 	}
+	simpleIm := simpleRes.Image
+	p, err = link.Merge(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullRes, err := om.Run(context.Background(), p, om.WithLevel(om.LevelFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullIm := fullRes.Image
 
 	show := func(label string, im *objfile.Image) {
 		sym, ok := im.FindSymbol("driver")

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -64,10 +65,15 @@ long main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fullIm, stats, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull})
+	p, err := link.Merge(objs)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fullRes, err := om.Run(context.Background(), p, om.WithLevel(om.LevelFull))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullIm, stats := fullRes.Image, fullRes.Stats
 
 	describe := func(label string, im *objfile.Image) {
 		fmt.Printf("--- %s ---\n", label)

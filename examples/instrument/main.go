@@ -100,10 +100,11 @@ func main() {
 	}
 
 	// Now the dynamic side: instrument every basic block, run, and rank.
-	im, blocks, err := om.OptimizeInstrumented(p)
+	ires, err := om.Run(context.Background(), p, om.WithInstrumentation())
 	if err != nil {
 		log.Fatal(err)
 	}
+	im, blocks := ires.Image, ires.Blocks
 	res, err := sim.Run(im, sim.Config{MaxInstructions: 200_000_000})
 	if err != nil {
 		log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,15 +65,27 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 4. OM at both levels.
-	simpleIm, simpleStats, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelSimple})
+	// 4. OM at both levels. Each level lifts a fresh merge (transforms
+	// mutate the merged program).
+	p, err := link.Merge(objs)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fullIm, fullStats, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull, Schedule: true})
+	simpleRes, err := om.Run(context.Background(), p, om.WithLevel(om.LevelSimple))
 	if err != nil {
 		log.Fatal(err)
 	}
+	simpleIm, simpleStats := simpleRes.Image, simpleRes.Stats
+	p, err = link.Merge(objs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullRes, err := om.Run(context.Background(), p,
+		om.WithLevel(om.LevelFull), om.WithSchedule(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullIm, fullStats := fullRes.Image, fullRes.Stats
 
 	// 5. Run all three with the 21064-flavored timing model.
 	cfg := sim.DefaultConfig()

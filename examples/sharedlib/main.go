@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,10 +65,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		im, st, err := om.Optimize(p, om.Options{Level: om.LevelFull})
+		omres, err := om.Run(context.Background(), p, om.WithLevel(om.LevelFull))
 		if err != nil {
 			log.Fatal(err)
 		}
+		im, st := omres.Image, omres.Stats
 		res, err := sim.Run(im, sim.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)

@@ -1,6 +1,7 @@
 package e2e_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -96,11 +97,15 @@ func TestOptimisticMatchesConservative(t *testing.T) {
 	}
 	// The paper's point survives: even optimistic code retains the general
 	// calling convention, so OM still finds work.
-	fullIm, st, err := om.OptimizeObjects(buildWith(t, srcs, optimisticOpts(64)),
-		om.Options{Level: om.LevelFull})
+	fullP, err := link.Merge(buildWith(t, srcs, optimisticOpts(64)))
 	if err != nil {
 		t.Fatal(err)
 	}
+	fullRes, err := om.Run(context.Background(), fullP, om.WithLevel(om.LevelFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullIm, st := fullRes.Image, fullRes.Stats
 	full, err := sim.Run(fullIm, sim.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

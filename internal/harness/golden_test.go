@@ -37,7 +37,7 @@ type goldenCell struct {
 // is the proof that execution-core rewrites stay bit-identical. Regenerate
 // deliberately with: go test ./internal/harness -run GoldenStats -update
 func TestGoldenStatsMatrix(t *testing.T) {
-	r, err := NewRunner()
+	r, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -141,12 +141,63 @@ type Runner struct {
 	libErr  error
 }
 
-// NewRunner builds a runner with the default timing model.
-func NewRunner() (*Runner, error) {
+// RunnerOption configures a Runner built by New, mirroring the om package's
+// functional-option style so harness construction and job construction read
+// the same way (and a daemon can assemble both from one request).
+type RunnerOption func(*Runner)
+
+// WithSimConfig replaces the default timing configuration.
+func WithSimConfig(cfg sim.Config) RunnerOption {
+	return func(r *Runner) { r.SimConfig = cfg }
+}
+
+// WithParallelism bounds the number of concurrently executing jobs
+// (compiles and link+simulate cells). n <= 0 selects GOMAXPROCS.
+func WithParallelism(n int) RunnerOption {
+	return func(r *Runner) { r.Parallelism = n }
+}
+
+// WithCache memoizes compiled objects in the given content-addressed cache
+// so repeated runs with unchanged sources skip compilation. A nil cache
+// disables caching (the default).
+func WithCache(c *buildcache.Cache) RunnerOption {
+	return func(r *Runner) { r.Cache = c }
+}
+
+// WithLogger routes progress lines to l; nil discards them (the default).
+func WithLogger(l Logger) RunnerOption {
+	return func(r *Runner) { r.Logger = l }
+}
+
+// WithMetrics records phase timers, cache traffic, and pool utilization
+// into the registry; nil disables recording (the default).
+func WithMetrics(m *obs.Registry) RunnerOption {
+	return func(r *Runner) { r.Metrics = m }
+}
+
+// WithTrace collects a decision journal for every OM-linked matrix cell
+// (Measurement.Journal).
+func WithTrace(on bool) RunnerOption {
+	return func(r *Runner) { r.Trace = on }
+}
+
+// New builds a runner with the default timing model, then applies the
+// options in order.
+func New(opts ...RunnerOption) (*Runner, error) {
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = 2_000_000_000
-	return &Runner{SimConfig: cfg}, nil
+	r := &Runner{SimConfig: cfg}
+	for _, o := range opts {
+		o(r)
+	}
+	return r, nil
 }
+
+// NewRunner builds a runner with the default timing model.
+//
+// Deprecated: use New, optionally with RunnerOptions. This shim survives
+// one release for out-of-tree callers and then goes away.
+func NewRunner() (*Runner, error) { return New() }
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Logger != nil {

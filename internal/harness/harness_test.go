@@ -10,7 +10,7 @@ import (
 
 func runOne(t *testing.T, name string) *Result {
 	t.Helper()
-	r, err := NewRunner()
+	r, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestRunBenchmarkMatrix(t *testing.T) {
 }
 
 func TestRunSuiteUnknownBenchmark(t *testing.T) {
-	r, err := NewRunner()
+	r, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestAblations(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation matrix in -short mode")
 	}
-	r, err := NewRunner()
+	r, err := New()
 	if err != nil {
 		t.Fatal(err)
 	}

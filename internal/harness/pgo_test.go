@@ -16,15 +16,14 @@ func TestRunPGO(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pgo loop in -short mode")
 	}
-	r, err := NewRunner()
-	if err != nil {
-		t.Fatal(err)
-	}
 	cache, err := buildcache.New("")
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Cache = cache
+	r, err := New(WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	rows, err := r.RunPGO(context.Background(), []string{"li"})
 	if err != nil {
@@ -75,11 +74,10 @@ func TestRunPGOTraceJournal(t *testing.T) {
 	if testing.Short() {
 		t.Skip("pgo loop in -short mode")
 	}
-	r, err := NewRunner()
+	r, err := New(WithTrace(true))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.Trace = true
 	rows, err := r.RunPGO(context.Background(), []string{"eqntott"})
 	if err != nil {
 		t.Fatal(err)

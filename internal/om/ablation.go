@@ -1,34 +1,28 @@
 package om
 
-import (
-	"context"
-
-	"repro/internal/link"
-	"repro/internal/objfile"
-)
-
 // Ablation switches: each disables one component of OM-full so its
 // individual contribution can be measured (the ablation study DESIGN.md
-// calls for; see the harness Ablation table and BenchmarkAblation).
+// calls for; see the harness Ablation table and BenchmarkAblation). The
+// JSON names are part of the om-options/v1 wire form and must stay stable.
 type Ablation struct {
 	// NoGATReduction keeps every original GAT slot.
-	NoGATReduction bool
+	NoGATReduction bool `json:"no_gat_reduction,omitempty"`
 	// NoCommonSort leaves commons in standard-linker placement.
-	NoCommonSort bool
+	NoCommonSort bool `json:"no_common_sort,omitempty"`
 	// NoPrologueRestore skips moving displaced GP pairs back to entry,
 	// leaving OM-full with OM-simple's call-site limitation.
-	NoPrologueRestore bool
+	NoPrologueRestore bool `json:"no_prologue_restore,omitempty"`
 	// NoPairInsertion disables the ldah/lda materialization of far
 	// addresses, so address loads without LITUSE chains survive.
-	NoPairInsertion bool
+	NoPairInsertion bool `json:"no_pair_insertion,omitempty"`
 	// NoCallOpt leaves every jsr and PV load untouched.
-	NoCallOpt bool
+	NoCallOpt bool `json:"no_call_opt,omitempty"`
 	// NoResetOpt keeps all GP resets.
-	NoResetOpt bool
+	NoResetOpt bool `json:"no_reset_opt,omitempty"`
 	// NoPrologueDelete keeps every procedure's GP-setup pair.
-	NoPrologueDelete bool
+	NoPrologueDelete bool `json:"no_prologue_delete,omitempty"`
 	// NoAddressOpt disables address-load conversion and nullification.
-	NoAddressOpt bool
+	NoAddressOpt bool `json:"no_address_opt,omitempty"`
 }
 
 // Name returns a short label for the single enabled switch (for tables).
@@ -68,16 +62,4 @@ func Ablations() []Ablation {
 		{NoCommonSort: true},
 		{NoPairInsertion: true},
 	}
-}
-
-// OptimizeFullAblated runs OM-full with the given components disabled and
-// regenerates an image; used by the ablation study.
-//
-// Deprecated: use Run with WithAblation.
-func OptimizeFullAblated(p *link.Program, ab Ablation, sched bool) (*objfile.Image, *Stats, error) {
-	res, err := Run(context.Background(), p, WithAblation(ab), WithSchedule(sched))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Image, res.Stats, nil
 }

@@ -1,12 +1,9 @@
 package om
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/axp"
-	"repro/internal/link"
-	"repro/internal/objfile"
 	"repro/internal/profile"
 )
 
@@ -100,17 +97,4 @@ func TrapBlocks(blocks []BlockInfo) []profile.TrapBlock {
 		out[i] = profile.TrapBlock{Proc: b.Proc, Index: b.Index, Calls: b.Calls}
 	}
 	return out
-}
-
-// OptimizeInstrumented lifts the program, instruments every basic block,
-// and regenerates an executable (unoptimized, like a pixie build). The
-// returned table maps profile ids to blocks.
-//
-// Deprecated: use Run with WithInstrumentation.
-func OptimizeInstrumented(p *link.Program) (*objfile.Image, []BlockInfo, error) {
-	res, err := Run(context.Background(), p, WithInstrumentation())
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Image, res.Blocks, nil
 }

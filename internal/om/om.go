@@ -185,37 +185,3 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	}
 	return &Result{Image: im, Stats: stats, Journal: journal}, nil
 }
-
-// Options select the OM optimization level and whether OM-full also
-// reschedules the code after optimizing (the paper's "w/sched" column).
-//
-// Deprecated: pass WithLevel/WithSchedule options to Run.
-type Options struct {
-	Level    Level
-	Schedule bool
-}
-
-// Optimize runs OM on a merged program: lift to symbolic form, analyze and
-// transform at the requested level, and regenerate an executable image.
-// The returned statistics cover the paper's static measurements.
-//
-// Deprecated: use Run.
-func Optimize(p *link.Program, opts Options) (*objfile.Image, *Stats, error) {
-	res, err := Run(context.Background(), p,
-		WithLevel(opts.Level), WithSchedule(opts.Schedule))
-	if err != nil {
-		return nil, nil, err
-	}
-	return res.Image, res.Stats, nil
-}
-
-// OptimizeObjects is a convenience wrapper: merge then optimize.
-//
-// Deprecated: use link.Merge followed by Run.
-func OptimizeObjects(objects []*objfile.Object, opts Options) (*objfile.Image, *Stats, error) {
-	p, err := link.Merge(objects)
-	if err != nil {
-		return nil, nil, err
-	}
-	return Optimize(p, opts)
-}

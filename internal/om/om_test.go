@@ -81,11 +81,11 @@ long main() {
 // optimizeAt runs OM at the given level and returns image + stats.
 func optimizeAt(t *testing.T, p *link.Program, level Level, sched bool) (*objfile.Image, *Stats) {
 	t.Helper()
-	im, st, err := Optimize(p, Options{Level: level, Schedule: sched})
+	res, err := Run(context.Background(), p, WithLevel(level), WithSchedule(sched))
 	if err != nil {
 		t.Fatalf("om %v: %v", level, err)
 	}
-	return im, st
+	return res.Image, res.Stats
 }
 
 func freshProgram(t *testing.T) *link.Program {
@@ -459,11 +459,12 @@ func TestAblatedStillCorrect(t *testing.T) {
 	}
 	want := run(t, baseIm)
 	for _, ab := range Ablations() {
-		im, _, err := OptimizeFullAblated(freshProgram(t), ab, true)
+		res, err := Run(context.Background(), freshProgram(t),
+			WithAblation(ab), WithSchedule(true))
 		if err != nil {
 			t.Fatalf("%s: %v", ab.Name(), err)
 		}
-		got := run(t, im)
+		got := run(t, res.Image)
 		if fmt.Sprint(got.Output) != fmt.Sprint(want.Output) || got.Exit != want.Exit {
 			t.Errorf("%s: output %v exit %d, want %v exit %d",
 				ab.Name(), got.Output, got.Exit, want.Output, want.Exit)
@@ -480,10 +481,11 @@ func TestInstrumentation(t *testing.T) {
 	}
 	want := run(t, baseIm)
 
-	im, blocks, err := OptimizeInstrumented(freshProgram(t))
+	ires, err := Run(context.Background(), freshProgram(t), WithInstrumentation())
 	if err != nil {
 		t.Fatal(err)
 	}
+	im, blocks := ires.Image, ires.Blocks
 	if len(blocks) < 50 {
 		t.Fatalf("only %d blocks instrumented", len(blocks))
 	}

@@ -63,22 +63,3 @@ func TestRunCanceled(t *testing.T) {
 		t.Fatal("expected error from canceled context")
 	}
 }
-
-// TestDeprecatedWrappersMatchRun checks that the legacy entry points are
-// faithful wrappers over Run.
-func TestDeprecatedWrappersMatchRun(t *testing.T) {
-	im1, st1, err := Optimize(freshProgram(t), Options{Level: LevelFull})
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := Run(context.Background(), freshProgram(t), WithLevel(LevelFull))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(imageBytes(t, im1), imageBytes(t, res.Image)) {
-		t.Error("Optimize image differs from Run image")
-	}
-	if *st1 != *res.Stats {
-		t.Errorf("stats diverged:\nOptimize: %+v\nRun: %+v", st1, res.Stats)
-	}
-}

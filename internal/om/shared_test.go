@@ -1,6 +1,7 @@
 package om
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -97,16 +98,21 @@ func TestSharedLibrarySemanticsAndConservatism(t *testing.T) {
 	}
 	want := run(t, baseIm)
 
-	for _, cfg := range []Options{
+	for _, cfg := range []struct {
+		Level    Level
+		Schedule bool
+	}{
 		{Level: LevelNone},
 		{Level: LevelSimple},
 		{Level: LevelFull},
 		{Level: LevelFull, Schedule: true},
 	} {
-		im, st, err := Optimize(sharedProgram(t), cfg)
+		res, err := Run(context.Background(), sharedProgram(t),
+			WithLevel(cfg.Level), WithSchedule(cfg.Schedule))
 		if err != nil {
 			t.Fatalf("%v: %v", cfg.Level, err)
 		}
+		im, st := res.Image, res.Stats
 		got := run(t, im)
 		if fmt.Sprint(got.Output) != fmt.Sprint(want.Output) || got.Exit != want.Exit {
 			t.Errorf("%v: output %v exit %d, want %v exit %d",
@@ -131,10 +137,11 @@ func TestSharedLibrarySemanticsAndConservatism(t *testing.T) {
 func TestSharedLibraryStaticSideStillOptimized(t *testing.T) {
 	// The statically linked part keeps its full benefit: intra-static calls
 	// become bsr, static data goes GP-relative.
-	_, st, err := Optimize(sharedProgram(t), Options{Level: LevelFull})
+	res, err := Run(context.Background(), sharedProgram(t), WithLevel(LevelFull))
 	if err != nil {
 		t.Fatal(err)
 	}
+	st := res.Stats
 	if st.AddrConverted+st.AddrNullified == 0 {
 		t.Fatal("no address loads removed at all")
 	}

@@ -1,0 +1,217 @@
+// Package client is the typed HTTP client for the omd link service: it
+// submits omd-job/v1 specs, polls job status, and fetches results, speaking
+// the wire types of package omd directly.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/omd"
+)
+
+// Client talks to one omd server.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New returns a client for the server at baseURL (e.g. "http://localhost:7333").
+// httpClient nil selects http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: httpClient}
+}
+
+// APIError is a non-2xx server response.
+type APIError struct {
+	Code int
+	// RetryAfter is the server's backoff hint in seconds (429 only).
+	RetryAfter int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("omd: server returned %d: %s", e.Code, e.Message)
+}
+
+// IsQueueFull reports whether err is the server's admission-queue-overflow
+// rejection (HTTP 429).
+func IsQueueFull(err error) bool {
+	ae, ok := err.(*APIError)
+	return ok && ae.Code == http.StatusTooManyRequests
+}
+
+func (c *Client) do(req *http.Request) (*http.Response, error) {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	ae := &APIError{Code: resp.StatusCode}
+	if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = ra
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil {
+		ae.Message = body.Error
+	}
+	return nil, ae
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job and returns immediately with its queued status.
+func (c *Client) Submit(ctx context.Context, spec *omd.JobSpec) (*omd.JobStatus, error) {
+	return c.submit(ctx, spec, false)
+}
+
+// SubmitWait enqueues a job and blocks until it finishes (or ctx is done —
+// disconnecting tells the server this waiter is gone, which cancels the
+// execution if no one else shares it).
+func (c *Client) SubmitWait(ctx context.Context, spec *omd.JobSpec) (*omd.JobStatus, error) {
+	return c.submit(ctx, spec, true)
+}
+
+func (c *Client) submit(ctx context.Context, spec *omd.JobSpec, wait bool) (*omd.JobStatus, error) {
+	data, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	url := c.base + "/jobs"
+	if wait {
+		url += "?wait=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st omd.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches one job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*omd.JobStatus, error) {
+	var st omd.JobStatus
+	if err := c.getJSON(ctx, "/jobs/"+id, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls a job until it reaches a terminal state.
+func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*omd.JobStatus, error) {
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State == omd.JobDone || st.State == omd.JobFailed {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// List fetches every job's status in submission order.
+func (c *Client) List(ctx context.Context) ([]omd.JobStatus, error) {
+	var out []omd.JobStatus
+	if err := c.getJSON(ctx, "/jobs", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Image fetches a finished job's linked image bytes.
+func (c *Client) Image(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/image", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Journal fetches a traced job's decision journal (om-journal/v1 bytes).
+func (c *Client) Journal(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/journal", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Metrics fetches the server's metrics snapshot.
+func (c *Client) Metrics(ctx context.Context) (*omd.MetricsSnapshot, error) {
+	var snap omd.MetricsSnapshot
+	if err := c.getJSON(ctx, "/metrics", &snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// Healthy reports whether the server answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return true
+}

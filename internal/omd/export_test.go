@@ -1,0 +1,26 @@
+package omd
+
+// Test-only handles on server internals, consumed by the external omd_test
+// package (which must live outside this package to import the client
+// without a cycle).
+
+// SetExecGate installs a hook that runs at the top of every execution; set
+// it before the first submission (the queue-channel handoff orders the
+// write for the workers).
+func (s *Server) SetExecGate(f func(key string)) { s.execGate = f }
+
+// PrewarmLib compiles the runtime library now, so a gated test's execution
+// reaches the interesting phase quickly after release.
+func (s *Server) PrewarmLib() error {
+	_, err := s.libObjects()
+	return err
+}
+
+// ResolveKey runs spec validation and returns the coalescing key.
+func ResolveKey(js *JobSpec) (string, error) {
+	rs, err := js.resolve()
+	if err != nil {
+		return "", err
+	}
+	return rs.key, nil
+}

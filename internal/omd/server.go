@@ -1,0 +1,740 @@
+package omd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/buildcache"
+	"repro/internal/link"
+	"repro/internal/objfile"
+	"repro/internal/obs"
+	"repro/internal/om"
+	"repro/internal/rtlib"
+	"repro/internal/sim"
+	"repro/internal/tcc"
+)
+
+// Logger receives the server's progress output.
+type Logger interface {
+	Logf(format string, args ...any)
+}
+
+// Config sizes the service.
+type Config struct {
+	// Workers bounds concurrently executing jobs. <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-unstarted executions; a submission
+	// that would exceed it is rejected with 429 + Retry-After. <= 0
+	// selects 64. Coalesced duplicates never occupy a slot — only
+	// distinct in-flight keys do.
+	QueueDepth int
+	// JobTimeout caps every job's queue-wait + execution time (a job may
+	// request less via TimeoutMS). <= 0 selects 5 minutes.
+	JobTimeout time.Duration
+	// MemoLimit bounds the completed-result memo (FIFO eviction); <= 0
+	// selects 256 entries.
+	MemoLimit int
+	// Cache persists compiled objects and linked images across jobs (and,
+	// with a directory, across restarts). Nil runs uncached.
+	Cache *buildcache.Cache
+	// Metrics receives the service's counters, gauges, and latency
+	// histograms; nil creates a private registry (it still backs
+	// /metrics).
+	Metrics *obs.Registry
+	// Logger receives progress lines; nil discards them.
+	Logger Logger
+}
+
+// flight is one admitted execution. Every job with the same key attaches
+// to the same flight (singleflight): N identical submissions run one link
+// and share the result. refs counts parties that still await the outcome;
+// when a waiting client disconnects it drops its ref, and a flight nobody
+// awaits cancels itself — cancellation reaches om.Run and sim.RunContext
+// through the flight context.
+type flight struct {
+	key    string
+	run    *resolved
+	ctx    context.Context
+	cancel context.CancelFunc
+	jobs   []*jobRecord // guarded by Server.mu
+	refs   int          // guarded by Server.mu
+	done   chan struct{}
+	res    *result
+	err    error
+}
+
+// result is a completed execution's payload, memoized by key.
+type result struct {
+	image         []byte
+	stats         *om.Stats
+	journal       *obs.JournalDoc
+	sim           *SimStats
+	imageCacheHit bool
+}
+
+// jobRecord is the server-side state of one submitted job.
+type jobRecord struct {
+	id        string
+	key       string
+	state     JobState
+	coalesced bool
+	memoHit   bool
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	res       *result
+	errMsg    string
+	fl        *flight // nil once terminal
+}
+
+// Server owns the admission queue, the worker pool, and the job store. It
+// serves the HTTP API via Handler.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	cache *buildcache.Cache
+	log   Logger
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	queue      chan *flight
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool
+	flights   map[string]*flight
+	memo      map[string]*result
+	memoOrder []string
+	jobs      map[string]*jobRecord
+	order     []string
+	nextID    int
+
+	// execGate, when set (tests only), runs at the top of every execution
+	// and may block to create controlled congestion.
+	execGate func(key string)
+
+	libOnce sync.Once
+	lib     []*objfile.Object
+	libErr  error
+}
+
+// NewServer builds the service and starts its worker pool. Stop it with
+// Drain (graceful) or Close (immediate).
+func NewServer(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 5 * time.Minute
+	}
+	if cfg.MemoLimit <= 0 {
+		cfg.MemoLimit = 256
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		reg:        reg,
+		cache:      cfg.Cache,
+		log:        cfg.Logger,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		queue:      make(chan *flight, cfg.QueueDepth),
+		flights:    make(map[string]*flight),
+		memo:       make(map[string]*result),
+		jobs:       make(map[string]*jobRecord),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log.Logf(format, args...)
+	}
+}
+
+// libObjects compiles the runtime library at most once per server, through
+// the build cache when one is configured.
+func (s *Server) libObjects() ([]*objfile.Object, error) {
+	s.libOnce.Do(func() {
+		if s.cache != nil {
+			s.lib, s.libErr = rtlib.ObjectsVia(s.cache.Compile, tcc.DefaultOptions())
+			return
+		}
+		s.lib, s.libErr = rtlib.StandardObjects()
+	})
+	return s.lib, s.libErr
+}
+
+// errQueueFull is the admission-queue overflow signal (HTTP 429).
+var errQueueFull = errors.New("omd: admission queue full")
+
+// errDraining rejects submissions during shutdown (HTTP 503).
+var errDraining = errors.New("omd: server is draining")
+
+// submit admits one job: memo hit, coalesce onto an in-flight execution,
+// or enqueue a new flight. wait marks the submitter as a live waiter whose
+// disconnect may cancel an otherwise-unwatched flight; async submissions
+// hold their reference to completion.
+func (s *Server) submit(rs *resolved, wait bool) (*jobRecord, *flight, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg.Counter("omd/rejected-draining").Add(1)
+		return nil, nil, errDraining
+	}
+	s.reg.Counter("omd/submitted").Add(1)
+	s.nextID++
+	rec := &jobRecord{
+		id:        fmt.Sprintf("j%d", s.nextID),
+		key:       rs.key,
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+
+	if res, ok := s.memo[rs.key]; ok {
+		rec.state, rec.res, rec.memoHit = JobDone, res, true
+		rec.started, rec.finished = rec.submitted, rec.submitted
+		s.reg.Counter("omd/memo-hits").Add(1)
+		s.storeJob(rec)
+		return rec, nil, nil
+	}
+	if f, ok := s.flights[rs.key]; ok {
+		rec.coalesced, rec.fl = true, f
+		if f.jobs[0].state == JobRunning {
+			rec.state = JobRunning
+			rec.started = time.Now()
+		}
+		f.jobs = append(f.jobs, rec)
+		f.refs++
+		s.reg.Counter("omd/coalesce-hits").Add(1)
+		s.storeJob(rec)
+		return rec, f, nil
+	}
+
+	fctx, cancel := context.WithTimeout(s.baseCtx, rs.deadline(s.cfg.JobTimeout))
+	f := &flight{
+		key: rs.key, run: rs, ctx: fctx, cancel: cancel,
+		jobs: []*jobRecord{rec}, refs: 1, done: make(chan struct{}),
+	}
+	rec.fl = f
+	select {
+	case s.queue <- f:
+		s.flights[rs.key] = f
+		s.reg.SetGauge("omd/queue-depth", float64(len(s.queue)))
+		s.storeJob(rec)
+		return rec, f, nil
+	default:
+		cancel()
+		s.reg.Counter("omd/rejected-queue-full").Add(1)
+		return nil, nil, errQueueFull
+	}
+}
+
+func (s *Server) storeJob(rec *jobRecord) {
+	s.jobs[rec.id] = rec
+	s.order = append(s.order, rec.id)
+}
+
+// release drops a waiter's interest in a flight. The last leaving waiter
+// cancels the flight: the cancellation propagates through om.Run and
+// sim.RunContext, so an execution nobody is waiting for stops burning a
+// worker mid-simulation rather than running to completion.
+func (s *Server) release(f *flight) {
+	s.mu.Lock()
+	f.refs--
+	abandon := f.refs <= 0
+	s.mu.Unlock()
+	if abandon {
+		s.reg.Counter("omd/flights-abandoned").Add(1)
+		f.cancel()
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for f := range s.queue {
+		s.runFlight(f)
+	}
+}
+
+func (s *Server) runFlight(f *flight) {
+	if gate := s.execGate; gate != nil {
+		gate(f.key)
+	}
+	now := time.Now()
+	s.mu.Lock()
+	s.reg.SetGauge("omd/queue-depth", float64(len(s.queue)))
+	for _, rec := range f.jobs {
+		rec.state = JobRunning
+		rec.started = now
+	}
+	s.mu.Unlock()
+
+	s.reg.Counter("omd/jobs-executed").Add(1)
+	jobDone := obs.StartSpan(s.reg.Timer("omd/job"))
+	res, err := s.execute(f.ctx, f.run)
+	jobDone()
+	f.cancel() // release the deadline timer
+
+	now = time.Now()
+	s.mu.Lock()
+	delete(s.flights, f.key)
+	if err == nil {
+		s.memoize(f.key, res)
+	}
+	for _, rec := range f.jobs {
+		rec.finished = now
+		rec.fl = nil
+		if err != nil {
+			rec.state = JobFailed
+			rec.errMsg = err.Error()
+		} else {
+			rec.state = JobDone
+			rec.res = res
+		}
+	}
+	s.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+	if err != nil {
+		s.logf("omd: job %s failed: %v", f.key[:12], err)
+	} else {
+		s.logf("omd: job %s done (%d bytes, %d waiters)", f.key[:12], len(res.image), len(f.jobs))
+	}
+}
+
+// memoize stores a completed result with FIFO eviction; callers hold mu.
+func (s *Server) memoize(key string, res *result) {
+	if _, ok := s.memo[key]; ok {
+		return
+	}
+	s.memo[key] = res
+	s.memoOrder = append(s.memoOrder, key)
+	if len(s.memoOrder) > s.cfg.MemoLimit {
+		delete(s.memo, s.memoOrder[0])
+		s.memoOrder = s.memoOrder[1:]
+	}
+}
+
+// execute runs one link job end to end: resolve objects (compiling a
+// benchmark's sources through the build cache), merge, om.Run under the
+// job's options, optionally simulate, and serialize the image. A traced
+// job bypasses the image cache — a journal cannot be reproduced from a
+// cached image.
+func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	objs := rs.objs
+	if rs.spec.Benchmark != "" {
+		compileDone := obs.StartSpan(s.reg.Timer("omd/compile"))
+		var err error
+		objs, err = s.compileBenchmark(rs)
+		compileDone()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if !rs.spec.NoStdlib {
+		lib, err := s.libObjects()
+		if err != nil {
+			return nil, err
+		}
+		objs = append(append([]*objfile.Object(nil), objs...), lib...)
+	}
+
+	if !rs.traced {
+		if im, ok := s.cache.GetImage(rs.key); ok {
+			res := &result{imageCacheHit: true}
+			var err error
+			if res.image, err = imageBytes(im); err != nil {
+				return nil, err
+			}
+			if rs.spec.Simulate {
+				if res.sim, err = s.simulate(ctx, im, rs); err != nil {
+					return nil, err
+				}
+			}
+			return res, nil
+		}
+	}
+
+	linkDone := obs.StartSpan(s.reg.Timer("omd/link"))
+	p, err := link.Merge(objs)
+	if err != nil {
+		linkDone()
+		return nil, err
+	}
+	opts := append(append([]om.Option(nil), rs.opts...), om.WithMetrics(s.reg))
+	if rs.prof != nil {
+		opts = append(opts, om.WithProfile(rs.prof))
+	}
+	omres, err := om.Run(ctx, p, opts...)
+	linkDone()
+	if err != nil {
+		return nil, err
+	}
+	if !rs.traced {
+		if err := s.cache.PutImage(rs.key, omres.Image); err != nil {
+			return nil, err
+		}
+	}
+	res := &result{stats: omres.Stats, journal: omres.Journal}
+	if res.image, err = imageBytes(omres.Image); err != nil {
+		return nil, err
+	}
+	if rs.spec.Simulate {
+		if res.sim, err = s.simulate(ctx, omres.Image, rs); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func (s *Server) compileBenchmark(rs *resolved) ([]*objfile.Object, error) {
+	b := rs.bench
+	if rs.eachMode {
+		var objs []*objfile.Object
+		for _, m := range b.Modules {
+			obj, err := s.cache.Compile(m.Name, []tcc.Source{m}, tcc.DefaultOptions())
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", b.Name, err)
+			}
+			objs = append(objs, obj)
+		}
+		return objs, nil
+	}
+	obj, err := s.cache.Compile(b.Name+"_all", b.Modules, tcc.InterprocOptions())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	return []*objfile.Object{obj}, nil
+}
+
+func (s *Server) simulate(ctx context.Context, im *objfile.Image, rs *resolved) (*SimStats, error) {
+	cfg := sim.DefaultConfig()
+	cfg.MaxInstructions = 2_000_000_000
+	if rs.spec.MaxInstructions > 0 {
+		cfg.MaxInstructions = rs.spec.MaxInstructions
+	}
+	simDone := obs.StartSpan(s.reg.Timer("omd/sim"))
+	out, err := sim.RunContext(ctx, im, cfg)
+	simDone()
+	if err != nil {
+		return nil, fmt.Errorf("simulate: %w", err)
+	}
+	return &SimStats{
+		Exit:         out.Exit,
+		Output:       out.Output,
+		Cycles:       out.Stats.Cycles,
+		Instructions: out.Stats.Instructions,
+		ICacheMisses: out.Stats.ICacheMisses,
+		DCacheMisses: out.Stats.DCacheMisses,
+	}, nil
+}
+
+func imageBytes(im *objfile.Image) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := im.Write(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Drain stops admissions and waits for every queued and running job to
+// finish; the context bounds the wait, after which in-flight work is
+// hard-canceled. Drain is idempotent and safe to call concurrently.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	first := !s.draining
+	if first {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	if first {
+		s.logf("omd: draining (%d queued)", len(s.queue))
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return fmt.Errorf("omd: drain timed out, in-flight jobs canceled: %w", ctx.Err())
+	}
+}
+
+// Close hard-stops the server: cancels every flight and reaps the pool.
+func (s *Server) Close() {
+	s.baseCancel()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
+
+func (s *Server) status(rec *jobRecord) JobStatus {
+	st := JobStatus{
+		ID:          rec.id,
+		Key:         rec.key,
+		State:       rec.state,
+		Coalesced:   rec.coalesced,
+		MemoHit:     rec.memoHit,
+		Error:       rec.errMsg,
+		SubmittedAt: rec.submitted,
+	}
+	if !rec.started.IsZero() {
+		t := rec.started
+		st.StartedAt = &t
+	}
+	if !rec.finished.IsZero() {
+		t := rec.finished
+		st.FinishedAt = &t
+	}
+	if rec.res != nil {
+		st.ImageCacheHit = rec.res.imageCacheHit
+		st.Stats = rec.res.stats
+		st.Sim = rec.res.sim
+		st.ImageBytes = len(rec.res.image)
+		if rec.res.journal != nil {
+			st.JournalEvents = len(rec.res.journal.Events)
+		}
+	}
+	return st
+}
+
+// MetricsSnapshot is the /metrics payload: the registry, cache traffic,
+// and queue occupancy in one deterministic document.
+type MetricsSnapshot struct {
+	Metrics []obs.SnapshotEntry `json:"metrics"`
+	Cache   buildcache.Stats    `json:"cache"`
+	Queue   QueueInfo           `json:"queue"`
+}
+
+// QueueInfo describes the admission queue and pool.
+type QueueInfo struct {
+	Depth    int  `json:"depth"`
+	Capacity int  `json:"capacity"`
+	Workers  int  `json:"workers"`
+	Draining bool `json:"draining"`
+}
+
+// Counter returns a named counter's value from the snapshot (0 if absent).
+func (m *MetricsSnapshot) Counter(name string) uint64 {
+	for _, e := range m.Metrics {
+		if e.Name == name && e.Kind == "counter" {
+			return e.Count
+		}
+	}
+	return 0
+}
+
+// Snapshot assembles the /metrics payload.
+func (s *Server) Snapshot() MetricsSnapshot {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return MetricsSnapshot{
+		Metrics: s.reg.Snapshot(),
+		Cache:   s.cache.Stats(),
+		Queue: QueueInfo{
+			Depth:    len(s.queue),
+			Capacity: s.cfg.QueueDepth,
+			Workers:  s.cfg.Workers,
+			Draining: draining,
+		},
+	}
+}
+
+// retryAfter estimates how long a rejected client should back off: the
+// mean job latency so far, clamped to [1s, 60s].
+func (s *Server) retryAfter() int {
+	st := s.reg.Timer("omd/job").Stats()
+	if st.Count == 0 {
+		return 1
+	}
+	secs := int(st.Sum.Seconds()/float64(st.Count)) + 1
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// Handler returns the HTTP API:
+//
+//	GET  /healthz            liveness + drain state
+//	GET  /metrics            MetricsSnapshot (registry, cache, queue)
+//	POST /jobs               submit a JobSpec; ?wait=1 blocks until done
+//	GET  /jobs               all job statuses, submission order
+//	GET  /jobs/{id}          one job's status
+//	GET  /jobs/{id}/image    the linked image (octet-stream)
+//	GET  /jobs/{id}/journal  the decision journal (om-journal/v1)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/image", s.handleImage)
+	mux.HandleFunc("GET /jobs/{id}/journal", s.handleJournal)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var js JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&js); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	rs, err := js.resolve()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	wait := r.URL.Query().Get("wait") == "1"
+	rec, f, err := s.submit(rs, wait)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": err.Error()})
+		return
+	case errors.Is(err, errDraining):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	if !wait || f == nil {
+		code := http.StatusAccepted
+		if f == nil {
+			code = http.StatusOK // memo hit: already done
+		}
+		writeJSON(w, code, s.snapshotJob(rec.id))
+		return
+	}
+	select {
+	case <-f.done:
+		writeJSON(w, http.StatusOK, s.snapshotJob(rec.id))
+	case <-r.Context().Done():
+		// Client disconnected mid-wait: drop our interest; the last
+		// departing waiter cancels the execution itself.
+		s.release(f)
+	}
+}
+
+func (s *Server) snapshotJob(id string) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status(s.jobs[id])
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.status(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobFor resolves {id} or writes a 404.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) *jobRecord {
+	s.mu.Lock()
+	rec := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if rec == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+	}
+	return rec
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if rec := s.jobFor(w, r); rec != nil {
+		writeJSON(w, http.StatusOK, s.snapshotJob(rec.id))
+	}
+}
+
+func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
+	rec := s.jobFor(w, r)
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	res := rec.res
+	s.mu.Unlock()
+	if res == nil {
+		writeJSON(w, http.StatusConflict, map[string]string{"error": "job has no result yet"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(res.image)
+}
+
+func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
+	rec := s.jobFor(w, r)
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	res := rec.res
+	s.mu.Unlock()
+	if res == nil || res.journal == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no journal (trace not requested or result cached)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteJournal(w, res.journal)
+}

@@ -1,6 +1,7 @@
 package progen
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -83,17 +84,25 @@ func TestSemanticPreservationProperty(t *testing.T) {
 				t.Fatalf("seed %d link %s: %v", seed, mode, err)
 			}
 			runIt("ld/"+mode, im)
-			for _, cfg := range []om.Options{
+			for _, cfg := range []struct {
+				Level    om.Level
+				Schedule bool
+			}{
 				{Level: om.LevelNone},
 				{Level: om.LevelSimple},
 				{Level: om.LevelFull},
 				{Level: om.LevelFull, Schedule: true},
 			} {
-				im, _, err := om.OptimizeObjects(objs, cfg)
+				p, err := link.Merge(objs)
+				if err != nil {
+					t.Fatalf("seed %d merge %s: %v", seed, mode, err)
+				}
+				res, err := om.Run(context.Background(), p,
+					om.WithLevel(cfg.Level), om.WithSchedule(cfg.Schedule))
 				if err != nil {
 					t.Fatalf("seed %d om %v %s: %v", seed, cfg.Level, mode, err)
 				}
-				runIt(fmt.Sprintf("%v/%s/sched=%v", cfg.Level, mode, cfg.Schedule), im)
+				runIt(fmt.Sprintf("%v/%s/sched=%v", cfg.Level, mode, cfg.Schedule), res.Image)
 			}
 		}
 	}
@@ -159,10 +168,16 @@ func TestOptimisticProperty(t *testing.T) {
 				t.Errorf("seed %d G=%d: output %s, want %s", seed, g, got, want)
 			}
 			// And OM-full on the optimistic objects.
-			omIm, _, err := om.OptimizeObjects(objs, om.Options{Level: om.LevelFull, Schedule: true})
+			omP, err := link.Merge(objs)
+			if err != nil {
+				t.Fatalf("seed %d G=%d merge: %v", seed, g, err)
+			}
+			omFull, err := om.Run(context.Background(), omP,
+				om.WithLevel(om.LevelFull), om.WithSchedule(true))
 			if err != nil {
 				t.Fatalf("seed %d G=%d om: %v", seed, g, err)
 			}
+			omIm := omFull.Image
 			omRes, err := sim.Run(omIm, sim.Config{MaxInstructions: 50_000_000})
 			if err != nil {
 				t.Fatalf("seed %d G=%d om run: %v", seed, g, err)
@@ -209,7 +224,11 @@ func TestSharedLibraryProperty(t *testing.T) {
 			if level < 0 {
 				im, err = p.Layout()
 			} else {
-				im, _, err = om.Optimize(p, om.Options{Level: level})
+				var res *om.Result
+				res, err = om.Run(context.Background(), p, om.WithLevel(level))
+				if res != nil {
+					im = res.Image
+				}
 			}
 			if err != nil {
 				t.Fatalf("seed %d shared=%v: %v", seed, shared, err)

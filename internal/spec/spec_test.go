@@ -1,6 +1,7 @@
 package spec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -86,7 +87,10 @@ func TestAllBenchmarksRunIdenticallyEverywhere(t *testing.T) {
 
 			// Every OM level on both compilation modes must agree.
 			for _, mode := range []string{"each", "all"} {
-				for _, cfg := range []om.Options{
+				for _, cfg := range []struct {
+					Level    om.Level
+					Schedule bool
+				}{
 					{Level: om.LevelSimple},
 					{Level: om.LevelFull},
 					{Level: om.LevelFull, Schedule: true},
@@ -97,11 +101,16 @@ func TestAllBenchmarksRunIdenticallyEverywhere(t *testing.T) {
 					} else {
 						objs = withLib(t, compileAll(t, b))
 					}
-					im, _, err := om.OptimizeObjects(objs, cfg)
+					p, err := link.Merge(objs)
+					if err != nil {
+						t.Fatalf("merge (%s): %v", mode, err)
+					}
+					res, err := om.Run(context.Background(), p,
+						om.WithLevel(cfg.Level), om.WithSchedule(cfg.Schedule))
 					if err != nil {
 						t.Fatalf("om %v (%s): %v", cfg.Level, mode, err)
 					}
-					check(fmt.Sprintf("%v/%s/sched=%v", cfg.Level, mode, cfg.Schedule), im)
+					check(fmt.Sprintf("%v/%s/sched=%v", cfg.Level, mode, cfg.Schedule), res.Image)
 				}
 			}
 		})
