@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench bench-smoke trace-smoke pgo-smoke omd-smoke clean
+.PHONY: all build vet test race verify fmt-check bench bench-link bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke clean
 
 all: build
 
@@ -13,10 +13,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The parallel harness, OM's concurrent analysis, and the omd service
-# (coalescing, queue, drain) must stay race-clean.
+# The parallel harness, OM's concurrent analysis, the omd service
+# (coalescing, queue, drain), and the warm-path caches (stage stores,
+# resident program cache, shared pass-memo snapshots) must stay race-clean.
 race:
-	$(GO) test -race ./internal/harness ./internal/om ./internal/omd
+	$(GO) test -race ./internal/harness ./internal/om ./internal/omd \
+		./internal/link ./internal/buildcache
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -37,6 +39,27 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim|BenchmarkFig6Dynamic' \
 		-benchtime 1x -count 1 . ./internal/sim
+
+# bench-link runs the incremental warm-path link benchmarks (cold
+# decode+merge+link vs relinks through the resident caches) and records
+# them, with allocation counts, as BENCH_link.json. Commit the refreshed
+# file when touching the warm path.
+bench-link:
+	$(GO) test -run '^$$' -bench 'BenchmarkLink(Cold|Warm)' \
+		-benchmem -benchtime 2s -count 1 . \
+		| $(GO) run ./cmd/benchjson -o BENCH_link.json
+	@cat BENCH_link.json
+
+# linkbench-smoke keeps the warm-path suite honest on every push: each link
+# benchmark runs once, then a command-line -warmcheck link proves a warm
+# relink is byte-identical to the cold link that preceded it.
+linkbench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkLink(Cold|Warm)' -benchtime 1x -count 1 .
+	@dir=$$(mktemp -d); \
+	printf 'long g;\nlong add(long a, long b) { return a + b; }\nlong main() { long i; i = 0; while (i < 10) { g = add(g, i); i = i + 1; } return g; }\n' > $$dir/t.tc; \
+	$(GO) run ./cmd/tcc -o $$dir/t.o $$dir/t.tc && \
+	$(GO) run ./cmd/om -warmcheck -o $$dir/a.out $$dir/t.o; \
+	status=$$?; rm -rf $$dir; exit $$status
 
 # trace-smoke proves the decision journal accounts for every candidate
 # site on a real benchmark: run one benchmark with tracing, then omtrace
@@ -65,7 +88,7 @@ omd-smoke:
 	$(GO) run ./cmd/omd -loadsmoke -smoke-clients 32
 
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check bench-smoke trace-smoke pgo-smoke omd-smoke
+verify: build vet test race fmt-check bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke
 
 clean:
 	$(GO) clean ./...

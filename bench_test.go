@@ -16,10 +16,12 @@
 package repro
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"testing"
 
+	"repro/internal/buildcache"
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/om"
@@ -188,6 +190,86 @@ func BenchmarkFig6Dynamic(b *testing.B) {
 		insts += r1.Stats.Instructions + r2.Stats.Instructions
 	}
 	b.ReportMetric(float64(insts)/b.Elapsed().Seconds(), "inst/s")
+}
+
+// --- Incremental warm-path benchmarks. Cold is the daemon's worst case —
+// decode every uploaded module, merge, and link from nothing. The warm
+// variants run against resident caches: WarmSameOptions re-submits one
+// (program, options) point, replaying the per-procedure pass memo every
+// iteration; WarmNewOptions alternates between two option sets of the same
+// program, so every timed relink changes the options relative to the link
+// before it — the daemon's steady-state options-change path, served from
+// the resident program, lift store, and both sets' pass memo entries. (The
+// first-ever visit to an option point recomputes its passes over the cached
+// lifted form; the omd warm tests pin that path's zero-re-decode /
+// zero-re-lift behavior via the pipeline counters.)
+
+// serializeObjects renders each module to the wire bytes a daemon receives.
+func serializeObjects(b *testing.B, objs []*objfile.Object) [][]byte {
+	b.Helper()
+	var raw [][]byte
+	for _, obj := range objs {
+		var buf bytes.Buffer
+		if err := obj.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+		raw = append(raw, buf.Bytes())
+	}
+	return raw
+}
+
+func BenchmarkLinkCold(b *testing.B) {
+	raw := serializeObjects(b, buildObjects(b, "li"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var objs []*objfile.Object
+		for _, data := range raw {
+			obj, err := objfile.Read(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			objs = append(objs, obj)
+		}
+		if _, _, err := runOM(objs, om.WithLevel(om.LevelFull)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// warmLink primes the resident caches with one full link per option set,
+// then times relinks cycling through the sets: one set is the repeated-
+// submission path, several make every timed iteration an options-change
+// relink of a program the caches already hold.
+func warmLink(b *testing.B, memo *om.Memo, optSets ...[]om.Option) {
+	objs := buildObjects(b, "li")
+	pc := buildcache.NewProgramCache(0, nil)
+	run := func(opts []om.Option) {
+		p, _, err := pc.GetOrMerge(objs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := om.Run(context.Background(), p, append(opts, om.WithMemo(memo))...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, opts := range optSets {
+		run(opts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run(optSets[i%len(optSets)])
+	}
+}
+
+func BenchmarkLinkWarmSameOptions(b *testing.B) {
+	warmLink(b, om.NewMemo(nil),
+		[]om.Option{om.WithLevel(om.LevelFull)})
+}
+
+func BenchmarkLinkWarmNewOptions(b *testing.B) {
+	warmLink(b, om.NewMemo(nil),
+		[]om.Option{om.WithLevel(om.LevelFull)},
+		[]om.Option{om.WithAblation(om.Ablation{NoCommonSort: true})})
 }
 
 // --- Pipeline micro-benchmarks.

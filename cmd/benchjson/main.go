@@ -1,11 +1,12 @@
 // Command benchjson converts `go test -bench` output on stdin into the
-// repository's tracked benchmark record (BENCH_sim.json):
+// repository's tracked benchmark records (BENCH_sim.json, BENCH_link.json):
 //
 //	{"date": "YYYY-MM-DD", "commit": "<short sha>",
 //	 "benchmarks": [{"name", "ns_per_op", "instructions_per_sec"}, ...]}
 //
 // Benchmarks that report an `inst/s` metric (the simulator suite does) get
-// instructions_per_sec filled in; others record only ns_per_op. With
+// instructions_per_sec filled in; runs under -benchmem also record
+// bytes_per_op and allocs_per_op (the warm-link record tracks both). With
 // -baseline, a previous record is embedded under "baseline" so a single
 // file shows the perf trajectory.
 //
@@ -59,9 +60,11 @@ func hostEnvironment() environment {
 }
 
 type benchmark struct {
-	Name      string  `json:"name"`
-	NsPerOp   float64 `json:"ns_per_op"`
-	InstPerSc float64 `json:"instructions_per_sec,omitempty"`
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	InstPerSc  float64 `json:"instructions_per_sec,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsPer  float64 `json:"allocs_per_op,omitempty"`
 }
 
 // gomaxprocsSuffix is the "-N" go test appends to benchmark names.
@@ -87,6 +90,10 @@ func parse(line string) (benchmark, bool) {
 			b.NsPerOp = v
 		case "inst/s":
 			b.InstPerSc = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPer = v
 		}
 	}
 	return b, b.NsPerOp > 0

@@ -5,7 +5,11 @@
 // Usage:
 //
 //	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib]
-//	   [-profile file] [-stats] [-trace file] [-metrics] [-v] file.o...
+//	   [-profile file] [-stats] [-trace file] [-metrics] [-warmcheck] [-v] file.o...
+//
+// -warmcheck links the program a second time through the per-procedure warm
+// memo and fails unless the replayed image is byte-identical to the first —
+// a command-line probe of the incremental pipeline's core invariant.
 //
 // -profile enables profile-guided procedure layout from an om-profile/v1
 // document (collected with axsim -profileout or om -instrument feedback);
@@ -14,6 +18,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -41,6 +46,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write the decision journal (one event per address load/call/GP-reset) to this file")
 	metrics := flag.Bool("metrics", false, "print per-phase timings as JSON on stderr")
+	warmcheck := flag.Bool("warmcheck", false, "relink through the warm per-procedure memo and verify the image is byte-identical")
 	verbose := flag.Bool("v", false, "print progress")
 	flag.Parse()
 
@@ -131,6 +137,11 @@ func main() {
 	if *trace != "" {
 		opts = append(opts, om.WithTrace())
 	}
+	var memo *om.Memo
+	if *warmcheck {
+		memo = om.NewMemo(reg)
+		opts = append(opts, om.WithMemo(memo))
+	}
 	res, err := om.Run(context.Background(), p, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "om:", err)
@@ -138,6 +149,30 @@ func main() {
 	}
 	logger.Logf("om: optimized at %v: %v", lvl, res.Stats)
 	im := res.Image
+	if memo != nil {
+		// The first run populated the memo; a second run over the same
+		// program and options must replay it to a byte-identical image —
+		// the invariant the incremental warm path is built on.
+		warm, err := om.Run(context.Background(), p, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om: warmcheck relink:", err)
+			os.Exit(1)
+		}
+		var cold, hot bytes.Buffer
+		if err := im.Write(&cold); err == nil {
+			err = warm.Image.Write(&hot)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om: warmcheck:", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(cold.Bytes(), hot.Bytes()) {
+			fmt.Fprintln(os.Stderr, "om: warmcheck: warm relink produced a different image")
+			os.Exit(1)
+		}
+		st := memo.PassStats()
+		logger.Logf("om: warmcheck ok (%d pass-memo hits, image byte-identical)", st.Hits)
+	}
 	if *stats {
 		fmt.Fprintln(os.Stderr, res.Stats)
 	}

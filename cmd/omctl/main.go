@@ -10,7 +10,12 @@
 //	omctl wait   [-server url] jobID
 //	omctl fetch  [-server url] -o image jobID
 //	omctl jobs   [-server url]
-//	omctl metrics [-server url]
+//	omctl metrics [-server url] [-json]
+//
+// metrics prints a human-readable summary of the server's queue, build
+// cache, warm-path stage stores (resident program, lift, pass memo) with
+// hit rates, and phase timers; -json prints the raw snapshot instead.
+// wait polls with jittered exponential backoff (20ms doubling to 640ms).
 //
 // The server defaults to $OMD_SERVER, then http://localhost:7333. submit
 // prints the job status as JSON; with -wait it blocks until the job
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/om"
@@ -72,7 +78,10 @@ func main() {
 		var st *omd.JobStatus
 		var err error
 		if cmd == "wait" {
-			st, err = c.Wait(ctx, fs.Arg(0), 100*time.Millisecond)
+			// Interval 0 selects the client's jittered exponential backoff
+			// (20ms start, doubling to 640ms), so short jobs resolve fast
+			// and long ones don't hammer the server.
+			st, err = c.Wait(ctx, fs.Arg(0), 0)
 		} else {
 			st, err = c.Status(ctx, fs.Arg(0))
 		}
@@ -108,15 +117,79 @@ func main() {
 	case "metrics":
 		fs := flag.NewFlagSet("metrics", flag.ExitOnError)
 		server := serverURL(fs)
+		raw := fs.Bool("json", false, "print the raw MetricsSnapshot JSON")
 		fs.Parse(os.Args[2:])
 		snap, err := client.New(*server, nil).Metrics(ctx)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		printJSON(snap)
+		if *raw {
+			printJSON(snap)
+		} else {
+			renderMetrics(snap)
+		}
 	default:
 		fatalf("unknown command %q (want submit|status|wait|fetch|jobs|metrics)", cmd)
 	}
+}
+
+// renderMetrics prints the snapshot for humans: queue and pool state, the
+// object/image build cache, every warm-path stage store with its hit rate,
+// the om pipeline counters, and the phase timers.
+func renderMetrics(snap *omd.MetricsSnapshot) {
+	q := snap.Queue
+	state := "accepting"
+	if q.Draining {
+		state = "draining"
+	}
+	fmt.Printf("queue: %d/%d jobs queued, %d workers, %s\n", q.Depth, q.Capacity, q.Workers, state)
+
+	c := snap.Cache
+	fmt.Printf("object cache: %s (%d from disk), %d compiles\n",
+		rate(c.Hits, c.Misses), c.DiskHits, c.Misses)
+	fmt.Printf("image cache:  %s\n", rate(c.ImageHits, c.ImageMisses))
+
+	// Warm-path stage stores report as stage/<name>/{hits,misses,evictions}.
+	names := []string{}
+	seen := map[string]bool{}
+	for _, e := range snap.Metrics {
+		if e.Kind != "counter" || !strings.HasPrefix(e.Name, "stage/") {
+			continue
+		}
+		if name, _, ok := strings.Cut(strings.TrimPrefix(e.Name, "stage/"), "/"); ok && !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	for _, name := range names {
+		fmt.Printf("stage %-8s %s, %d evictions\n", name+":",
+			rate(snap.Counter("stage/"+name+"/hits"), snap.Counter("stage/"+name+"/misses")),
+			snap.Counter("stage/"+name+"/evictions"))
+	}
+
+	if procs := snap.Counter("om/lift/procs") + snap.Counter("om/lift/replayed"); procs > 0 {
+		fmt.Printf("om: %d modules decoded; %d procs lifted, %d replayed; %d passed, %d replayed\n",
+			snap.Counter("om/decode/modules"),
+			snap.Counter("om/lift/procs"), snap.Counter("om/lift/replayed"),
+			snap.Counter("om/passes/procs"), snap.Counter("om/passes/replayed"))
+	}
+
+	for _, e := range snap.Metrics {
+		if e.Kind == "timer" && e.Timings != nil && e.Timings.Count > 0 {
+			t := e.Timings
+			fmt.Printf("timer %-14s %4d × avg %v (total %v)\n",
+				e.Name+":", t.Count, (t.Sum / time.Duration(t.Count)).Round(time.Microsecond), t.Sum.Round(time.Millisecond))
+		}
+	}
+}
+
+// rate formats "H hits / M misses (P% hit)".
+func rate(hits, misses uint64) string {
+	total := hits + misses
+	if total == 0 {
+		return "no traffic"
+	}
+	return fmt.Sprintf("%d hits / %d misses (%.1f%% hit)", hits, misses, 100*float64(hits)/float64(total))
 }
 
 func cmdSubmit(ctx context.Context, args []string) {

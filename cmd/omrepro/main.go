@@ -41,6 +41,7 @@ import (
 	"repro/internal/buildcache"
 	"repro/internal/harness"
 	"repro/internal/obs"
+	"repro/internal/om"
 )
 
 func main() {
@@ -65,8 +66,10 @@ func main() {
 	if *verbose {
 		ropts = append(ropts, harness.WithLogger(logger))
 	}
+	var reg *obs.Registry
 	if *metrics {
-		ropts = append(ropts, harness.WithMetrics(obs.NewRegistry()))
+		reg = obs.NewRegistry()
+		ropts = append(ropts, harness.WithMetrics(reg))
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o777); err != nil {
@@ -82,6 +85,12 @@ func main() {
 			os.Exit(1)
 		}
 		ropts = append(ropts, harness.WithCache(cache))
+		// Matrix cells relink the same merged modules under different
+		// options; the resident program cache and the per-procedure OM memo
+		// make every cell after the first a warm relink.
+		ropts = append(ropts,
+			harness.WithProgramCache(buildcache.NewProgramCache(0, reg)),
+			harness.WithMemo(om.NewMemo(reg)))
 	}
 	r, err := harness.New(ropts...)
 	if err != nil {

@@ -1,9 +1,10 @@
-package buildcache
+package buildcache_test
 
 import (
 	"context"
 	"testing"
 
+	"repro/internal/buildcache"
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/om"
@@ -19,28 +20,28 @@ long main() {
 `}}
 
 func TestKeyDistinguishesInputs(t *testing.T) {
-	base := Key("u", testSrc, tcc.DefaultOptions())
-	if k := Key("v", testSrc, tcc.DefaultOptions()); k == base {
+	base := buildcache.Key("u", testSrc, tcc.DefaultOptions())
+	if k := buildcache.Key("v", testSrc, tcc.DefaultOptions()); k == base {
 		t.Error("unit name not in key")
 	}
 	other := []tcc.Source{{Name: "a.tc", Text: testSrc[0].Text + "\n"}}
-	if k := Key("u", other, tcc.DefaultOptions()); k == base {
+	if k := buildcache.Key("u", other, tcc.DefaultOptions()); k == base {
 		t.Error("source text not in key")
 	}
-	if k := Key("u", testSrc, tcc.InterprocOptions()); k == base {
+	if k := buildcache.Key("u", testSrc, tcc.InterprocOptions()); k == base {
 		t.Error("compile options not in key")
 	}
 	// Length-framing: moving a boundary between name and text must change
 	// the key even though the concatenation is identical.
 	ab := []tcc.Source{{Name: "ab", Text: "c"}}
 	ac := []tcc.Source{{Name: "a", Text: "bc"}}
-	if Key("u", ab, tcc.DefaultOptions()) == Key("u", ac, tcc.DefaultOptions()) {
+	if buildcache.Key("u", ab, tcc.DefaultOptions()) == buildcache.Key("u", ac, tcc.DefaultOptions()) {
 		t.Error("key is not length-framed")
 	}
 }
 
 func TestCompileHitAndMiss(t *testing.T) {
-	c, err := New("") // memory-only
+	c, err := buildcache.New("") // memory-only
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestCompileHitAndMiss(t *testing.T) {
 
 func TestDiskPersistenceAcrossInstances(t *testing.T) {
 	dir := t.TempDir()
-	c1, err := New(dir)
+	c1, err := buildcache.New(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestDiskPersistenceAcrossInstances(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	c2, err := New(dir)
+	c2, err := buildcache.New(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestImageCacheProfileHash(t *testing.T) {
 
 	prof := profile.New("synthetic")
 	prof.Procs = []profile.ProcCount{{Name: "main", Entries: 1, Weight: 10}}
-	key1, err := ImageKey(objs, "om-full+pgo", prof.Hash())
+	key1, err := buildcache.ImageKey(objs, "om-full+pgo", prof.Hash())
 	if err != nil {
 		t.Fatal(err)
 	}
-	same, err := ImageKey(objs, "om-full+pgo", prof.Hash())
+	same, err := buildcache.ImageKey(objs, "om-full+pgo", prof.Hash())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,19 +115,19 @@ func TestImageCacheProfileHash(t *testing.T) {
 	}
 
 	prof.Procs[0].Weight = 11 // stale counts must not reuse the old layout
-	key2, err := ImageKey(objs, "om-full+pgo", prof.Hash())
+	key2, err := buildcache.ImageKey(objs, "om-full+pgo", prof.Hash())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if key2 == key1 {
 		t.Error("mutated profile did not change the image key")
 	}
-	if k, err := ImageKey(objs, "om-full", ""); err != nil || k == key1 {
+	if k, err := buildcache.ImageKey(objs, "om-full", ""); err != nil || k == key1 {
 		t.Errorf("link variant not in key (err %v)", err)
 	}
 
 	dir := t.TempDir()
-	c1, err := New(dir)
+	c1, err := buildcache.New(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestImageCacheProfileHash(t *testing.T) {
 	}
 
 	// Entries persist: a second instance over the same directory hits.
-	c2, err := New(dir)
+	c2, err := buildcache.New(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +175,7 @@ func TestImageCacheProfileHash(t *testing.T) {
 		t.Error("image entry did not persist across instances")
 	}
 
-	var nilCache *Cache
+	var nilCache *buildcache.Cache
 	if _, ok := nilCache.GetImage(key1); ok {
 		t.Error("nil cache reported an image hit")
 	}
@@ -184,11 +185,11 @@ func TestImageCacheProfileHash(t *testing.T) {
 }
 
 func TestNilCacheCompiles(t *testing.T) {
-	var c *Cache
+	var c *buildcache.Cache
 	if _, err := c.Compile("u", testSrc, tcc.DefaultOptions()); err != nil {
 		t.Fatal(err)
 	}
-	if st := c.Stats(); st != (Stats{}) {
+	if st := c.Stats(); st != (buildcache.Stats{}) {
 		t.Errorf("nil cache stats = %+v", st)
 	}
 }

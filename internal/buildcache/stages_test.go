@@ -1,0 +1,122 @@
+package buildcache_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/buildcache"
+	"repro/internal/obs"
+)
+
+func TestStageStoreFIFOEntryBound(t *testing.T) {
+	s := buildcache.NewStageStore("t", 3, 0, nil)
+	for i := 0; i < 5; i++ {
+		s.Put(fmt.Sprintf("k%d", i), i, 1)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// FIFO: the two oldest are gone, the three newest remain.
+	for i := 0; i < 2; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i)); ok {
+			t.Errorf("k%d survived FIFO eviction", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		v, ok := s.Get(fmt.Sprintf("k%d", i))
+		if !ok || v.(int) != i {
+			t.Errorf("k%d = %v, %v; want %d, true", i, v, ok, i)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Hits != 3 || st.Misses != 2 {
+		t.Errorf("hits/misses = %d/%d, want 3/2", st.Hits, st.Misses)
+	}
+}
+
+func TestStageStoreByteBound(t *testing.T) {
+	s := buildcache.NewStageStore("t", 0, 100, nil)
+	s.Put("a", "a", 40)
+	s.Put("b", "b", 40)
+	s.Put("c", "c", 40) // 120 > 100: evicts "a"
+	if _, ok := s.Get("a"); ok {
+		t.Error("byte bound did not evict the oldest entry")
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Error("byte bound evicted more than needed")
+	}
+	if st := s.Stats(); st.Bytes != 80 {
+		t.Errorf("resident bytes = %d, want 80", st.Bytes)
+	}
+	// An entry larger than the whole budget is not admitted (it would evict
+	// everything and then still not fit).
+	s.Put("huge", "x", 1000)
+	if _, ok := s.Get("huge"); ok {
+		t.Error("oversized entry was admitted")
+	}
+	if _, ok := s.Get("b"); !ok {
+		t.Error("rejected oversized entry still evicted residents")
+	}
+}
+
+func TestStageStoreDuplicatePut(t *testing.T) {
+	s := buildcache.NewStageStore("t", 2, 0, nil)
+	s.Put("a", 1, 10)
+	s.Put("b", 2, 10)
+	s.Put("a", 3, 20) // refresh in place: no new slot, no eviction
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	v, ok := s.Get("a")
+	if !ok || v.(int) != 3 {
+		t.Errorf("a = %v, want refreshed value 3", v)
+	}
+	if st := s.Stats(); st.Bytes != 30 || st.Evictions != 0 {
+		t.Errorf("stats = %+v, want 30 bytes and no evictions", st)
+	}
+	// "a" kept its original FIFO position: one more insert evicts it first.
+	s.Put("c", 4, 10)
+	if _, ok := s.Get("a"); ok {
+		t.Error("refreshed entry jumped the FIFO queue")
+	}
+}
+
+func TestStageStoreRegistryCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := buildcache.NewStageStore("demo", 1, 0, reg)
+	s.Put("a", 1, 1)
+	s.Get("a")
+	s.Get("missing")
+	s.Put("b", 2, 1) // evicts a
+	if got := reg.Counter("stage/demo/hits").Value(); got != 1 {
+		t.Errorf("stage/demo/hits = %d, want 1", got)
+	}
+	if got := reg.Counter("stage/demo/misses").Value(); got != 1 {
+		t.Errorf("stage/demo/misses = %d, want 1", got)
+	}
+	if got := reg.Counter("stage/demo/evictions").Value(); got != 1 {
+		t.Errorf("stage/demo/evictions = %d, want 1", got)
+	}
+}
+
+func TestStageStoreNilTolerance(t *testing.T) {
+	var s *buildcache.StageStore
+	s.Put("a", 1, 1)
+	if _, ok := s.Get("a"); ok {
+		t.Error("nil store reported a hit")
+	}
+	if s.Len() != 0 || s.Stats() != (buildcache.StageStats{}) {
+		t.Error("nil store reported state")
+	}
+	var pc *buildcache.ProgramCache
+	if _, ok := pc.Get("k"); ok {
+		t.Error("nil program cache reported a hit")
+	}
+	pc.Put("k", nil)
+	if pc.Stats() != (buildcache.StageStats{}) {
+		t.Error("nil program cache reported stats")
+	}
+}

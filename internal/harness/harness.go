@@ -132,6 +132,15 @@ type Runner struct {
 	// harness/link, harness/sim), build-cache traffic counters, and the
 	// worker-pool utilization gauge for the configured parallelism.
 	Metrics *obs.Registry
+	// Programs, when non-nil, keeps merged link.Programs resident by module
+	// content hash, so matrix cells (and repeated runs inside one process)
+	// that link the same modules skip re-decoding and re-merging. Entries
+	// are shared read-only; nil merges fresh every time.
+	Programs *buildcache.ProgramCache
+	// Memo, when non-nil, is the per-procedure OM memo threaded into every
+	// om.Run, letting warm relinks replay lifted procedures and finished
+	// pass results instead of recomputing them.
+	Memo *om.Memo
 	// Trace collects a decision journal for every OM-linked matrix cell
 	// (Measurement.Journal).
 	Trace bool
@@ -162,6 +171,19 @@ func WithParallelism(n int) RunnerOption {
 // disables caching (the default).
 func WithCache(c *buildcache.Cache) RunnerOption {
 	return func(r *Runner) { r.Cache = c }
+}
+
+// WithProgramCache keeps merged programs resident across cells and runs,
+// keyed by module content; nil disables residency (the default).
+func WithProgramCache(pc *buildcache.ProgramCache) RunnerOption {
+	return func(r *Runner) { r.Programs = pc }
+}
+
+// WithMemo threads a per-procedure OM memo into every link the runner
+// performs, so warm relinks replay cached lift and pass results; nil
+// disables memoization (the default).
+func WithMemo(m *om.Memo) RunnerOption {
+	return func(r *Runner) { r.Memo = m }
 }
 
 // WithLogger routes progress lines to l; nil discards them (the default).
@@ -330,6 +352,9 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 		return im, nil, nil, time.Since(start), err
 	default:
 		opts := []om.Option{om.WithMetrics(r.Metrics)}
+		if r.Memo != nil {
+			opts = append(opts, om.WithMemo(r.Memo))
+		}
 		if r.Trace {
 			opts = append(opts, om.WithTrace())
 		}
@@ -343,7 +368,7 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 		case OMFullSched:
 			opts = append(opts, om.WithLevel(om.LevelFull), om.WithSchedule(true))
 		}
-		p, err := link.Merge(all)
+		p, _, err := r.Programs.GetOrMerge(all)
 		if err != nil {
 			return nil, nil, nil, 0, err
 		}

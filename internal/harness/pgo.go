@@ -7,7 +7,6 @@ import (
 	"sync"
 
 	"repro/internal/buildcache"
-	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/obs"
 	"repro/internal/om"
@@ -120,11 +119,15 @@ func (r *Runner) pgoBenchmark(ctx context.Context, b spec.Benchmark) (PGORow, er
 	all := append(append([]*objfile.Object(nil), objs...), lib...)
 
 	// Training run: instrumented build, trap counts, call-edge profile.
-	p, err := link.Merge(all)
+	p, _, err := r.Programs.GetOrMerge(all)
 	if err != nil {
 		return fail("merge", err)
 	}
-	ires, err := om.Run(ctx, p, om.WithInstrumentation())
+	iopts := []om.Option{om.WithInstrumentation()}
+	if r.Memo != nil {
+		iopts = append(iopts, om.WithMemo(r.Memo))
+	}
+	ires, err := om.Run(ctx, p, iopts...)
 	if err != nil {
 		return fail("instrument", err)
 	}
@@ -138,10 +141,14 @@ func (r *Runner) pgoBenchmark(ctx context.Context, b spec.Benchmark) (PGORow, er
 	// Baseline: OM-full without layout, under the scaled I-cache.
 	cfg := r.SimConfig
 	cfg.ICacheBytes = PGOICacheBytes
-	if p, err = link.Merge(all); err != nil {
+	if p, _, err = r.Programs.GetOrMerge(all); err != nil {
 		return fail("merge", err)
 	}
-	bres, err := om.Run(ctx, p, om.WithLevel(om.LevelFull), om.WithMetrics(r.Metrics))
+	bopts := []om.Option{om.WithLevel(om.LevelFull), om.WithMetrics(r.Metrics)}
+	if r.Memo != nil {
+		bopts = append(bopts, om.WithMemo(r.Memo))
+	}
+	bres, err := om.Run(ctx, p, bopts...)
 	if err != nil {
 		return fail("baseline", err)
 	}
@@ -165,10 +172,13 @@ func (r *Runner) pgoBenchmark(ctx context.Context, b spec.Benchmark) (PGORow, er
 		im, cacheHit = r.Cache.GetImage(key)
 	}
 	if im == nil {
-		if p, err = link.Merge(all); err != nil {
+		if p, _, err = r.Programs.GetOrMerge(all); err != nil {
 			return fail("merge", err)
 		}
 		opts := []om.Option{om.WithLevel(om.LevelFull), om.WithProfile(prof), om.WithMetrics(r.Metrics)}
+		if r.Memo != nil {
+			opts = append(opts, om.WithMemo(r.Memo))
+		}
 		if r.Trace {
 			opts = append(opts, om.WithTrace())
 		}

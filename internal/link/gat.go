@@ -22,8 +22,28 @@ type GATPlan struct {
 	GATShared []bool
 }
 
-// ModuleKeys extracts each module's literal-pool targets in slot order.
+// moduleKeysResult caches one computation of ModuleKeys on its Program.
+type moduleKeysResult struct {
+	keys [][]TargetKey
+	err  error
+}
+
+// ModuleKeys extracts each module's literal-pool targets in slot order. The
+// result depends only on the merged program, never on the optimization
+// state, yet AssignGATs needs it on every layout round of the OM fixpoint —
+// so it is computed once per Program and memoized. Callers must treat the
+// returned slices as read-only.
 func ModuleKeys(p *Program) ([][]TargetKey, error) {
+	if r, ok := p.moduleKeys.Load().(*moduleKeysResult); ok {
+		return r.keys, r.err
+	}
+	keys, err := computeModuleKeys(p)
+	p.moduleKeys.Store(&moduleKeysResult{keys, err})
+	return keys, err
+}
+
+// computeModuleKeys scans every module's .lita relocations.
+func computeModuleKeys(p *Program) ([][]TargetKey, error) {
 	keys := make([][]TargetKey, len(p.Objects))
 	for m, obj := range p.Objects {
 		ks := make([]TargetKey, obj.LitaSlots())

@@ -9,7 +9,10 @@
 package link
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/objfile"
 )
@@ -55,6 +58,14 @@ type Program struct {
 	// be optimized as statically linked calls can", §6). nil means all
 	// modules are statically linked.
 	Shared []bool
+
+	// hash memoizes the program's content address (Hash); MarkShared
+	// invalidates it. moduleKeys memoizes ModuleKeys, which otherwise
+	// rescans every relocation on each layout round of the OM fixpoint.
+	// Both use atomic.Value so a merged Program stays safe to share
+	// read-only across concurrent links.
+	hash       atomic.Value
+	moduleKeys atomic.Value
 }
 
 // IsShared reports whether module m is part of a shared library.
@@ -62,7 +73,10 @@ func (p *Program) IsShared(m int) bool {
 	return p.Shared != nil && m < len(p.Shared) && p.Shared[m]
 }
 
-// MarkShared flags the named modules as dynamically linked.
+// MarkShared flags the named modules as dynamically linked. It is the one
+// post-Merge mutation of a Program, so it invalidates the memoized content
+// hash; callers sharing a Program across concurrent links must finish
+// marking before the first Run.
 func (p *Program) MarkShared(moduleNames ...string) {
 	if p.Shared == nil {
 		p.Shared = make([]bool, len(p.Objects))
@@ -74,6 +88,36 @@ func (p *Program) MarkShared(moduleNames ...string) {
 			}
 		}
 	}
+	p.hash.Store("")
+}
+
+// Hash returns the program's content address: the hash of every module's
+// content hash in merge order, the shared-library marking, and the entry
+// symbol. Two Programs with equal hashes lift to identical symbolic form,
+// which is what keys the decoded-program and lifted-form caches. The result
+// is memoized; MarkShared invalidates it.
+func (p *Program) Hash() string {
+	if h, ok := p.hash.Load().(string); ok && h != "" {
+		return h
+	}
+	d := sha256.New()
+	writeStr := func(s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		d.Write(n[:])
+		d.Write([]byte(s))
+	}
+	writeStr("link-program/v1")
+	writeStr(p.EntryName)
+	for m, obj := range p.Objects {
+		writeStr(obj.Hash())
+		if p.IsShared(m) {
+			writeStr("shared")
+		}
+	}
+	h := fmt.Sprintf("%x", d.Sum(nil))
+	p.hash.Store(h)
+	return h
 }
 
 // Resolve returns the resolution of module m's symbol s.

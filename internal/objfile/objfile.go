@@ -14,7 +14,10 @@
 //     address (PV on entry, RA after a call).
 package objfile
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // SectionKind identifies one of the fixed sections of an object module.
 type SectionKind uint8
@@ -165,6 +168,10 @@ type Object struct {
 	Sections [NumSections]Section
 	Symbols  []Symbol
 	Relocs   []Reloc
+
+	// hash memoizes the module's content address (see Hash). atomic.Value
+	// rather than a mutex so an Object stays trivially copyable.
+	hash atomic.Value
 }
 
 // New returns an empty object module with the given name.

@@ -2,40 +2,50 @@ package om
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/axp"
 	"repro/internal/link"
 	"repro/internal/objfile"
 )
 
-// normalizeLabels moves labels off deleted instructions onto the next live
-// one and returns the live instruction list.
-func normalizeLabels(pr *Proc) ([]*SInst, error) {
+// Emission is fully read-only on the Prog: label moves, scheduling orders,
+// and final addresses live in pooled scratch (emitScratch) rather than on
+// the instructions. That property is what lets the warm path emit straight
+// from a memoized snapshot that concurrent Runs share — no defensive clone,
+// no races.
+
+// normalizeLabels computes the live instruction list and, in labs, the
+// label set addressing each live instruction: labels on deleted
+// instructions move onto the next live one. labs[i] belongs to live[i];
+// the procedure itself is never modified. Results are appended to the
+// passed-in buffers (emission scratch), reusing their capacity.
+func normalizeLabels(pr *Proc, live []*SInst, labs [][]int) ([]*SInst, [][]int, error) {
 	var pending []int
-	live := make([]*SInst, 0, len(pr.Insts))
 	for _, si := range pr.Insts {
 		if si.Deleted {
 			pending = append(pending, si.Labels...)
-			si.Labels = nil
 			continue
 		}
+		l := si.Labels
 		if len(pending) > 0 {
-			si.Labels = append(pending, si.Labels...)
+			l = append(pending, si.Labels...)
 			pending = nil
 		}
 		live = append(live, si)
+		labs = append(labs, l)
 	}
 	if len(pending) > 0 {
-		return nil, fmt.Errorf("om: %s: labels %v dangle past the last instruction", pr.Name, pending)
+		return nil, nil, fmt.Errorf("om: %s: labels %v dangle past the last instruction", pr.Name, pending)
 	}
-	return live, nil
+	return live, labs, nil
 }
 
 // rescheduleProc list-schedules each basic block of the live instruction
 // list, using the same latency model as the compile-time scheduler. A
 // GP-setup pair at procedure entry is pinned there: callers may be
 // branching to entry+8 to skip it.
-func rescheduleProc(live []*SInst) []*SInst {
+func rescheduleProc(live []*SInst, labs [][]int) ([]*SInst, [][]int) {
 	pinned := 0
 	if len(live) >= 2 &&
 		live[0].GPD != nil && live[0].GPD.High && live[0].GPD.Entry &&
@@ -43,24 +53,23 @@ func rescheduleProc(live []*SInst) []*SInst {
 		pinned = 2
 	}
 	if pinned > 0 {
-		rest := rescheduleBody(live[pinned:])
-		return append(live[:pinned:pinned], rest...)
+		rest, restLabs := rescheduleBody(live[pinned:], labs[pinned:])
+		return append(live[:pinned:pinned], rest...), append(labs[:pinned:pinned], restLabs...)
 	}
-	return rescheduleBody(live)
+	return rescheduleBody(live, labs)
 }
 
 // rescheduleBody schedules without any pinned prefix.
-func rescheduleBody(live []*SInst) []*SInst {
+func rescheduleBody(live []*SInst, labs [][]int) ([]*SInst, [][]int) {
 	isEnd := func(in axp.Inst) bool {
 		return in.Op.IsBranch() || in.Op.IsJump() || in.Op == axp.CALLPAL
 	}
 	out := make([]*SInst, 0, len(live))
+	outLabs := make([][]int, 0, len(live))
 	start := 0
 	flush := func(end int) {
 		if end > start {
 			seg := live[start:end]
-			labels := seg[0].Labels
-			seg[0].Labels = nil
 			raw := make([]axp.Inst, len(seg))
 			for i, si := range seg {
 				raw[i] = si.In
@@ -70,34 +79,42 @@ func rescheduleBody(live []*SInst) []*SInst {
 			for pos, idx := range order {
 				scheduled[pos] = seg[idx]
 			}
-			scheduled[0].Labels = append(labels, scheduled[0].Labels...)
 			out = append(out, scheduled...)
+			// Only seg[0] can carry labels — a labeled instruction forces a
+			// flush before itself — and they address the segment's first
+			// slot in the new order.
+			outLabs = append(outLabs, labs[start])
+			for i := 1; i < len(seg); i++ {
+				outLabs = append(outLabs, nil)
+			}
 		}
 		start = end
 	}
 	for i, si := range live {
-		if len(si.Labels) > 0 {
+		if len(labs[i]) > 0 {
 			flush(i)
 		}
 		if isEnd(si.In) {
 			flush(i)
 			out = append(out, si)
+			outLabs = append(outLabs, labs[i])
 			start = i + 1
 		}
 	}
 	flush(len(live))
-	return out
+	return out, outLabs
 }
 
 // alignLoopTargets inserts unops so that instructions targeted by backward
 // branches start on a quadword boundary (procedure bases are quadword
 // aligned). This is the OM-full alignment pass that helps the dual-issue
-// fetcher.
-func alignLoopTargets(live []*SInst) []*SInst {
+// fetcher. Inserted padding carries ord -1: it is emission-local and has no
+// slot in the address scratch.
+func alignLoopTargets(live []*SInst, labs [][]int) ([]*SInst, [][]int) {
 	// Identify labels targeted by a later (backward) branch.
 	labelIdx := make(map[int]int)
-	for i, si := range live {
-		for _, l := range si.Labels {
+	for i := range live {
+		for _, l := range labs[i] {
 			labelIdx[l] = i
 		}
 	}
@@ -110,52 +127,132 @@ func alignLoopTargets(live []*SInst) []*SInst {
 		}
 	}
 	if len(backward) == 0 {
-		return live
+		return live, labs
 	}
 	out := make([]*SInst, 0, len(live)+8)
+	outLabs := make([][]int, 0, len(live)+8)
 	off := 0
-	for _, si := range live {
+	for i, si := range live {
 		isTarget := false
-		for _, l := range si.Labels {
+		for _, l := range labs[i] {
 			if backward[l] {
 				isTarget = true
 			}
 		}
 		if isTarget && off%8 != 0 {
-			out = append(out, &SInst{In: axp.Unop(), Target: -1})
+			out = append(out, &SInst{In: axp.Unop(), Target: -1, ord: -1})
+			outLabs = append(outLabs, nil)
 			off += 4
 		}
 		out = append(out, si)
+		outLabs = append(outLabs, labs[i])
 		off += 4
 	}
-	return out
+	return out, outLabs
+}
+
+// emitScratch holds Emit's reusable working storage, pooled so a resident
+// daemon's warm relinks do not reallocate it per job.
+type emitScratch struct {
+	finals [][]*SInst
+	labs   [][][]int
+	// addrs maps an instruction's ordinal (SInst.ord) to its final text
+	// address for this emission. 0 means "not part of the current emission"
+	// (all text bases are nonzero), which is how a GP reset anchored to a
+	// removed call is detected.
+	addrs []uint64
+	// procAddr holds this emission's finalized procedure addresses — the
+	// refinement of the plan's estimates after label normalization,
+	// scheduling, and alignment padding. Keeping it here (not on the plan)
+	// is what lets one plan serve concurrent emissions.
+	procAddr map[*Proc]uint64
+	// gaps are the alignment-padding word addresses between procedures —
+	// the only text words the encode loop does not write, filled with
+	// unops instead of prefilling the whole region.
+	gaps      []uint64
+	labelAddr map[int]uint64
+}
+
+var emitScratchPool = sync.Pool{
+	New: func() any {
+		return &emitScratch{
+			procAddr:  make(map[*Proc]uint64, 64),
+			labelAddr: make(map[int]uint64, 64),
+		}
+	},
+}
+
+// release drops instruction and label references (so the pool never pins a
+// program) while keeping every backing array's capacity, and returns the
+// scratch to the pool.
+func (sc *emitScratch) release() {
+	for i := range sc.finals {
+		f := sc.finals[i][:cap(sc.finals[i])]
+		clear(f)
+		sc.finals[i] = f[:0]
+	}
+	for i := range sc.labs {
+		l := sc.labs[i][:cap(sc.labs[i])]
+		clear(l)
+		sc.labs[i] = l[:0]
+	}
+	clear(sc.procAddr)
+	clear(sc.labelAddr)
+	sc.gaps = sc.gaps[:0]
+	emitScratchPool.Put(sc)
 }
 
 // Emit regenerates an executable image from the symbolic program under the
 // given plan. When sched is true the OM-full rescheduler and loop-alignment
-// passes run first.
+// passes run first. Emission never writes to the program: a renumbered Prog
+// (Run renumbers before every emission) can be emitted concurrently by any
+// number of goroutines.
 func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 	p := pg.P
+	if pg.nOrd == 0 {
+		// Direct API callers may emit a program Run never renumbered.
+		pg.renumber()
+	}
+	sc := emitScratchPool.Get().(*emitScratch)
+	defer sc.release()
+	if cap(sc.addrs) < pg.nOrd {
+		sc.addrs = make([]uint64, pg.nOrd)
+	}
+	addrs := sc.addrs[:pg.nOrd]
+	clear(addrs)
 
 	// Finalize instruction lists and procedure addresses, per region.
-	finals := make([][]*SInst, len(pg.Procs))
+	if cap(sc.finals) < len(pg.Procs) {
+		sc.finals = make([][]*SInst, len(pg.Procs))
+	}
+	if cap(sc.labs) < len(pg.Procs) {
+		sc.labs = make([][][]int, len(pg.Procs))
+	}
+	finals := sc.finals[:len(pg.Procs)]
+	labsAll := sc.labs[:len(pg.Procs)]
+	procAddr := sc.procAddr
 	tcur := [2]uint64{objfile.TextBase, objfile.SharedTextBase}
-	instAddr := make(map[*SInst]uint64)
 	for i, pr := range pg.Procs {
-		live, err := normalizeLabels(pr)
+		live, labs, err := normalizeLabels(pr, finals[i][:0], labsAll[i][:0])
 		if err != nil {
 			return nil, err
 		}
 		if sched {
-			live = rescheduleProc(live)
-			live = alignLoopTargets(live)
+			live, labs = rescheduleProc(live, labs)
+			live, labs = alignLoopTargets(live, labs)
 		}
 		finals[i] = live
+		labsAll[i] = labs
 		r := pl.regionOf(pr.Mod)
-		tcur[r] = (tcur[r] + 7) &^ 7
-		pl.procAddr[pr] = tcur[r]
+		for tcur[r]%8 != 0 {
+			sc.gaps = append(sc.gaps, tcur[r])
+			tcur[r] += 4
+		}
+		procAddr[pr] = tcur[r]
 		for _, si := range live {
-			instAddr[si] = tcur[r]
+			if si.ord >= 0 {
+				addrs[si.ord] = tcur[r]
+			}
 			tcur[r] += 4
 		}
 	}
@@ -166,12 +263,6 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 		make([]byte, tcur[0]-objfile.TextBase),
 		make([]byte, tcur[1]-objfile.SharedTextBase),
 	}
-	unop := axp.MustEncode(axp.Unop())
-	for r := 0; r < 2; r++ {
-		for i := uint64(0); i+4 <= uint64(len(texts[r])); i += 4 {
-			objfile.PutUint32(texts[r], i, unop)
-		}
-	}
 	putWord := func(addr uint64, w uint32) {
 		r := 0
 		if addr >= objfile.SharedTextBase {
@@ -179,22 +270,32 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 		}
 		objfile.PutUint32(texts[r], addr-textBases[r], w)
 	}
+	// Every text word belongs to exactly one live instruction except the
+	// alignment padding between procedures; the encode loop below writes
+	// the former, so only the recorded gaps need unops.
+	unop := axp.MustEncode(axp.Unop())
+	for _, a := range sc.gaps {
+		putWord(a, unop)
+	}
+	labelAddr := sc.labelAddr
 	for pi, pr := range pg.Procs {
 		gp := int64(pl.GPOf(pr))
 		gatIdx := pl.GPGroup(pr)
 		live := finals[pi]
-		labelAddr := make(map[int]uint64)
-		for _, si := range live {
-			for _, l := range si.Labels {
-				labelAddr[l] = instAddr[si]
+		labs := labsAll[pi]
+		base := procAddr[pr]
+		clear(labelAddr)
+		for i := range live {
+			for _, l := range labs[i] {
+				labelAddr[l] = base + 4*uint64(i)
 			}
 		}
-		for _, si := range live {
+		for idx, si := range live {
 			in := si.In
-			addr := instAddr[si]
+			addr := base + 4*uint64(idx)
 			switch {
 			case si.GPRel != nil:
-				d, err := gprelDisp(pl, si, gp)
+				d, err := gprelDisp(pl, si, gp, procAddr)
 				if err != nil {
 					return nil, fmt.Errorf("om: %s at %#x: %w", pr.Name, addr, err)
 				}
@@ -211,7 +312,7 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 				in.Disp = int32(d)
 			case si.GPD != nil && !in.IsNop():
 				if si.GPD.High {
-					anchor, err := gpdAnchor(pg, pl, pr, si, instAddr)
+					anchor, err := gpdAnchor(pr, si, addrs, procAddr)
 					if err != nil {
 						return nil, err
 					}
@@ -226,7 +327,7 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 				} else {
 					// Low half: recompute from the paired high.
 					hiInst := si.GPD.Partner
-					anchor, err := gpdAnchor(pg, pl, pr, hiInst, instAddr)
+					anchor, err := gpdAnchor(pr, hiInst, addrs, procAddr)
 					if err != nil {
 						return nil, err
 					}
@@ -238,7 +339,7 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 				}
 			}
 			if si.Call != nil && !si.Deleted {
-				target := pl.procAddr[si.Call.Target] + si.Call.EntryOffset
+				target := procAddr[si.Call.Target] + si.Call.EntryOffset
 				d, ok := axp.BranchDispTo(addr, target)
 				if !ok {
 					return nil, fmt.Errorf("om: %s: call at %#x cannot reach %s+%d",
@@ -264,11 +365,37 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 		}
 	}
 
-	// Data segments under the plan's placement, per region.
+	// Data segments under the plan's placement, per region. Only the
+	// initialized extent — GATs plus the placed sdata/data sections — is
+	// materialized; everything past it (bss, sbss, commons placed at the
+	// tail) becomes the segment's ZeroSize, which the loader zero-fills.
+	// On a warm relink this is most of the data region, so the saving is
+	// what keeps the resident pipeline's allocation rate flat.
 	dataBases := [2]uint64{objfile.DataBase, objfile.SharedDataBase}
+	dataInit := dataBases
+	for g, slots := range pl.gat.Slots {
+		r := 0
+		if pl.gat.GATShared[g] {
+			r = 1
+		}
+		if end := pl.gatStart[g] + uint64(len(slots))*8; end > dataInit[r] {
+			dataInit[r] = end
+		}
+	}
+	for m, obj := range p.Objects {
+		r := pl.regionOf(m)
+		for _, sec := range []objfile.SectionKind{objfile.SecSData, objfile.SecData} {
+			if end := pl.secBase[m][sec] + obj.Sections[sec].Size; end > dataInit[r] {
+				dataInit[r] = end
+			}
+		}
+	}
+	for r := 0; r < 2; r++ {
+		dataInit[r] = (dataInit[r] + 7) &^ 7
+	}
 	blobs := [2][]byte{
-		make([]byte, pl.dataEnd[0]-objfile.DataBase),
-		make([]byte, pl.dataEnd[1]-objfile.SharedDataBase),
+		make([]byte, dataInit[0]-objfile.DataBase),
+		make([]byte, dataInit[1]-objfile.SharedDataBase),
 	}
 	putQuad := func(addr uint64, v uint64) {
 		r := 0
@@ -277,7 +404,7 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 		}
 		objfile.PutUint64(blobs[r], addr-dataBases[r], v)
 	}
-	addrOfKey := func(k link.TargetKey) (uint64, error) { return pl.AddrOfKey(k) }
+	addrOfKey := func(k link.TargetKey) (uint64, error) { return pl.addrOfKeyAt(k, procAddr) }
 	for g, slots := range pl.gat.Slots {
 		for i, k := range slots {
 			a, err := addrOfKey(k)
@@ -309,7 +436,7 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 	found := false
 	for _, pr := range pg.Procs {
 		if pr.Name == p.EntryName && pr.Exported {
-			entryAddr = pl.procAddr[pr]
+			entryAddr = procAddr[pr]
 			found = true
 		}
 	}
@@ -320,18 +447,20 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 		Entry: entryAddr,
 		Segments: []objfile.Segment{
 			{Name: ".text", Addr: objfile.TextBase, Data: texts[0]},
-			{Name: ".data", Addr: objfile.DataBase, Data: blobs[0]},
+			{Name: ".data", Addr: objfile.DataBase, Data: blobs[0],
+				ZeroSize: pl.dataEnd[0] - dataInit[0]},
 		},
 	}
-	if len(texts[1]) > 0 || len(blobs[1]) > 0 {
+	if len(texts[1]) > 0 || pl.dataEnd[1] > objfile.SharedDataBase {
 		im.Segments = append(im.Segments,
 			objfile.Segment{Name: ".text.so", Addr: objfile.SharedTextBase, Data: texts[1]},
-			objfile.Segment{Name: ".data.so", Addr: objfile.SharedDataBase, Data: blobs[1]},
+			objfile.Segment{Name: ".data.so", Addr: objfile.SharedDataBase, Data: blobs[1],
+				ZeroSize: pl.dataEnd[1] - dataInit[1]},
 		)
 	}
 	for pi, pr := range pg.Procs {
 		im.Symbols = append(im.Symbols, objfile.ImageSymbol{
-			Name: pr.Name, Addr: pl.procAddr[pr],
+			Name: pr.Name, Addr: procAddr[pr],
 			Size: uint64(len(finals[pi])) * 4, Kind: objfile.SymProc,
 			GP: pl.GPOf(pr),
 		})
@@ -368,9 +497,9 @@ func Emit(pg *Prog, pl *Plan, sched bool) (*objfile.Image, error) {
 }
 
 // gprelDisp computes the final displacement of a GP-relative rewrite.
-func gprelDisp(pl *Plan, si *SInst, gp int64) (int32, error) {
+func gprelDisp(pl *Plan, si *SInst, gp int64, procAddr map[*Proc]uint64) (int32, error) {
 	g := si.GPRel
-	addr, err := pl.AddrOfKey(g.Key)
+	addr, err := pl.addrOfKeyAt(g.Key, procAddr)
 	if err != nil {
 		return 0, err
 	}
@@ -389,7 +518,7 @@ func gprelDisp(pl *Plan, si *SInst, gp int64) (int32, error) {
 		}
 		return int32(hi), nil
 	case GPRelUseLow:
-		haddr, err := pl.AddrOfKey(g.HighPart.GPRel.Key)
+		haddr, err := pl.addrOfKeyAt(g.HighPart.GPRel.Key, procAddr)
 		if err != nil {
 			return 0, err
 		}
@@ -406,15 +535,15 @@ func gprelDisp(pl *Plan, si *SInst, gp int64) (int32, error) {
 	return 0, fmt.Errorf("unknown GP-relative kind %d", g.Kind)
 }
 
-// gpdAnchor computes the address held in the base register of a GP pair.
-func gpdAnchor(pg *Prog, pl *Plan, pr *Proc, hi *SInst, instAddr map[*SInst]uint64) (uint64, error) {
+// gpdAnchor computes the address held in the base register of a GP pair,
+// reading the emission's ordinal-indexed address scratch.
+func gpdAnchor(pr *Proc, hi *SInst, addrs []uint64, procAddr map[*Proc]uint64) (uint64, error) {
 	if hi.GPD.Entry {
-		return pl.procAddr[pr], nil
+		return procAddr[pr], nil
 	}
 	call := hi.GPD.AfterCall
-	a, ok := instAddr[call]
-	if !ok {
+	if call == nil || call.ord < 0 || int(call.ord) >= len(addrs) || addrs[call.ord] == 0 {
 		return 0, fmt.Errorf("om: %s: GP reset anchored to a removed call", pr.Name)
 	}
-	return a + 4, nil
+	return addrs[call.ord] + 4, nil
 }

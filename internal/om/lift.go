@@ -53,6 +53,13 @@ type SInst struct {
 	PVLit *SInst
 	// Indirect marks a call through a procedure variable.
 	Indirect bool
+
+	// ord is the instruction's dense program-wide ordinal, assigned by
+	// Prog.renumber. Emit indexes its pooled address scratch with it, which
+	// keeps emission fully read-only on the program — the property that lets
+	// concurrent Runs replay one memoized snapshot without cloning it.
+	// Instructions Emit fabricates itself (alignment padding) carry -1.
+	ord int32
 }
 
 // LitInfo describes an address load: ldq rX, slot(gp).
@@ -172,11 +179,27 @@ type Prog struct {
 	Procs []*Proc
 	// procByDef finds the Proc for a (module, symbol) definition.
 	procByDef map[[2]int32]*Proc
-	// moduleGAT, assigned during planning, gives each module's GP group.
-	moduleGAT []int
+	// nOrd is the ordinal count assigned by the last renumber (the size of
+	// Emit's address scratch). 0 means the program was never renumbered.
+	nOrd int
 	// par bounds the goroutines used by per-procedure passes (see
 	// forEachProc); 0 or 1 means serial.
 	par int
+}
+
+// renumber assigns every instruction a dense program-wide ordinal. Run
+// calls it after the last phase that can add instructions and before the
+// program is published to the pass memo, so emission — including concurrent
+// replays of a shared memoized snapshot — only ever reads the ordinals.
+func (pg *Prog) renumber() {
+	n := int32(0)
+	for _, pr := range pg.Procs {
+		for _, si := range pr.Insts {
+			si.ord = n
+			n++
+		}
+	}
+	pg.nOrd = int(n)
 }
 
 // ProcFor resolves a target key to its procedure, if it names one.
@@ -350,9 +373,15 @@ func liftModule(p *link.Program, m int, obj *objfile.Object) (*liftedModule, err
 		pr := &Proc{Mod: m, Sym: s, Name: sym.Name, Exported: sym.Exported}
 		base := sym.Value
 		n := int((sym.End - sym.Value) / 4)
+		// One contiguous slab per procedure: emission walks the
+		// instructions of resident memoized forms on every warm relink,
+		// and the collector rescans them on every cycle, so locality and
+		// object count matter more than in a one-shot link.
 		pr.Insts = make([]*SInst, n)
+		backing := make([]SInst, n)
 		for i := 0; i < n; i++ {
-			pr.Insts[i] = &SInst{In: insts[int(base/4)+i], Target: -1}
+			backing[i] = SInst{In: insts[int(base/4)+i], Target: -1}
+			pr.Insts[i] = &backing[i]
 		}
 
 		// Pass 1: labels for intra-procedure branch targets.

@@ -20,6 +20,7 @@ type config struct {
 	trace       bool
 	metrics     *obs.Registry
 	profile     *profile.Profile
+	memo        *Memo
 }
 
 // Option configures a Run.
@@ -62,6 +63,15 @@ func WithTrace() Option { return func(c *config) { c.trace = true } }
 // om/emit) into the registry. A nil registry disables recording.
 func WithMetrics(m *obs.Registry) Option { return func(c *config) { c.metrics = m } }
 
+// WithMemo attaches a resident memo (NewMemo) to the Run: lifted symbolic
+// forms and per-procedure pass outcomes are reused across every Run sharing
+// the memo. The memo never changes output — a warm Run is byte-identical to
+// a cold one — and, like WithParallelism, it is an execution detail excluded
+// from a job's serialized identity. Traced and instrumentation runs bypass
+// the pass memo (journals and block tables must be recomputed) but still
+// reuse lifted forms.
+func WithMemo(m *Memo) Option { return func(c *config) { c.memo = m } }
+
 // WithProfile enables profile-guided code layout: after the optimization
 // passes, procedures are reordered by Pettis–Hansen call-graph chain
 // merging over the profile's edge weights (hot caller/callee pairs become
@@ -99,13 +109,50 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	if cfg.parallelism <= 0 {
 		cfg.parallelism = runtime.GOMAXPROCS(0)
 	}
+
+	// Fully warm path: when an untraced, uninstrumented Run's (program,
+	// options, profile) point has a complete per-procedure pass memo, skip
+	// decode, lift, and every analysis pass — clone the memoized transformed
+	// form, recompute the final plan, and emit.
+	var passKeys []string
+	var passCtx string
+	if cfg.memo != nil && !cfg.trace && !cfg.instrument {
+		if pctx, ok := passContext(p, &cfg); ok {
+			passCtx = pctx
+			passKeys = cfg.memo.passKeysFor(p, pctx)
+			if snap := cfg.memo.lookupPasses(passKeys, pctx); snap != nil {
+				if res, err := replayRun(ctx, snap, &cfg); err == nil {
+					return res, nil
+				}
+				// A failed replay falls through to the cold path, which
+				// reports any genuine error itself.
+			}
+		}
+	}
+
+	var (
+		pg         *Prog
+		le         *liftEntry
+		liftReplay bool
+		err        error
+	)
 	liftDone := obs.StartSpan(cfg.metrics.Timer("om/lift"))
-	pg, err := lift(ctx, p, cfg.parallelism)
+	if cfg.memo != nil {
+		pg, le, liftReplay, err = cfg.memo.liftFor(ctx, p, cfg.parallelism)
+	} else {
+		pg, err = lift(ctx, p, cfg.parallelism)
+	}
 	liftDone()
 	if err != nil {
 		return nil, err
 	}
 	pg.par = cfg.parallelism
+	if liftReplay {
+		cfg.metrics.Counter("om/lift/replayed").Add(uint64(len(pg.Procs)))
+	} else {
+		cfg.metrics.Counter("om/decode/modules").Add(uint64(len(p.Objects)))
+		cfg.metrics.Counter("om/lift/procs").Add(uint64(len(pg.Procs)))
+	}
 
 	if cfg.instrument {
 		blocks, err := Instrument(pg)
@@ -116,6 +163,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		if err != nil {
 			return nil, err
 		}
+		pg.renumber()
 		im, err := Emit(pg, pl, false)
 		if err != nil {
 			return nil, err
@@ -124,16 +172,22 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	}
 
 	stats := &Stats{}
-	collectBefore(pg, stats)
-
-	basePlan, err := link.AssignGATs(p, nil)
-	if err != nil {
-		return nil, err
+	if le != nil {
+		// The before-statistics depend only on program content; the lifted-
+		// form cache computed them once for this entry.
+		*stats = le.before
+	} else {
+		collectBefore(pg, stats)
+		basePlan, err := link.AssignGATs(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, slots := range basePlan.Slots {
+			stats.GATBytesBefore += uint64(len(slots)) * 8
+		}
 	}
-	for _, slots := range basePlan.Slots {
-		stats.GATBytesBefore += uint64(len(slots)) * 8
-	}
 
+	cfg.metrics.Counter("om/passes/procs").Add(uint64(len(pg.Procs)))
 	passDone := obs.StartSpan(cfg.metrics.Timer("om/passes"))
 	var pl *Plan
 	switch cfg.level {
@@ -167,6 +221,19 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		}
 	}
 	collectAfter(pg, pl, stats)
+
+	// Renumber before publication and emission: the ordinals index Emit's
+	// address scratch, and once the program reaches the pass memo concurrent
+	// replays read them, so no later phase may write to the program.
+	pg.renumber()
+	if passKeys != nil {
+		// The program and plan themselves are the snapshot — emission is
+		// read-only on both, so the pass-fixpoint form needs no defensive
+		// clone and replays skip even the layout computation.
+		cfg.memo.storePasses(passKeys, &passSnapshot{
+			ctx: passCtx, prog: pg, pl: pl, stats: *stats,
+		})
+	}
 
 	var journal *obs.JournalDoc
 	if cfg.trace {

@@ -18,9 +18,11 @@ type planOpts struct {
 }
 
 // Plan is a concrete memory layout for the current symbolic program. Data
-// addresses are final; text addresses are estimates that emission refines
-// (alignment padding may shift procedures), which is safe because no
-// GP-relative displacement depends on a text address.
+// addresses are final; text addresses are estimates that emission
+// recomputes into its own scratch (alignment padding may shift
+// procedures), which is safe because no GP-relative displacement depends
+// on a text address. A computed plan is read-only thereafter, so one plan
+// can serve the pass memo and any number of concurrent replay emissions.
 type Plan struct {
 	pg   *Prog
 	opts planOpts
@@ -82,7 +84,6 @@ func computePlan(pg *Prog, opts planOpts) (*Plan, error) {
 		return nil, err
 	}
 	pl.gat = gat
-	pg.moduleGAT = gat.ModuleGAT
 
 	// Text estimate: procedures in order, each aligned to a quadword,
 	// placed per region.
@@ -91,7 +92,13 @@ func computePlan(pg *Prog, opts planOpts) (*Plan, error) {
 		r := pl.regionOf(pr.Mod)
 		tcur[r] = (tcur[r] + 7) &^ 7
 		pl.procAddr[pr] = tcur[r]
-		tcur[r] += uint64(len(pr.Live())) * 4
+		n := 0
+		for _, si := range pr.Insts {
+			if !si.Deleted {
+				n++
+			}
+		}
+		tcur[r] += uint64(n) * 4
 	}
 
 	// Data placement, per region.
@@ -168,8 +175,17 @@ func (pl *Plan) GPGroup(pr *Proc) int { return pl.gat.ModuleGAT[pr.Mod] }
 func (pl *Plan) SameGAT(a, b *Proc) bool { return pl.GPGroup(a) == pl.GPGroup(b) }
 
 // AddrOfKey returns the final address of a resolved target plus addend.
-// Text addresses are estimates during transformation; emission recomputes.
+// Text addresses are estimates during transformation; emission recomputes
+// them into its own scratch (addrOfKeyAt), leaving the plan untouched.
 func (pl *Plan) AddrOfKey(k link.TargetKey) (uint64, error) {
+	return pl.addrOfKeyAt(k, pl.procAddr)
+}
+
+// addrOfKeyAt is AddrOfKey with procedure addresses read from the given
+// map — emission passes its finalized addresses, everything else the plan's
+// estimates. The plan itself is never written, so one plan serves
+// concurrent emissions.
+func (pl *Plan) addrOfKeyAt(k link.TargetKey, procAddr map[*Proc]uint64) (uint64, error) {
 	if k.Kind == link.TCommon {
 		a, ok := pl.commonAddr[k.Name]
 		if !ok {
@@ -184,7 +200,7 @@ func (pl *Plan) AddrOfKey(k link.TargetKey) (uint64, error) {
 		if pr == nil {
 			return 0, fmt.Errorf("om: no lifted procedure for %s", sym.Name)
 		}
-		return pl.procAddr[pr] + uint64(k.Addend), nil
+		return procAddr[pr] + uint64(k.Addend), nil
 	case objfile.SymData:
 		return pl.secBase[k.Mod][sym.Section] + sym.Value + uint64(k.Addend), nil
 	}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package om
+
+const raceEnabled = false

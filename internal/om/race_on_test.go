@@ -1,0 +1,8 @@
+//go:build race
+
+package om
+
+// raceEnabled reports that this binary was built with the race detector,
+// which deliberately randomizes sync.Pool reuse — allocation-count
+// assertions are meaningless under it.
+const raceEnabled = true

@@ -133,13 +133,28 @@ func (c *Client) Status(ctx context.Context, id string) (*omd.JobStatus, error) 
 	return &st, nil
 }
 
-// Wait polls a job until it reaches a terminal state.
-func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*omd.JobStatus, error) {
-	if interval <= 0 {
-		interval = 50 * time.Millisecond
+// Wait polls a job until it reaches a terminal state. The poll interval
+// starts at `initial` (<= 0 selects 20ms) and doubles after every inactive
+// poll up to 32× the start, so short jobs resolve quickly while long jobs
+// don't hammer the server. Each sleep is jittered ±25% — derived from the
+// job id so the schedule is reproducible — which spreads out the polls of
+// many waiters that submitted in the same burst.
+func (c *Client) Wait(ctx context.Context, id string, initial time.Duration) (*omd.JobStatus, error) {
+	if initial <= 0 {
+		initial = 20 * time.Millisecond
 	}
-	t := time.NewTicker(interval)
-	defer t.Stop()
+	max := 32 * initial
+	// Cheap deterministic jitter source: hash the job id once, then step a
+	// xorshift sequence per poll. No global RNG, no time-based seeding.
+	seed := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		seed ^= uint64(id[i])
+		seed *= 1099511628211
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	interval := initial
 	for {
 		st, err := c.Status(ctx, id)
 		if err != nil {
@@ -148,10 +163,21 @@ func (c *Client) Wait(ctx context.Context, id string, interval time.Duration) (*
 		if st.State == omd.JobDone || st.State == omd.JobFailed {
 			return st, nil
 		}
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		// delay = interval ± 25%.
+		jitter := time.Duration(seed % uint64(interval/2))
+		delay := interval*3/4 + jitter
+		t := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():
+			t.Stop()
 			return nil, ctx.Err()
 		case <-t.C:
+		}
+		if interval *= 2; interval > max {
+			interval = max
 		}
 	}
 }

@@ -24,3 +24,18 @@ func ResolveKey(js *JobSpec) (string, error) {
 	}
 	return rs.key, nil
 }
+
+// SubmitProbe resolves the spec and admits it without waiting, reporting
+// whether it was served from the completed-result memo. It exposes the warm
+// submit path directly — no HTTP — so tests can pin its allocation cost.
+func (s *Server) SubmitProbe(js *JobSpec) (bool, error) {
+	rs, err := js.resolve()
+	if err != nil {
+		return false, err
+	}
+	rec, _, err := s.submit(rs, false)
+	if err != nil {
+		return false, err
+	}
+	return rec.memoHit, nil
+}

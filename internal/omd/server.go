@@ -103,6 +103,14 @@ type Server struct {
 	cache *buildcache.Cache
 	log   Logger
 
+	// The resident warm-path stores, shared by every job the server runs:
+	// progCache holds merged decoded programs keyed on program inputs;
+	// omMemo holds OM's lifted forms and per-procedure pass outcomes. Both
+	// are content-addressed, so no eviction or invalidation coordination
+	// with jobs is needed, and both report stage/* counters to /metrics.
+	progCache *buildcache.ProgramCache
+	omMemo    *om.Memo
+
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	queue      chan *flight
@@ -151,6 +159,8 @@ func NewServer(cfg Config) *Server {
 		reg:        reg,
 		cache:      cfg.Cache,
 		log:        cfg.Logger,
+		progCache:  buildcache.NewProgramCache(0, reg),
+		omMemo:     om.NewMemo(reg),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		queue:      make(chan *flight, cfg.QueueDepth),
@@ -335,33 +345,17 @@ func (s *Server) memoize(key string, res *result) {
 	}
 }
 
-// execute runs one link job end to end: resolve objects (compiling a
-// benchmark's sources through the build cache), merge, om.Run under the
-// job's options, optionally simulate, and serialize the image. A traced
+// execute runs one link job end to end, warmest path first: a cached image
+// needs nothing resolved at all; a resident decoded program skips compile,
+// upload decode, and merge; and om.Run itself runs against the server's
+// memo, so an options-only relink of a resident program re-lifts and
+// re-analyzes nothing that the option change did not invalidate. A traced
 // job bypasses the image cache — a journal cannot be reproduced from a
 // cached image.
 func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	objs := rs.objs
-	if rs.spec.Benchmark != "" {
-		compileDone := obs.StartSpan(s.reg.Timer("omd/compile"))
-		var err error
-		objs, err = s.compileBenchmark(rs)
-		compileDone()
-		if err != nil {
-			return nil, err
-		}
-	}
-	if !rs.spec.NoStdlib {
-		lib, err := s.libObjects()
-		if err != nil {
-			return nil, err
-		}
-		objs = append(append([]*objfile.Object(nil), objs...), lib...)
-	}
-
 	if !rs.traced {
 		if im, ok := s.cache.GetImage(rs.key); ok {
 			res := &result{imageCacheHit: true}
@@ -378,13 +372,36 @@ func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
 		}
 	}
 
-	linkDone := obs.StartSpan(s.reg.Timer("omd/link"))
-	p, err := link.Merge(objs)
-	if err != nil {
-		linkDone()
-		return nil, err
+	p, hit := s.progCache.Get(rs.progKey)
+	if !hit {
+		var objs []*objfile.Object
+		var err error
+		if rs.spec.Benchmark != "" {
+			compileDone := obs.StartSpan(s.reg.Timer("omd/compile"))
+			objs, err = s.compileBenchmark(rs)
+			compileDone()
+		} else {
+			objs, err = rs.decodeObjects()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if !rs.spec.NoStdlib {
+			lib, err := s.libObjects()
+			if err != nil {
+				return nil, err
+			}
+			objs = append(append([]*objfile.Object(nil), objs...), lib...)
+		}
+		if p, err = link.Merge(objs); err != nil {
+			return nil, err
+		}
+		s.progCache.Put(rs.progKey, p)
 	}
-	opts := append(append([]om.Option(nil), rs.opts...), om.WithMetrics(s.reg))
+
+	linkDone := obs.StartSpan(s.reg.Timer("omd/link"))
+	opts := append(append([]om.Option(nil), rs.opts...),
+		om.WithMetrics(s.reg), om.WithMemo(s.omMemo))
 	if rs.prof != nil {
 		opts = append(opts, om.WithProfile(rs.prof))
 	}

@@ -67,7 +67,11 @@ type JobSpec struct {
 }
 
 // resolved is a validated JobSpec with every serialized field decoded and
-// the coalescing key computed.
+// the coalescing key computed. Uploaded object modules are deliberately NOT
+// decoded here: the warm path must answer a repeat submission from the
+// resident decoded-program cache without parsing a single module, so the
+// keys hash the raw bytes and decoding happens on the execution cold path
+// (where a malformed module fails the job rather than the submission).
 type resolved struct {
 	spec     JobSpec
 	canonOpt []byte      // canonical om-options/v1 bytes
@@ -76,8 +80,11 @@ type resolved struct {
 	prof     *profile.Profile
 	bench    benchspec.Benchmark // benchmark jobs
 	eachMode bool                // compile-each (benchmark jobs)
-	objs     []*objfile.Object   // uploaded jobs, decoded
 	key      string
+	// progKey identifies the merged program independent of options: the
+	// program inputs (raw uploaded bytes, or benchmark sources + build
+	// mode) plus stdlib inclusion. It keys the decoded-program cache.
+	progKey string
 }
 
 // Resolve validates the spec, decodes its serialized parts, and derives the
@@ -153,11 +160,9 @@ func (js *JobSpec) resolve() (*resolved, error) {
 			return nil, fmt.Errorf("omd: build_mode applies only to benchmark jobs")
 		}
 		for i, data := range js.Objects {
-			obj, err := objfile.Read(bytes.NewReader(data))
-			if err != nil {
-				return nil, fmt.Errorf("omd: object %d: %w", i, err)
+			if len(data) == 0 {
+				return nil, fmt.Errorf("omd: object %d is empty", i)
 			}
-			r.objs = append(r.objs, obj)
 		}
 	}
 	if err := r.computeKey(); err != nil {
@@ -178,12 +183,11 @@ func (r *resolved) computeKey() error {
 	if r.prof != nil {
 		profHash = r.prof.Hash()
 	}
-	if r.objs != nil {
-		key, err := buildcache.ImageKey(r.objs, r.variant(), profHash)
-		if err != nil {
-			return err
-		}
-		r.key = key
+	if r.spec.Benchmark == "" {
+		// The raw uploaded bytes are the objfile serialization, so this key
+		// equals the decoded-object ImageKey without parsing anything.
+		r.key = buildcache.RawImageKey(r.spec.Objects, r.variant(), profHash)
+		r.progKey = rawProgramKey(r.spec.Objects, r.spec.NoStdlib)
 		return nil
 	}
 	// Benchmark jobs hash the sources themselves, not just the name, so
@@ -206,7 +210,63 @@ func (r *resolved) computeKey() error {
 	writeStr(r.variant())
 	writeStr(profHash)
 	r.key = fmt.Sprintf("%x", h.Sum(nil))
+
+	hp := sha256.New()
+	writeStrTo := func(h interface{ Write([]byte) (int, error) }, s string) {
+		var n [8]byte
+		binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	writeStrTo(hp, SpecVersion+"/program/bench")
+	writeStrTo(hp, r.bench.Name)
+	writeStrTo(hp, fmt.Sprint(r.eachMode))
+	for _, m := range r.bench.Modules {
+		writeStrTo(hp, m.Name)
+		writeStrTo(hp, m.Text)
+	}
+	writeStrTo(hp, fmt.Sprint(r.spec.NoStdlib))
+	r.progKey = fmt.Sprintf("%x", hp.Sum(nil))
 	return nil
+}
+
+// rawProgramKey is the options-independent program identity of an uploaded
+// job: the raw module bytes plus stdlib inclusion. The runtime library is
+// resident per server process, so its content needs no hashing here.
+func rawProgramKey(raw [][]byte, noStdlib bool) string {
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(raw)))
+	h.Write(n[:])
+	for _, data := range raw {
+		binary.LittleEndian.PutUint64(n[:], uint64(len(data)))
+		h.Write(n[:])
+		h.Write(data)
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(len(SpecVersion)))
+	h.Write(n[:])
+	h.Write([]byte(SpecVersion))
+	if noStdlib {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// decodeObjects parses the uploaded modules. Only the execution cold path
+// calls it: a warm job is answered from the decoded-program cache without
+// touching the bytes again.
+func (r *resolved) decodeObjects() ([]*objfile.Object, error) {
+	objs := make([]*objfile.Object, 0, len(r.spec.Objects))
+	for i, data := range r.spec.Objects {
+		obj, err := objfile.Read(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("omd: object %d: %w", i, err)
+		}
+		objs = append(objs, obj)
+	}
+	return objs, nil
 }
 
 // deadline returns the job's deadline budget under the server cap.
