@@ -14,11 +14,13 @@ test:
 	$(GO) test ./...
 
 # The parallel harness, OM's concurrent analysis, the omd service
-# (coalescing, queue, drain), and the warm-path caches (stage stores,
-# resident program cache, shared pass-memo snapshots) must stay race-clean.
+# (coalescing, queue, drain), the warm-path caches (stage stores,
+# resident program cache, shared pass-memo snapshots), and the telemetry
+# layer (concurrent span recording, registry snapshots, the flight
+# recorder ring) must stay race-clean.
 race:
 	$(GO) test -race ./internal/harness ./internal/om ./internal/omd \
-		./internal/link ./internal/buildcache
+		./internal/link ./internal/buildcache ./internal/obs
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -5,16 +5,23 @@
 //	omctl submit [-server url] [-bench name | obj.o ...] [-level none|simple|full]
 //	             [-schedule] [-trace] [-nostdlib] [-profile file] [-sim]
 //	             [-buildmode compile-each|compile-all] [-timeout dur]
-//	             [-wait] [-o image]
+//	             [-traceid id] [-wait] [-o image]
 //	omctl status [-server url] jobID
 //	omctl wait   [-server url] jobID
 //	omctl fetch  [-server url] -o image jobID
 //	omctl jobs   [-server url]
 //	omctl metrics [-server url] [-json]
+//	omctl trace  [-server url] [-json] jobID
+//	omctl top    [-server url] [-n jobs]
 //
 // metrics prints a human-readable summary of the server's queue, build
 // cache, warm-path stage stores (resident program, lift, pass memo) with
-// hit rates, and phase timers; -json prints the raw snapshot instead.
+// hit rates, and phase timers with p50/p90/p99 latencies estimated from the
+// histogram buckets; -json prints the raw snapshot instead.
+// trace renders a job's span tree — one line per span with duration and
+// percentage of the job total — straight from GET /jobs/{id}/trace.
+// top is the operator's one-glance view: queue occupancy, worker
+// utilization, cache hit rates, and the most recent job latencies.
 // wait polls with jittered exponential backoff (20ms doubling to 640ms).
 //
 // The server defaults to $OMD_SERVER, then http://localhost:7333. submit
@@ -33,6 +40,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/om"
 	"repro/internal/omd"
 	"repro/internal/omd/client"
@@ -61,7 +69,7 @@ func printJSON(v any) {
 
 func main() {
 	if len(os.Args) < 2 {
-		fatalf("usage: omctl submit|status|wait|fetch|jobs|metrics ... (see go doc)")
+		fatalf("usage: omctl submit|status|wait|fetch|jobs|metrics|trace|top ... (see go doc)")
 	}
 	ctx := context.Background()
 	switch cmd := os.Args[1]; cmd {
@@ -128,9 +136,115 @@ func main() {
 		} else {
 			renderMetrics(snap)
 		}
+	case "trace":
+		fs := flag.NewFlagSet("trace", flag.ExitOnError)
+		server := serverURL(fs)
+		raw := fs.Bool("json", false, "print the raw om-trace/v1 JSON")
+		fs.Parse(os.Args[2:])
+		if fs.NArg() != 1 {
+			fatalf("usage: omctl trace [-server url] [-json] jobID")
+		}
+		doc, err := client.New(*server, nil).Trace(ctx, fs.Arg(0))
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *raw {
+			printJSON(doc)
+		} else {
+			fmt.Print(doc.Render())
+		}
+	case "top":
+		fs := flag.NewFlagSet("top", flag.ExitOnError)
+		server := serverURL(fs)
+		recent := fs.Int("n", 8, "recent jobs to show")
+		fs.Parse(os.Args[2:])
+		c := client.New(*server, nil)
+		snap, err := c.Metrics(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		jobs, err := c.List(ctx)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		renderTop(snap, jobs, *recent)
 	default:
-		fatalf("unknown command %q (want submit|status|wait|fetch|jobs|metrics)", cmd)
+		fatalf("unknown command %q (want submit|status|wait|fetch|jobs|metrics|trace|top)", cmd)
 	}
+}
+
+// renderTop is the operator's one-glance dashboard: queue and pool
+// occupancy, worker utilization over the server's lifetime, every cache's
+// hit rate, job latency quantiles, and the tail of the job log.
+func renderTop(snap *omd.MetricsSnapshot, jobs []omd.JobStatus, recent int) {
+	q := snap.Queue
+	state := "accepting"
+	if q.Draining {
+		state = "draining"
+	}
+	uptime := time.Duration(q.UptimeMS) * time.Millisecond
+	fmt.Printf("omd up %v, %s\n", uptime.Round(time.Second), state)
+	fmt.Printf("queue: %d/%d queued, %d/%d workers busy\n", q.Depth, q.Capacity, q.Running, q.Workers)
+
+	// Utilization: total worker-seconds spent executing over lifetime
+	// worker-seconds available.
+	if jt := timerFor(snap, "omd/job"); jt != nil && uptime > 0 && q.Workers > 0 {
+		util := jt.Sum.Seconds() / (uptime.Seconds() * float64(q.Workers))
+		fmt.Printf("utilization: %.1f%% (%d jobs executed, p50 %v  p90 %v  p99 %v)\n",
+			100*util, jt.Count,
+			jt.Quantile(0.50).Round(time.Microsecond),
+			jt.Quantile(0.90).Round(time.Microsecond),
+			jt.Quantile(0.99).Round(time.Microsecond))
+	}
+
+	submitted := snap.Counter("omd/submitted")
+	if submitted > 0 {
+		fmt.Printf("admissions: %d submitted, %d executed, %d coalesced, %d memo hits\n",
+			submitted, snap.Counter("omd/jobs-executed"),
+			snap.Counter("omd/coalesce-hits"), snap.Counter("omd/memo-hits"))
+	}
+	c := snap.Cache
+	fmt.Printf("object cache: %s   image cache: %s\n",
+		rate(c.Hits, c.Misses), rate(c.ImageHits, c.ImageMisses))
+	for _, name := range []string{"program", "lift", "pass"} {
+		hits, misses := snap.Counter("stage/"+name+"/hits"), snap.Counter("stage/"+name+"/misses")
+		if hits+misses > 0 {
+			fmt.Printf("stage %-8s %s\n", name+":", rate(hits, misses))
+		}
+	}
+
+	if recent > 0 && len(jobs) > 0 {
+		fmt.Printf("recent jobs:\n")
+		if len(jobs) > recent {
+			jobs = jobs[len(jobs)-recent:]
+		}
+		for i := len(jobs) - 1; i >= 0; i-- {
+			j := jobs[i]
+			flags := ""
+			if j.Coalesced {
+				flags += " coalesced"
+			}
+			if j.MemoHit {
+				flags += " memo-hit"
+			}
+			if j.ImageCacheHit {
+				flags += " image-cache"
+			}
+			fmt.Printf("  %-6s %-7s wait %-10v exec %-10v trace %s%s\n",
+				j.ID, j.State, j.QueueWait.Round(time.Microsecond),
+				j.Exec.Round(time.Microsecond), j.TraceID, flags)
+		}
+	}
+}
+
+// timerFor returns a named timer's stats from the snapshot, nil if absent.
+func timerFor(snap *omd.MetricsSnapshot, name string) *obs.TimerStats {
+	for _, e := range snap.Metrics {
+		if e.Name == name && e.Kind == "timer" && e.Timings != nil && e.Timings.Count > 0 {
+			return e.Timings
+		}
+	}
+	return nil
 }
 
 // renderMetrics prints the snapshot for humans: queue and pool state, the
@@ -177,8 +291,13 @@ func renderMetrics(snap *omd.MetricsSnapshot) {
 	for _, e := range snap.Metrics {
 		if e.Kind == "timer" && e.Timings != nil && e.Timings.Count > 0 {
 			t := e.Timings
-			fmt.Printf("timer %-14s %4d × avg %v (total %v)\n",
-				e.Name+":", t.Count, (t.Sum / time.Duration(t.Count)).Round(time.Microsecond), t.Sum.Round(time.Millisecond))
+			fmt.Printf("timer %-14s %4d × avg %v  p50 %v  p90 %v  p99 %v (total %v)\n",
+				e.Name+":", t.Count,
+				(t.Sum / time.Duration(t.Count)).Round(time.Microsecond),
+				t.Quantile(0.50).Round(time.Microsecond),
+				t.Quantile(0.90).Round(time.Microsecond),
+				t.Quantile(0.99).Round(time.Microsecond),
+				t.Sum.Round(time.Millisecond))
 		}
 	}
 }
@@ -204,6 +323,7 @@ func cmdSubmit(ctx context.Context, args []string) {
 	profPath := fs.String("profile", "", "om-profile/v1 file for profile-guided layout")
 	simulate := fs.Bool("sim", false, "simulate the linked image and report dynamic stats")
 	timeout := fs.Duration("timeout", 0, "per-job deadline override (0 = server default)")
+	traceID := fs.String("traceid", "", "correlate the job under this trace id (Om-Trace-Id)")
 	wait := fs.Bool("wait", false, "block until the job finishes")
 	out := fs.String("o", "", "with -wait: download the linked image here")
 	fs.Parse(args)
@@ -253,7 +373,9 @@ func cmdSubmit(ctx context.Context, args []string) {
 
 	c := client.New(*server, nil)
 	var st *omd.JobStatus
-	if *wait {
+	if *traceID != "" {
+		st, err = c.SubmitTraced(ctx, spec, *traceID, *wait)
+	} else if *wait {
 		st, err = c.SubmitWait(ctx, spec)
 	} else {
 		st, err = c.Submit(ctx, spec)

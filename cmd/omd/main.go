@@ -6,8 +6,13 @@
 //
 // Usage:
 //
-//	omd [-addr :7333] [-j N] [-queue N] [-timeout 5m] [-cache dir|off] [-v]
+//	omd [-addr :7333] [-j N] [-queue N] [-timeout 5m] [-cache dir|off]
+//	    [-slow dur] [-flights N] [-v]
 //	omd -loadsmoke [-smoke-clients N]
+//
+// Every job gets a span-tree trace (GET /jobs/{id}/trace; recent completed
+// traces at GET /debug/flights), structured logs correlate by trace id, and
+// -slow logs the full span tree of any job slower than the threshold.
 //
 // SIGINT/SIGTERM drains gracefully: admissions stop (503), queued and
 // running jobs finish, then the process exits; a second signal (or the
@@ -16,7 +21,8 @@
 // -loadsmoke is the self-test mode used by `make omd-smoke`: it starts an
 // in-process server, fires many concurrent identical submissions at it, and
 // exits nonzero unless the batch collapsed to exactly one execution with
-// every client receiving identical bytes.
+// every client receiving identical bytes and the executed job's trace
+// carrying every lifecycle span.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -53,19 +60,28 @@ func main() {
 	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget before in-flight jobs are canceled")
 	cacheDir := flag.String("cache", os.Getenv("OMD_CACHE"),
 		"build cache directory ('' = in-memory only, 'off' = disabled; default $OMD_CACHE)")
+	slow := flag.Duration("slow", 30*time.Second, "log the full span tree of jobs slower than this (0 = never)")
+	flights := flag.Int("flights", 0, "completed traces retained for /debug/flights (0 = default 128)")
 	verbose := flag.Bool("v", false, "log job progress to stderr")
 	loadSmoke := flag.Bool("loadsmoke", false, "run the coalescing load self-test and exit")
 	smokeClients := flag.Int("smoke-clients", 32, "with -loadsmoke: concurrent identical submissions")
 	flag.Parse()
 
 	cfg := omd.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		JobTimeout: *timeout,
-		Metrics:    obs.NewRegistry(),
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		JobTimeout:         *timeout,
+		Metrics:            obs.NewRegistry(),
+		SlowJob:            *slow,
+		FlightRecorderSize: *flights,
 	}
 	if *verbose || *loadSmoke {
 		cfg.Logger = stderrLogger{}
+		level := slog.LevelInfo
+		if *verbose {
+			level = slog.LevelDebug
+		}
+		cfg.Slog = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	}
 	if *cacheDir != "off" {
 		cache, err := buildcache.New(*cacheDir)
@@ -172,7 +188,65 @@ func runLoadSmoke(srv *omd.Server, n int) error {
 	if got := executed + coalesced; got != uint64(n) {
 		return fmt.Errorf("accounting: executed+coalesced+memo = %d, want %d", got, n)
 	}
+	if err := checkExecutedTrace(ctx, c); err != nil {
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "omd: loadsmoke: %d clients -> 1 execution (%d coalesced/memo) in %v, image %d bytes\n",
 		n, coalesced, time.Since(start), len(images[0]))
+	return nil
+}
+
+// checkExecutedTrace finds the one job that actually executed and verifies
+// its span tree is complete: every lifecycle phase present, none with a
+// negative duration, and the substantial phases with real time in them.
+func checkExecutedTrace(ctx context.Context, c *client.Client) error {
+	jobs, err := c.List(ctx)
+	if err != nil {
+		return err
+	}
+	var lead *omd.JobStatus
+	for i := range jobs {
+		if !jobs[i].Coalesced && !jobs[i].MemoHit {
+			lead = &jobs[i]
+			break
+		}
+	}
+	if lead == nil {
+		return fmt.Errorf("trace check: no executed (non-coalesced, non-memo) job found among %d", len(jobs))
+	}
+	doc, err := c.Trace(ctx, lead.ID)
+	if err != nil {
+		return fmt.Errorf("trace check: fetch %s: %w", lead.ID, err)
+	}
+	// Presence for every lifecycle phase; positive duration for the phases
+	// that do real work (cache lookups can legitimately round to zero).
+	present := []string{
+		"admission", "queue-wait", "execute",
+		"program-cache", "compile", "merge",
+		"om", "om/lift", "om/passes", "om/emit",
+	}
+	positive := map[string]bool{
+		"execute": true, "compile": true, "om": true,
+		"om/lift": true, "om/passes": true, "om/emit": true,
+	}
+	for _, phase := range present {
+		sp := doc.Find(phase)
+		if sp == nil {
+			return fmt.Errorf("trace check: job %s trace lacks span %q:\n%s", lead.ID, phase, doc.Render())
+		}
+		if sp.Duration < 0 || (positive[phase] && sp.Duration == 0) {
+			return fmt.Errorf("trace check: span %q duration %v:\n%s", phase, sp.Duration, doc.Render())
+		}
+	}
+	var sum time.Duration
+	for _, child := range doc.Root.Children {
+		sum += child.Duration
+	}
+	if doc.Root.Duration <= 0 || doc.Root.Duration < sum {
+		return fmt.Errorf("trace check: root %v does not cover children (sum %v):\n%s",
+			doc.Root.Duration, sum, doc.Render())
+	}
+	fmt.Fprintf(os.Stderr, "omd: loadsmoke: trace %s complete (%d lifecycle spans, root %v)\n",
+		doc.TraceID, len(present), doc.Root.Duration.Round(time.Millisecond))
 	return nil
 }

@@ -144,6 +144,12 @@ type Runner struct {
 	// Trace collects a decision journal for every OM-linked matrix cell
 	// (Measurement.Journal).
 	Trace bool
+	// Span, when non-nil, receives one child span per pipeline stage the
+	// runner executes (harness/compile, harness/link with the om phases
+	// nested inside, harness/sim), annotated with the benchmark and cell so
+	// a whole matrix run renders as one trace. Nil disables span recording
+	// at zero cost.
+	Span *obs.Span
 
 	libOnce sync.Once
 	lib     []*objfile.Object
@@ -201,6 +207,12 @@ func WithMetrics(m *obs.Registry) RunnerOption {
 // (Measurement.Journal).
 func WithTrace(on bool) RunnerOption {
 	return func(r *Runner) { r.Trace = on }
+}
+
+// WithSpan nests per-stage child spans under sp (see Runner.Span); nil
+// disables span recording (the default).
+func WithSpan(sp *obs.Span) RunnerOption {
+	return func(r *Runner) { r.Span = sp }
 }
 
 // New builds a runner with the default timing model, then applies the
@@ -314,6 +326,10 @@ func firstError(errs []error) error {
 // compile produces the user objects for the given mode, timing the step.
 // With a cache configured, a hit costs a hash and a decode, no compile.
 func (r *Runner) compile(b spec.Benchmark, mode BuildMode) ([]*objfile.Object, time.Duration, error) {
+	sp := r.Span.Child("harness/compile")
+	sp.SetAttr("bench", b.Name)
+	sp.SetAttr("mode", mode.String())
+	defer sp.End()
 	start := time.Now()
 	var objs []*objfile.Object
 	if mode == CompileEach {
@@ -344,6 +360,9 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 		return nil, nil, nil, 0, err
 	}
 	all := append(append([]*objfile.Object(nil), objs...), lib...)
+	sp := r.Span.Child("harness/link")
+	sp.SetAttr("mode", mode.String())
+	defer sp.End()
 	start := time.Now()
 	defer func() { r.Metrics.Timer("harness/link").Observe(time.Since(start)) }()
 	switch mode {
@@ -351,7 +370,7 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 		im, err := link.Link(all)
 		return im, nil, nil, time.Since(start), err
 	default:
-		opts := []om.Option{om.WithMetrics(r.Metrics)}
+		opts := []om.Option{om.WithMetrics(r.Metrics), om.WithSpan(sp)}
 		if r.Memo != nil {
 			opts = append(opts, om.WithMemo(r.Memo))
 		}
@@ -408,9 +427,12 @@ func (r *Runner) measureCell(ctx context.Context, b spec.Benchmark, v Variant, o
 	if err != nil {
 		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
 	}
+	simSpan := r.Span.Child("harness/sim")
+	simSpan.SetAttr("bench", b.Name)
 	simDone := obs.StartSpan(r.Metrics.Timer("harness/sim"))
 	run, err := sim.RunContext(ctx, im, r.SimConfig)
 	simDone()
+	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
 	}

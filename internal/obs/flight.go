@@ -1,0 +1,91 @@
+package obs
+
+import "sync"
+
+// FlightRecorder is a fixed-size ring of completed traces: the service
+// records every finished job's span tree here, and operators query the
+// recent ones (GET /debug/flights) to see where time went without having
+// arranged anything in advance — the "flight recorder" of the black-box
+// kind. When the ring is full the oldest trace is overwritten.
+type FlightRecorder struct {
+	mu    sync.Mutex
+	ring  []*TraceDoc
+	next  int    // ring slot the next Record writes
+	total uint64 // traces ever recorded
+}
+
+// NewFlightRecorder builds a recorder holding the last size traces
+// (<= 0 selects 128).
+func NewFlightRecorder(size int) *FlightRecorder {
+	if size <= 0 {
+		size = 128
+	}
+	return &FlightRecorder{ring: make([]*TraceDoc, size)}
+}
+
+// Record adds a completed trace, overwriting the oldest entry when full.
+// Safe on a nil receiver and with a nil doc (both no-ops).
+func (f *FlightRecorder) Record(d *TraceDoc) {
+	if f == nil || d == nil {
+		return
+	}
+	f.mu.Lock()
+	f.ring[f.next] = d
+	f.next = (f.next + 1) % len(f.ring)
+	f.total++
+	f.mu.Unlock()
+}
+
+// Recent returns up to n recorded traces, newest first (n <= 0 selects all
+// retained). The slice is fresh; the docs are shared and read-only.
+func (f *FlightRecorder) Recent(n int) []*TraceDoc {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	size := len(f.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	var out []*TraceDoc
+	for i := 1; i <= size && len(out) < n; i++ {
+		d := f.ring[(f.next-i+size)%size]
+		if d == nil {
+			break
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// Get returns the retained trace with the given id (nil when evicted or
+// never recorded). Newest match wins if an id was recorded twice.
+func (f *FlightRecorder) Get(traceID string) *TraceDoc {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	size := len(f.ring)
+	for i := 1; i <= size; i++ {
+		d := f.ring[(f.next-i+size)%size]
+		if d == nil {
+			break
+		}
+		if d.TraceID == traceID {
+			return d
+		}
+	}
+	return nil
+}
+
+// Total returns how many traces were ever recorded (retained or not).
+func (f *FlightRecorder) Total() uint64 {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.total
+}

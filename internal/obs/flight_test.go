@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func flightDoc(id string) *TraceDoc {
+	return &TraceDoc{Version: TraceVersion, TraceID: id, Root: &SpanDoc{Name: "job"}}
+}
+
+func TestFlightRecorderRingWraparound(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Record(flightDoc(fmt.Sprintf("t%d", i)))
+	}
+	if got := f.Total(); got != 5 {
+		t.Errorf("Total() = %d, want 5", got)
+	}
+	recent := f.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(recent))
+	}
+	// Newest first; the two oldest were overwritten.
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if recent[i].TraceID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, recent[i].TraceID, want)
+		}
+	}
+	if f.Get("t0") != nil || f.Get("t1") != nil {
+		t.Error("evicted traces still retrievable")
+	}
+	if d := f.Get("t3"); d == nil || d.TraceID != "t3" {
+		t.Errorf("Get(t3) = %v", d)
+	}
+	if got := f.Recent(2); len(got) != 2 || got[0].TraceID != "t4" {
+		t.Errorf("Recent(2) = %d entries starting %s", len(got), got[0].TraceID)
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record(flightDoc("a"))
+	f.Record(flightDoc("b"))
+	recent := f.Recent(0)
+	if len(recent) != 2 || recent[0].TraceID != "b" || recent[1].TraceID != "a" {
+		t.Errorf("Recent on a partially filled ring = %v", recent)
+	}
+	if f.Get("a") == nil {
+		t.Error("Get missed a retained trace")
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(flightDoc("x"))
+	if f.Recent(0) != nil || f.Get("x") != nil || f.Total() != 0 {
+		t.Error("nil FlightRecorder methods returned non-zero values")
+	}
+	nf := NewFlightRecorder(0)
+	nf.Record(nil) // ignored, not stored as a nil hole
+	if got := nf.Recent(0); len(got) != 0 {
+		t.Errorf("nil doc was recorded: %v", got)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				f.Record(flightDoc(fmt.Sprintf("g%d-%d", i, j)))
+				_ = f.Recent(4)
+				_ = f.Get("g0-0")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := f.Total(); got != 800 {
+		t.Errorf("Total() = %d, want 800", got)
+	}
+	if got := len(f.Recent(0)); got != 16 {
+		t.Errorf("retained %d, want a full ring of 16", got)
+	}
+}

@@ -96,6 +96,19 @@ type TimerStats struct {
 	Sum   time.Duration `json:"sum_ns"`
 	Min   time.Duration `json:"min_ns"`
 	Max   time.Duration `json:"max_ns"`
+	// Buckets is the exponential histogram: Buckets[i] counts observations
+	// below BucketUpper(i) and at or above BucketUpper(i-1). Trailing empty
+	// buckets are trimmed, so len(Buckets) <= timerBuckets.
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// BucketUpper is the exclusive upper duration bound of histogram bucket i
+// (2^i microseconds); bucket i-1's inclusive lower bound. i < 0 returns 0.
+func BucketUpper(i int) time.Duration {
+	if i < 0 {
+		return 0
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
 }
 
 // Stats snapshots the timer (zero value for a nil timer).
@@ -105,7 +118,59 @@ func (t *Timer) Stats() TimerStats {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return TimerStats{Count: t.count, Sum: t.sum, Min: t.min, Max: t.max}
+	st := TimerStats{Count: t.count, Sum: t.sum, Min: t.min, Max: t.max}
+	last := -1
+	for i, c := range t.buckets {
+		if c > 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		st.Buckets = append([]uint64(nil), t.buckets[:last+1]...)
+	}
+	return st
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the histogram by
+// linear interpolation inside the covering bucket, clamped to the observed
+// [Min, Max]. With no observations it returns 0. Exponential buckets bound
+// the relative error by the bucket width (a factor of two), which is plenty
+// to tell a 2ms p50 from a 200ms p99.
+func (ts *TimerStats) Quantile(q float64) time.Duration {
+	if ts == nil || ts.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(ts.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i, c := range ts.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= rank {
+			lower, upper := BucketUpper(i-1), BucketUpper(i)
+			frac := (rank - cum) / float64(c)
+			d := lower + time.Duration(frac*float64(upper-lower))
+			if d < ts.Min {
+				d = ts.Min
+			}
+			if d > ts.Max {
+				d = ts.Max
+			}
+			return d
+		}
+		cum = next
+	}
+	return ts.Max
 }
 
 // Registry is a set of named counters, timers, and gauges. Names use

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders snapshot entries in the Prometheus text
+// exposition format (version 0.0.4): counters as counters, gauges as
+// gauges, and timers as cumulative histograms in seconds. Metric names are
+// the registry names with every non-alphanumeric rune mapped to '_'
+// ("omd/job" -> "omd_job"); counters gain the conventional _total suffix
+// and timers the _seconds base unit.
+func WritePrometheus(w io.Writer, entries []SnapshotEntry) error {
+	for _, e := range entries {
+		name := promName(e.Name)
+		switch e.Kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, e.Count); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", name, name, e.Gauge); err != nil {
+				return err
+			}
+		case "timer":
+			if e.Timings == nil {
+				continue
+			}
+			if err := writePromHistogram(w, name, e.Timings); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, ts *TimerStats) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s_seconds histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, c := range ts.Buckets {
+		cum += c
+		if c == 0 {
+			continue // the cumulative count catches up at the next non-empty bucket
+		}
+		le := BucketUpper(i).Seconds()
+		if _, err := fmt.Fprintf(w, "%s_seconds_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", le), cum); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_seconds_bucket{le=\"+Inf\"} %d\n%s_seconds_sum %g\n%s_seconds_count %d\n",
+		name, ts.Count, name, ts.Sum.Seconds(), name, ts.Count)
+	return err
+}
+
+// promName maps a registry name onto the Prometheus metric charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuantileFromBuckets(t *testing.T) {
+	var tm Timer
+	// 90 fast observations and 10 slow ones: p50 must land in the fast
+	// bucket's range, p99 in the slow one's.
+	for i := 0; i < 90; i++ {
+		tm.Observe(100 * time.Microsecond) // bucket [64µs, 128µs)
+	}
+	for i := 0; i < 10; i++ {
+		tm.Observe(50 * time.Millisecond) // bucket [32.768ms, 65.536ms)
+	}
+	st := tm.Stats()
+	if p50 := st.Quantile(0.50); p50 < 64*time.Microsecond || p50 >= 128*time.Microsecond {
+		t.Errorf("p50 = %v, want within [64µs, 128µs)", p50)
+	}
+	if p99 := st.Quantile(0.99); p99 < 32*time.Millisecond || p99 > 50*time.Millisecond {
+		t.Errorf("p99 = %v, want within [32ms, 50ms]", p99)
+	}
+	// Quantiles clamp to the observed extremes.
+	if p0 := st.Quantile(0); p0 < st.Min {
+		t.Errorf("Quantile(0) = %v below Min %v", p0, st.Min)
+	}
+	if p1 := st.Quantile(1); p1 != st.Max {
+		t.Errorf("Quantile(1) = %v, want Max %v", p1, st.Max)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty TimerStats
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	var nilStats *TimerStats
+	if got := nilStats.Quantile(0.5); got != 0 {
+		t.Errorf("nil Quantile = %v, want 0", got)
+	}
+	var tm Timer
+	tm.Observe(3 * time.Millisecond)
+	st := tm.Stats()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := st.Quantile(q); got != 3*time.Millisecond {
+			t.Errorf("single-sample Quantile(%v) = %v, want exactly 3ms", q, got)
+		}
+	}
+}
+
+func TestTimerStatsBucketsExported(t *testing.T) {
+	var tm Timer
+	tm.Observe(3 * time.Microsecond) // bucket 2: [2µs, 4µs)
+	st := tm.Stats()
+	if len(st.Buckets) != 3 {
+		t.Fatalf("Buckets = %v, want trailing zeros trimmed at index 2", st.Buckets)
+	}
+	if st.Buckets[2] != 1 {
+		t.Errorf("Buckets[2] = %d, want 1", st.Buckets[2])
+	}
+	if got := BucketUpper(2); got != 4*time.Microsecond {
+		t.Errorf("BucketUpper(2) = %v, want 4µs", got)
+	}
+	if got := BucketUpper(-1); got != 0 {
+		t.Errorf("BucketUpper(-1) = %v, want 0", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("omd/jobs-executed").Add(7)
+	r.SetGauge("runtime/goroutines", 12)
+	r.Timer("omd/job").Observe(3 * time.Millisecond)
+	r.Timer("omd/job").Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE omd_jobs_executed_total counter",
+		"omd_jobs_executed_total 7",
+		"# TYPE runtime_goroutines gauge",
+		"runtime_goroutines 12",
+		"# TYPE omd_job_seconds histogram",
+		`omd_job_seconds_bucket{le="+Inf"} 2`,
+		"omd_job_seconds_count 2",
+		"omd_job_seconds_sum 0.008",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	// 3ms and 5ms land in [2.048ms, 4.096ms) and [4.096ms, 8.192ms):
+	// cumulative counts 1 then 2.
+	if !strings.Contains(out, `omd_job_seconds_bucket{le="0.004096"} 1`) {
+		t.Errorf("exposition lacks the 4.096ms cumulative bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `omd_job_seconds_bucket{le="0.008192"} 2`) {
+		t.Errorf("exposition lacks the 8.192ms cumulative bucket:\n%s", out)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"omd/job":          "omd_job",
+		"stage/pass/hits":  "stage_pass_hits",
+		"pool-busy-ns":     "pool_busy_ns",
+		"9lives":           "_9lives",
+		"already_ok":       "already_ok",
+		"utilization-j8":   "utilization_j8",
+		"heap.inuse.bytes": "heap_inuse_bytes",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRegistrySnapshotWhileRecording pins the registry against torn reads:
+// snapshots taken while other goroutines create metrics and record into
+// them must be internally consistent and race-free (the race gate runs
+// this package).
+func TestRegistrySnapshotWhileRecording(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("hot/counter").Add(1)
+				r.Timer("hot/timer").Observe(time.Duration(j%1000) * time.Microsecond)
+				r.SetGauge("hot/gauge", float64(j))
+			}
+		}(i)
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		for _, e := range snap {
+			if e.Kind == "timer" && e.Timings != nil {
+				var bucketed uint64
+				for _, c := range e.Timings.Buckets {
+					bucketed += c
+				}
+				if bucketed != e.Timings.Count {
+					t.Fatalf("torn timer snapshot: %d bucketed of %d observed", bucketed, e.Timings.Count)
+				}
+			}
+		}
+		var b strings.Builder
+		if err := WritePrometheus(&b, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a fixed amount per reading, so every span duration in a
+// test is an exact, deterministic value.
+type fakeClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func newFakeClock(step time.Duration) *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0), step: step}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func TestTraceDeterministicWithInjectedClock(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewTrace("t1", "job", time.Time{}, clk.Now)
+	if tr.ID() != "t1" {
+		t.Fatalf("ID() = %q", tr.ID())
+	}
+	root := tr.Root()
+
+	a := root.Child("phase-a") // clock tick 2
+	a.SetAttr("hit", "true")
+	a.End() // tick 3 -> duration exactly 1ms
+	b := root.Child("phase-b")
+	c := b.Child("phase-b/inner")
+	c.End()
+	b.End()
+	root.End()
+
+	d := tr.Doc()
+	if d.Version != TraceVersion || d.TraceID != "t1" {
+		t.Fatalf("doc header = %q %q", d.Version, d.TraceID)
+	}
+	pa := d.Find("phase-a")
+	if pa == nil {
+		t.Fatal("phase-a missing from doc")
+	}
+	if pa.Duration != time.Millisecond {
+		t.Errorf("phase-a duration = %v, want exactly 1ms", pa.Duration)
+	}
+	if pa.Attrs["hit"] != "true" {
+		t.Errorf("phase-a attrs = %v", pa.Attrs)
+	}
+	if d.Find("phase-b/inner") == nil {
+		t.Error("nested child missing from doc")
+	}
+	if d.Find("nope") != nil {
+		t.Error("Find invented a span")
+	}
+	// Root covers all children: every tick happened inside its window.
+	var sum time.Duration
+	for _, c := range d.Root.Children {
+		sum += c.Duration
+	}
+	if d.Root.Duration < sum {
+		t.Errorf("root %v < sum of children %v", d.Root.Duration, sum)
+	}
+}
+
+func TestSpanExplicitTimes(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	start := time.Unix(500, 0)
+	tr := NewTrace("t2", "job", start, clk.Now)
+	if got := tr.Root().Start(); !got.Equal(start) {
+		t.Errorf("root start = %v, want %v", got, start)
+	}
+	sp := tr.Root().ChildAt("backdated", start.Add(time.Second))
+	sp.EndAt(start.Add(3 * time.Second))
+	if got := sp.Duration(); got != 2*time.Second {
+		t.Errorf("backdated duration = %v, want 2s", got)
+	}
+	// End is idempotent: a second End must not move the close time.
+	sp.End()
+	if got := sp.Duration(); got != 2*time.Second {
+		t.Errorf("second End moved duration to %v", got)
+	}
+}
+
+func TestLiveSpanSnapshot(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewTrace("t3", "job", time.Time{}, clk.Now)
+	sp := tr.Root().Child("running")
+	// Doc on a live trace reports in-progress durations, not zeros.
+	d := tr.Doc()
+	if got := d.Find("running").Duration; got <= 0 {
+		t.Errorf("live span duration = %v, want > 0", got)
+	}
+	if sp.Duration() <= 0 {
+		t.Error("live Duration() <= 0")
+	}
+}
+
+func TestNilTraceAndSpanAreFree(t *testing.T) {
+	var tr *Trace
+	if tr.ID() != "" || tr.Root() != nil || tr.Doc() != nil {
+		t.Error("nil Trace methods returned non-zero values")
+	}
+	var sp *Span
+	if allocs := testing.AllocsPerRun(100, func() {
+		c := sp.Child("x")
+		c.SetAttr("k", "v")
+		c.End()
+		_ = c.Duration()
+	}); allocs != 0 {
+		t.Errorf("disabled span path allocates %.0f objects per op, want 0", allocs)
+	}
+	if sp.Doc() != nil {
+		t.Error("nil Span.Doc() != nil")
+	}
+	var d *TraceDoc
+	if d.Find("x") != nil || d.Render() != "" {
+		t.Error("nil TraceDoc methods returned non-zero values")
+	}
+	var sd *SpanDoc
+	sd.Walk(func(*SpanDoc) { t.Error("nil SpanDoc.Walk visited a span") })
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("t4", "job", time.Time{}, nil)
+	root := tr.Root()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c := root.Child("c")
+				c.SetAttr("k", "v")
+				c.End()
+			}
+		}()
+	}
+	// Snapshot while children are still being added.
+	for i := 0; i < 20; i++ {
+		_ = tr.Doc()
+	}
+	wg.Wait()
+	if got := len(tr.Doc().Root.Children); got != 400 {
+		t.Errorf("have %d children, want 400", got)
+	}
+}
+
+func TestTraceDocJSONRoundTrip(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewTrace("t5", "job", time.Time{}, clk.Now)
+	tr.Root().Child("child").End()
+	tr.Root().End()
+	data, err := json.Marshal(tr.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got TraceDoc
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != "t5" || got.Find("child") == nil {
+		t.Errorf("round trip lost data: %s", data)
+	}
+}
+
+func TestRenderShowsDurationsAndPercentages(t *testing.T) {
+	clk := newFakeClock(time.Millisecond)
+	tr := NewTrace("t6", "job", time.Time{}, clk.Now)
+	tr.Root().Child("half").End() // 1ms
+	tr.Root().End()               // root: 3 ticks = 3ms
+	out := tr.Doc().Render()
+	if !strings.Contains(out, "trace t6") {
+		t.Errorf("render lacks trace id:\n%s", out)
+	}
+	if !strings.Contains(out, "job") || !strings.Contains(out, "half") {
+		t.Errorf("render lacks span names:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("render lacks root percentage:\n%s", out)
+	}
+	if !strings.Contains(out, "1ms") {
+		t.Errorf("render lacks child duration:\n%s", out)
+	}
+}

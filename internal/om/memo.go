@@ -300,9 +300,12 @@ func replayRun(ctx context.Context, snap *passSnapshot, cfg *config) (*Result, e
 	cfg.metrics.Counter("om/passes/replayed").Add(uint64(len(pg.Procs)))
 	stats := snap.stats
 	sched := cfg.schedule && cfg.level == LevelFull
+	emitSpan := cfg.span.Child("om/emit")
+	emitSpan.SetAttr("replayed", "true")
 	emitDone := obs.StartSpan(cfg.metrics.Timer("om/emit"))
 	im, err := Emit(pg, pl, sched)
 	emitDone()
+	emitSpan.End()
 	if err != nil {
 		return nil, err
 	}

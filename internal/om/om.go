@@ -21,6 +21,7 @@ type config struct {
 	metrics     *obs.Registry
 	profile     *profile.Profile
 	memo        *Memo
+	span        *obs.Span
 }
 
 // Option configures a Run.
@@ -62,6 +63,14 @@ func WithTrace() Option { return func(c *config) { c.trace = true } }
 // WithMetrics records per-phase wall time (om/lift, om/passes, om/layout,
 // om/emit) into the registry. A nil registry disables recording.
 func WithMetrics(m *obs.Registry) Option { return func(c *config) { c.metrics = m } }
+
+// WithSpan nests per-phase child spans (om/memo-lookup, om/lift, om/passes,
+// om/layout, om/emit) under sp, marking the run's position in a caller's
+// trace — the per-job dimension the aggregate WithMetrics timers lack. Like
+// WithMetrics it is an execution detail excluded from a job's serialized
+// identity, and a nil span disables tracing at zero cost (the nil-span fast
+// path allocates nothing, pinned by the warm-replay allocation test).
+func WithSpan(sp *obs.Span) Option { return func(c *config) { c.span = sp } }
 
 // WithMemo attaches a resident memo (NewMemo) to the Run: lifted symbolic
 // forms and per-procedure pass outcomes are reused across every Run sharing
@@ -117,10 +126,13 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	var passKeys []string
 	var passCtx string
 	if cfg.memo != nil && !cfg.trace && !cfg.instrument {
+		lookupSpan := cfg.span.Child("om/memo-lookup")
 		if pctx, ok := passContext(p, &cfg); ok {
 			passCtx = pctx
 			passKeys = cfg.memo.passKeysFor(p, pctx)
 			if snap := cfg.memo.lookupPasses(passKeys, pctx); snap != nil {
+				lookupSpan.SetAttr("hit", "true")
+				lookupSpan.End()
 				if res, err := replayRun(ctx, snap, &cfg); err == nil {
 					return res, nil
 				}
@@ -128,6 +140,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 				// reports any genuine error itself.
 			}
 		}
+		lookupSpan.End()
 	}
 
 	var (
@@ -136,6 +149,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		liftReplay bool
 		err        error
 	)
+	liftSpan := cfg.span.Child("om/lift")
 	liftDone := obs.StartSpan(cfg.metrics.Timer("om/lift"))
 	if cfg.memo != nil {
 		pg, le, liftReplay, err = cfg.memo.liftFor(ctx, p, cfg.parallelism)
@@ -143,11 +157,13 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		pg, err = lift(ctx, p, cfg.parallelism)
 	}
 	liftDone()
+	liftSpan.End()
 	if err != nil {
 		return nil, err
 	}
 	pg.par = cfg.parallelism
 	if liftReplay {
+		liftSpan.SetAttr("replayed", "true")
 		cfg.metrics.Counter("om/lift/replayed").Add(uint64(len(pg.Procs)))
 	} else {
 		cfg.metrics.Counter("om/decode/modules").Add(uint64(len(p.Objects)))
@@ -188,6 +204,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	}
 
 	cfg.metrics.Counter("om/passes/procs").Add(uint64(len(pg.Procs)))
+	passSpan := cfg.span.Child("om/passes")
 	passDone := obs.StartSpan(cfg.metrics.Timer("om/passes"))
 	var pl *Plan
 	switch cfg.level {
@@ -199,6 +216,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		pl, err = runFull(ctx, pg, cfg.ablation)
 	}
 	passDone()
+	passSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -212,10 +230,12 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		if err := cfg.profile.ValidateNames(known); err != nil {
 			return nil, err
 		}
+		layoutSpan := cfg.span.Child("om/layout")
 		layoutDone := obs.StartSpan(cfg.metrics.Timer("om/layout"))
 		pl, lay, err = applyLayout(pg, pl, cfg.profile,
 			cfg.level == LevelFull, cfg.schedule && cfg.level == LevelFull)
 		layoutDone()
+		layoutSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -244,9 +264,11 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	emitSpan := cfg.span.Child("om/emit")
 	emitDone := obs.StartSpan(cfg.metrics.Timer("om/emit"))
 	im, err := Emit(pg, pl, sched)
 	emitDone()
+	emitSpan.End()
 	if err != nil {
 		return nil, err
 	}

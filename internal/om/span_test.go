@@ -1,0 +1,70 @@
+package om
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tcc"
+)
+
+// TestRunEmitsPhaseSpans: a Run handed a parent span via WithSpan nests one
+// child per pipeline phase, each with a positive duration, and the warm
+// replay path marks its skips — the per-job trace the omd service threads
+// through every link.
+func TestRunEmitsPhaseSpans(t *testing.T) {
+	ctx := context.Background()
+	p := buildProgram(t, []tcc.Source{{Name: "prog", Text: "long main() { return 42; }\n"}})
+
+	cold := obs.NewTrace("cold", "om", time.Time{}, nil)
+	if _, err := Run(ctx, p, WithLevel(LevelFull), WithSpan(cold.Root())); err != nil {
+		t.Fatal(err)
+	}
+	cold.Root().End()
+	doc := cold.Doc()
+	for _, phase := range []string{"om/lift", "om/passes", "om/emit"} {
+		sp := doc.Find(phase)
+		if sp == nil {
+			t.Fatalf("cold run trace lacks %s:\n%s", phase, doc.Render())
+		}
+		if sp.Duration <= 0 {
+			t.Errorf("%s duration = %v, want > 0", phase, sp.Duration)
+		}
+	}
+	if doc.Find("om/layout") != nil {
+		t.Error("layout span present without a profile")
+	}
+	var sum time.Duration
+	for _, c := range doc.Root.Children {
+		sum += c.Duration
+	}
+	if doc.Root.Duration < sum {
+		t.Errorf("root %v < sum of phase children %v", doc.Root.Duration, sum)
+	}
+
+	// Warm replay through a memo: the trace shows the memo lookup hitting
+	// and the replayed emit, and no lift/passes phases at all.
+	memo := NewMemo(nil)
+	opts := []Option{WithLevel(LevelFull), WithMemo(memo)}
+	if _, err := Run(ctx, p, opts...); err != nil {
+		t.Fatal(err)
+	}
+	warm := obs.NewTrace("warm", "om", time.Time{}, nil)
+	if _, err := Run(ctx, p, append(opts, WithSpan(warm.Root()))...); err != nil {
+		t.Fatal(err)
+	}
+	warm.Root().End()
+	wdoc := warm.Doc()
+	lookup := wdoc.Find("om/memo-lookup")
+	if lookup == nil || lookup.Attrs["hit"] != "true" {
+		t.Fatalf("warm run trace lacks a hitting memo lookup:\n%s", wdoc.Render())
+	}
+	emit := wdoc.Find("om/emit")
+	if emit == nil || emit.Attrs["replayed"] != "true" {
+		t.Fatalf("warm run trace lacks the replayed emit:\n%s", wdoc.Render())
+	}
+	if wdoc.Find("om/lift") != nil || wdoc.Find("om/passes") != nil {
+		t.Errorf("warm replay trace claims lift/passes ran:\n%s", wdoc.Render())
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/omd"
 )
 
@@ -88,17 +89,25 @@ func (c *Client) getJSON(ctx context.Context, path string, out any) error {
 
 // Submit enqueues a job and returns immediately with its queued status.
 func (c *Client) Submit(ctx context.Context, spec *omd.JobSpec) (*omd.JobStatus, error) {
-	return c.submit(ctx, spec, false)
+	return c.submit(ctx, spec, "", false)
 }
 
 // SubmitWait enqueues a job and blocks until it finishes (or ctx is done —
 // disconnecting tells the server this waiter is gone, which cancels the
 // execution if no one else shares it).
 func (c *Client) SubmitWait(ctx context.Context, spec *omd.JobSpec) (*omd.JobStatus, error) {
-	return c.submit(ctx, spec, true)
+	return c.submit(ctx, spec, "", true)
 }
 
-func (c *Client) submit(ctx context.Context, spec *omd.JobSpec, wait bool) (*omd.JobStatus, error) {
+// SubmitTraced enqueues a job under a caller-chosen trace id, propagated to
+// the server in the Om-Trace-Id header so the job's span tree, log lines,
+// and flight-recorder entry all carry the caller's correlation key. An
+// empty id lets the server assign one (identical to Submit/SubmitWait).
+func (c *Client) SubmitTraced(ctx context.Context, spec *omd.JobSpec, traceID string, wait bool) (*omd.JobStatus, error) {
+	return c.submit(ctx, spec, traceID, wait)
+}
+
+func (c *Client) submit(ctx context.Context, spec *omd.JobSpec, traceID string, wait bool) (*omd.JobStatus, error) {
 	data, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
@@ -112,6 +121,9 @@ func (c *Client) submit(ctx context.Context, spec *omd.JobSpec, wait bool) (*omd
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traceID != "" {
+		req.Header.Set(omd.TraceHeader, traceID)
+	}
 	resp, err := c.do(req)
 	if err != nil {
 		return nil, err
@@ -217,6 +229,31 @@ func (c *Client) Journal(ctx context.Context, id string) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	return io.ReadAll(resp.Body)
+}
+
+// Trace fetches a job's span tree (om-trace/v1). While the job is live the
+// server returns a snapshot of the open tree; after completion, the final
+// recorded document.
+func (c *Client) Trace(ctx context.Context, id string) (*obs.TraceDoc, error) {
+	var doc obs.TraceDoc
+	if err := c.getJSON(ctx, "/jobs/"+id+"/trace", &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Flights fetches the server's most recent completed traces, newest first.
+// n <= 0 returns everything the flight recorder retains.
+func (c *Client) Flights(ctx context.Context, n int) ([]*obs.TraceDoc, error) {
+	path := "/debug/flights"
+	if n > 0 {
+		path += "?n=" + strconv.Itoa(n)
+	}
+	var out []*obs.TraceDoc
+	if err := c.getJSON(ctx, path, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Metrics fetches the server's metrics snapshot.

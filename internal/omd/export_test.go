@@ -4,6 +4,8 @@ package omd
 // package (which must live outside this package to import the client
 // without a cycle).
 
+import "time"
+
 // SetExecGate installs a hook that runs at the top of every execution; set
 // it before the first submission (the queue-channel handoff orders the
 // write for the workers).
@@ -33,7 +35,7 @@ func (s *Server) SubmitProbe(js *JobSpec) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	rec, _, err := s.submit(rs, false)
+	rec, _, err := s.submit(rs, false, "", time.Time{})
 	if err != nil {
 		return false, err
 	}

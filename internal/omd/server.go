@@ -6,9 +6,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -51,7 +55,25 @@ type Config struct {
 	Metrics *obs.Registry
 	// Logger receives progress lines; nil discards them.
 	Logger Logger
+	// FlightRecorderSize bounds the ring of completed job traces served at
+	// GET /debug/flights (<= 0 selects 128).
+	FlightRecorderSize int
+	// SlowJob, when > 0, logs the full span tree of any job whose total
+	// latency (admission to finish) reaches it, at Warn level on Slog.
+	SlowJob time.Duration
+	// Slog receives structured job-lifecycle records, every one carrying
+	// the job's trace id so log lines, traces, and API results correlate;
+	// nil discards them.
+	Slog *slog.Logger
+	// Clock injects the time source for job timestamps and trace spans;
+	// nil selects time.Now. Tests use a stepped fake for deterministic span
+	// durations.
+	Clock func() time.Time
 }
+
+// TraceHeader is the HTTP header that propagates a client-assigned trace id
+// into the job's span tree; absent, the server assigns one at admission.
+const TraceHeader = "Om-Trace-Id"
 
 // flight is one admitted execution. Every job with the same key attaches
 // to the same flight (singleflight): N identical submissions run one link
@@ -69,6 +91,13 @@ type flight struct {
 	done   chan struct{}
 	res    *result
 	err    error
+
+	// exec is the execution span, opened on the lead job's trace when a
+	// worker picks the flight up. Coalesced jobs share the execution; at
+	// completion its SpanDoc is grafted into their traces with a
+	// shared="flight" attribute so every job's trace shows where its time
+	// went without double-owning the span.
+	exec *obs.Span
 }
 
 // result is a completed execution's payload, memoized by key.
@@ -93,15 +122,30 @@ type jobRecord struct {
 	res       *result
 	errMsg    string
 	fl        *flight // nil once terminal
+
+	// trace is the job's span tree, rooted at request receipt. wait is the
+	// open queue-wait (or attached-wait) span; traceDoc is the immutable
+	// snapshot taken when the job reaches a terminal state, also pushed into
+	// the flight recorder. queueWait/exec are the derived phase durations
+	// surfaced in JobStatus.
+	trace     *obs.Trace
+	wait      *obs.Span
+	traceDoc  *obs.TraceDoc
+	queueWait time.Duration
+	exec      time.Duration
 }
 
 // Server owns the admission queue, the worker pool, and the job store. It
 // serves the HTTP API via Handler.
 type Server struct {
-	cfg   Config
-	reg   *obs.Registry
-	cache *buildcache.Cache
-	log   Logger
+	cfg     Config
+	reg     *obs.Registry
+	cache   *buildcache.Cache
+	log     Logger
+	slog    *slog.Logger
+	now     func() time.Time
+	rec     *obs.FlightRecorder
+	started time.Time
 
 	// The resident warm-path stores, shared by every job the server runs:
 	// progCache holds merged decoded programs keyed on program inputs;
@@ -118,6 +162,7 @@ type Server struct {
 
 	mu        sync.Mutex
 	draining  bool
+	running   int // flights currently executing on workers
 	flights   map[string]*flight
 	memo      map[string]*result
 	memoOrder []string
@@ -153,12 +198,24 @@ func NewServer(cfg Config) *Server {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	lg := cfg.Slog
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		reg:        reg,
 		cache:      cfg.Cache,
 		log:        cfg.Logger,
+		slog:       lg,
+		now:        now,
+		rec:        obs.NewFlightRecorder(cfg.FlightRecorderSize),
+		started:    now(),
 		progCache:  buildcache.NewProgramCache(0, reg),
 		omMemo:     om.NewMemo(reg),
 		baseCtx:    ctx,
@@ -204,7 +261,12 @@ var errDraining = errors.New("omd: server is draining")
 // or enqueue a new flight. wait marks the submitter as a live waiter whose
 // disconnect may cancel an otherwise-unwatched flight; async submissions
 // hold their reference to completion.
-func (s *Server) submit(rs *resolved, wait bool) (*jobRecord, *flight, error) {
+//
+// traceID names the job's span tree ("" lets the server assign one);
+// reqStart backdates the trace root to request receipt so the admission
+// span covers decode + resolve work done before the lock (zero selects the
+// submission instant).
+func (s *Server) submit(rs *resolved, wait bool, traceID string, reqStart time.Time) (*jobRecord, *flight, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -213,25 +275,46 @@ func (s *Server) submit(rs *resolved, wait bool) (*jobRecord, *flight, error) {
 	}
 	s.reg.Counter("omd/submitted").Add(1)
 	s.nextID++
+	now := s.now()
+	if reqStart.IsZero() {
+		reqStart = now
+	}
 	rec := &jobRecord{
 		id:        fmt.Sprintf("j%d", s.nextID),
 		key:       rs.key,
 		state:     JobQueued,
-		submitted: time.Now(),
+		submitted: now,
 	}
+	if traceID == "" {
+		traceID = "t-" + rec.id
+	}
+	rec.trace = obs.NewTrace(traceID, "job", reqStart, s.now)
+	rec.trace.Root().SetAttr("job", rec.id)
+	admission := rec.trace.Root().ChildAt("admission", reqStart)
 
 	if res, ok := s.memo[rs.key]; ok {
 		rec.state, rec.res, rec.memoHit = JobDone, res, true
 		rec.started, rec.finished = rec.submitted, rec.submitted
 		s.reg.Counter("omd/memo-hits").Add(1)
+		admission.SetAttr("outcome", "memo-hit")
+		admission.End()
+		// A fresh clock reading: the root must close at or after the
+		// admission span it contains.
+		s.finishTrace(rec, s.now())
+		s.slog.Info("omd job done",
+			"trace", rec.trace.ID(), "job", rec.id,
+			"state", string(rec.state), "memo_hit", true)
 		s.storeJob(rec)
 		return rec, nil, nil
 	}
 	if f, ok := s.flights[rs.key]; ok {
 		rec.coalesced, rec.fl = true, f
+		admission.SetAttr("outcome", "coalesced")
+		admission.End()
+		rec.wait = rec.trace.Root().Child("attached-wait")
 		if f.jobs[0].state == JobRunning {
 			rec.state = JobRunning
-			rec.started = time.Now()
+			rec.started = now
 		}
 		f.jobs = append(f.jobs, rec)
 		f.refs++
@@ -250,6 +333,9 @@ func (s *Server) submit(rs *resolved, wait bool) (*jobRecord, *flight, error) {
 	case s.queue <- f:
 		s.flights[rs.key] = f
 		s.reg.SetGauge("omd/queue-depth", float64(len(s.queue)))
+		admission.SetAttr("outcome", "admitted")
+		admission.End()
+		rec.wait = rec.trace.Root().Child("queue-wait")
 		s.storeJob(rec)
 		return rec, f, nil
 	default:
@@ -257,6 +343,27 @@ func (s *Server) submit(rs *resolved, wait bool) (*jobRecord, *flight, error) {
 		s.reg.Counter("omd/rejected-queue-full").Add(1)
 		return nil, nil, errQueueFull
 	}
+}
+
+// finishTrace closes a terminal job's span tree, snapshots it, derives the
+// phase durations surfaced in JobStatus, and pushes the document into the
+// flight recorder. Callers hold mu; now is the terminal instant.
+func (s *Server) finishTrace(rec *jobRecord, now time.Time) {
+	if rec.trace == nil || rec.traceDoc != nil {
+		return
+	}
+	rec.wait.EndAt(now)
+	root := rec.trace.Root()
+	root.SetAttr("state", string(rec.state))
+	root.EndAt(now)
+	rec.traceDoc = rec.trace.Doc()
+	if !rec.started.IsZero() {
+		rec.queueWait = rec.started.Sub(rec.submitted)
+		if !rec.finished.IsZero() {
+			rec.exec = rec.finished.Sub(rec.started)
+		}
+	}
+	s.rec.Record(rec.traceDoc)
 }
 
 func (s *Server) storeJob(rec *jobRecord) {
@@ -290,28 +397,45 @@ func (s *Server) runFlight(f *flight) {
 	if gate := s.execGate; gate != nil {
 		gate(f.key)
 	}
-	now := time.Now()
+	now := s.now()
 	s.mu.Lock()
+	s.running++
 	s.reg.SetGauge("omd/queue-depth", float64(len(s.queue)))
+	s.reg.SetGauge("omd/workers-busy", float64(s.running))
 	for _, rec := range f.jobs {
 		rec.state = JobRunning
 		rec.started = now
 	}
+	// The lead job's trace owns the execution span; its queue wait ends at
+	// pickup. Coalesced jobs keep their attached-wait open to completion.
+	lead := f.jobs[0]
+	lead.wait.EndAt(now)
+	f.exec = lead.trace.Root().ChildAt("execute", now)
 	s.mu.Unlock()
 
 	s.reg.Counter("omd/jobs-executed").Add(1)
 	jobDone := obs.StartSpan(s.reg.Timer("omd/job"))
-	res, err := s.execute(f.ctx, f.run)
+	res, err := s.execute(f.ctx, f.run, f.exec)
 	jobDone()
 	f.cancel() // release the deadline timer
 
-	now = time.Now()
+	now = s.now()
+	f.exec.EndAt(now)
 	s.mu.Lock()
+	s.running--
+	s.reg.SetGauge("omd/workers-busy", float64(s.running))
 	delete(s.flights, f.key)
 	if err == nil {
 		s.memoize(f.key, res)
 	}
-	for _, rec := range f.jobs {
+	execDoc := f.exec.Doc()
+	type doneLog struct {
+		rec   *jobRecord
+		doc   *obs.TraceDoc
+		total time.Duration
+	}
+	logs := make([]doneLog, 0, len(f.jobs))
+	for i, rec := range f.jobs {
 		rec.finished = now
 		rec.fl = nil
 		if err != nil {
@@ -321,14 +445,66 @@ func (s *Server) runFlight(f *flight) {
 			rec.state = JobDone
 			rec.res = res
 		}
+		s.finishTrace(rec, now)
+		if i > 0 && rec.traceDoc != nil && execDoc != nil {
+			// Graft a shallow copy of the shared execution into the
+			// coalesced job's document so its trace shows where the time
+			// went; the marker keeps it distinguishable from spans the job
+			// owns (it may predate the job's own admission).
+			shared := *execDoc
+			shared.Attrs = sharedAttrs(execDoc.Attrs)
+			rec.traceDoc.Root.Children = append(rec.traceDoc.Root.Children, &shared)
+		}
+		if rec.traceDoc != nil {
+			logs = append(logs, doneLog{rec, rec.traceDoc, rec.traceDoc.Root.Duration})
+		}
 	}
 	s.mu.Unlock()
 	f.res, f.err = res, err
 	close(f.done)
+	for _, l := range logs {
+		s.logJobDone(l.rec, l.doc, l.total, err)
+	}
 	if err != nil {
 		s.logf("omd: job %s failed: %v", f.key[:12], err)
 	} else {
 		s.logf("omd: job %s done (%d bytes, %d waiters)", f.key[:12], len(res.image), len(f.jobs))
+	}
+}
+
+// sharedAttrs copies a span's attributes and adds the shared-flight marker.
+func sharedAttrs(attrs map[string]string) map[string]string {
+	out := make(map[string]string, len(attrs)+1)
+	for k, v := range attrs {
+		out[k] = v
+	}
+	out["shared"] = "flight"
+	return out
+}
+
+// logJobDone emits the structured completion record, correlated to the
+// job's trace, and the full span tree when the job breaches the slow-job
+// threshold.
+func (s *Server) logJobDone(rec *jobRecord, doc *obs.TraceDoc, total time.Duration, err error) {
+	attrs := []any{
+		"trace", doc.TraceID,
+		"job", rec.id,
+		"state", string(rec.state),
+		"total", total,
+		"queue_wait", rec.queueWait,
+		"exec", rec.exec,
+		"coalesced", rec.coalesced,
+	}
+	if err != nil {
+		s.slog.Error("omd job failed", append(attrs, "error", err.Error())...)
+	} else {
+		s.slog.Info("omd job done", attrs...)
+	}
+	if s.cfg.SlowJob > 0 && total >= s.cfg.SlowJob {
+		s.slog.Warn("omd slow job",
+			"trace", doc.TraceID, "job", rec.id,
+			"total", total, "threshold", s.cfg.SlowJob,
+			"spans", "\n"+doc.Render())
 	}
 }
 
@@ -352,19 +528,27 @@ func (s *Server) memoize(key string, res *result) {
 // re-analyzes nothing that the option change did not invalidate. A traced
 // job bypasses the image cache — a journal cannot be reproduced from a
 // cached image.
-func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
+//
+// sp is the execution span on the lead job's trace; every stage becomes a
+// child, so the span tree mirrors the warm-path short-circuits (a cached
+// image shows only the lookup; a resident program shows no compile/merge).
+func (s *Server) execute(ctx context.Context, rs *resolved, sp *obs.Span) (*result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if !rs.traced {
-		if im, ok := s.cache.GetImage(rs.key); ok {
+		ics := sp.Child("image-cache")
+		im, ok := s.cache.GetImage(rs.key)
+		ics.SetAttr("hit", strconv.FormatBool(ok))
+		ics.End()
+		if ok {
 			res := &result{imageCacheHit: true}
 			var err error
 			if res.image, err = imageBytes(im); err != nil {
 				return nil, err
 			}
 			if rs.spec.Simulate {
-				if res.sim, err = s.simulate(ctx, im, rs); err != nil {
+				if res.sim, err = s.simulate(ctx, im, rs, sp); err != nil {
 					return nil, err
 				}
 			}
@@ -372,16 +556,24 @@ func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
 		}
 	}
 
+	pcs := sp.Child("program-cache")
 	p, hit := s.progCache.Get(rs.progKey)
+	pcs.SetAttr("hit", strconv.FormatBool(hit))
+	pcs.End()
 	if !hit {
 		var objs []*objfile.Object
 		var err error
 		if rs.spec.Benchmark != "" {
+			cs := sp.Child("compile")
+			cs.SetAttr("benchmark", rs.spec.Benchmark)
 			compileDone := obs.StartSpan(s.reg.Timer("omd/compile"))
 			objs, err = s.compileBenchmark(rs)
 			compileDone()
+			cs.End()
 		} else {
+			ds := sp.Child("decode-objects")
 			objs, err = rs.decodeObjects()
+			ds.End()
 		}
 		if err != nil {
 			return nil, err
@@ -393,20 +585,25 @@ func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
 			}
 			objs = append(append([]*objfile.Object(nil), objs...), lib...)
 		}
-		if p, err = link.Merge(objs); err != nil {
+		ms := sp.Child("merge")
+		p, err = link.Merge(objs)
+		ms.End()
+		if err != nil {
 			return nil, err
 		}
 		s.progCache.Put(rs.progKey, p)
 	}
 
+	omSpan := sp.Child("om")
 	linkDone := obs.StartSpan(s.reg.Timer("omd/link"))
 	opts := append(append([]om.Option(nil), rs.opts...),
-		om.WithMetrics(s.reg), om.WithMemo(s.omMemo))
+		om.WithMetrics(s.reg), om.WithMemo(s.omMemo), om.WithSpan(omSpan))
 	if rs.prof != nil {
 		opts = append(opts, om.WithProfile(rs.prof))
 	}
 	omres, err := om.Run(ctx, p, opts...)
 	linkDone()
+	omSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +617,7 @@ func (s *Server) execute(ctx context.Context, rs *resolved) (*result, error) {
 		return nil, err
 	}
 	if rs.spec.Simulate {
-		if res.sim, err = s.simulate(ctx, omres.Image, rs); err != nil {
+		if res.sim, err = s.simulate(ctx, omres.Image, rs, sp); err != nil {
 			return nil, err
 		}
 	}
@@ -447,15 +644,17 @@ func (s *Server) compileBenchmark(rs *resolved) ([]*objfile.Object, error) {
 	return []*objfile.Object{obj}, nil
 }
 
-func (s *Server) simulate(ctx context.Context, im *objfile.Image, rs *resolved) (*SimStats, error) {
+func (s *Server) simulate(ctx context.Context, im *objfile.Image, rs *resolved, sp *obs.Span) (*SimStats, error) {
 	cfg := sim.DefaultConfig()
 	cfg.MaxInstructions = 2_000_000_000
 	if rs.spec.MaxInstructions > 0 {
 		cfg.MaxInstructions = rs.spec.MaxInstructions
 	}
+	simSpan := sp.Child("sim")
 	simDone := obs.StartSpan(s.reg.Timer("omd/sim"))
 	out, err := sim.RunContext(ctx, im, cfg)
 	simDone()
+	simSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("simulate: %w", err)
 	}
@@ -520,6 +719,9 @@ func (s *Server) status(rec *jobRecord) JobStatus {
 		MemoHit:     rec.memoHit,
 		Error:       rec.errMsg,
 		SubmittedAt: rec.submitted,
+		TraceID:     rec.trace.ID(),
+		QueueWait:   rec.queueWait,
+		Exec:        rec.exec,
 	}
 	if !rec.started.IsZero() {
 		t := rec.started
@@ -551,10 +753,12 @@ type MetricsSnapshot struct {
 
 // QueueInfo describes the admission queue and pool.
 type QueueInfo struct {
-	Depth    int  `json:"depth"`
-	Capacity int  `json:"capacity"`
-	Workers  int  `json:"workers"`
-	Draining bool `json:"draining"`
+	Depth    int   `json:"depth"`
+	Capacity int   `json:"capacity"`
+	Workers  int   `json:"workers"`
+	Running  int   `json:"running"`
+	Draining bool  `json:"draining"`
+	UptimeMS int64 `json:"uptime_ms"`
 }
 
 // Counter returns a named counter's value from the snapshot (0 if absent).
@@ -567,10 +771,15 @@ func (m *MetricsSnapshot) Counter(name string) uint64 {
 	return 0
 }
 
-// Snapshot assembles the /metrics payload.
+// Snapshot assembles the /metrics payload. Go runtime health — goroutine
+// count, heap in use, cumulative GC pause — is refreshed into the registry
+// as gauges on every snapshot, so both the JSON and Prometheus views carry
+// it.
 func (s *Server) Snapshot() MetricsSnapshot {
+	s.recordRuntimeGauges()
 	s.mu.Lock()
 	draining := s.draining
+	running := s.running
 	s.mu.Unlock()
 	return MetricsSnapshot{
 		Metrics: s.reg.Snapshot(),
@@ -579,9 +788,57 @@ func (s *Server) Snapshot() MetricsSnapshot {
 			Depth:    len(s.queue),
 			Capacity: s.cfg.QueueDepth,
 			Workers:  s.cfg.Workers,
+			Running:  running,
 			Draining: draining,
+			UptimeMS: s.now().Sub(s.started).Milliseconds(),
 		},
 	}
+}
+
+// recordRuntimeGauges samples the Go runtime into the registry.
+func (s *Server) recordRuntimeGauges() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.reg.SetGauge("runtime/goroutines", float64(runtime.NumGoroutine()))
+	s.reg.SetGauge("runtime/heap-inuse-bytes", float64(ms.HeapInuse))
+	s.reg.SetGauge("runtime/gc-pause-total-ns", float64(ms.PauseTotalNs))
+}
+
+// promEntries flattens the full snapshot — registry, cache traffic, queue
+// occupancy — into one entry list for Prometheus text exposition.
+func (s *Server) promEntries() []obs.SnapshotEntry {
+	snap := s.Snapshot()
+	c := snap.Cache
+	q := snap.Queue
+	counter := func(name string, v uint64) obs.SnapshotEntry {
+		return obs.SnapshotEntry{Name: name, Kind: "counter", Count: v}
+	}
+	gauge := func(name string, v float64) obs.SnapshotEntry {
+		return obs.SnapshotEntry{Name: name, Kind: "gauge", Gauge: v}
+	}
+	draining := 0.0
+	if q.Draining {
+		draining = 1
+	}
+	entries := append(snap.Metrics,
+		counter("buildcache/hits", uint64(c.Hits)),
+		counter("buildcache/disk-hits", uint64(c.DiskHits)),
+		counter("buildcache/compiles", uint64(c.Misses)),
+		counter("buildcache/image-hits", uint64(c.ImageHits)),
+		counter("buildcache/image-misses", uint64(c.ImageMisses)),
+		gauge("omd/queue-capacity", float64(q.Capacity)),
+		gauge("omd/workers", float64(q.Workers)),
+		gauge("omd/workers-running", float64(q.Running)),
+		gauge("omd/draining", draining),
+		gauge("omd/uptime-seconds", float64(q.UptimeMS)/1000),
+	)
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Name != entries[j].Name {
+			return entries[i].Name < entries[j].Name
+		}
+		return entries[i].Kind < entries[j].Kind
+	})
+	return entries
 }
 
 // retryAfter estimates how long a rejected client should back off: the
@@ -601,12 +858,18 @@ func (s *Server) retryAfter() int {
 // Handler returns the HTTP API:
 //
 //	GET  /healthz            liveness + drain state
-//	GET  /metrics            MetricsSnapshot (registry, cache, queue)
-//	POST /jobs               submit a JobSpec; ?wait=1 blocks until done
+//	GET  /metrics            MetricsSnapshot (registry, cache, queue);
+//	                         ?format=prometheus (or Accept: text/plain)
+//	                         selects Prometheus text exposition
+//	POST /jobs               submit a JobSpec; ?wait=1 blocks until done;
+//	                         Om-Trace-Id names the job's trace
 //	GET  /jobs               all job statuses, submission order
 //	GET  /jobs/{id}          one job's status
 //	GET  /jobs/{id}/image    the linked image (octet-stream)
 //	GET  /jobs/{id}/journal  the decision journal (om-journal/v1)
+//	GET  /jobs/{id}/trace    the job's span tree (om-trace/v1; live
+//	                         snapshot while the job runs)
+//	GET  /debug/flights      recent completed traces, newest first (?n=)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -616,6 +879,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/image", s.handleImage)
 	mux.HandleFunc("GET /jobs/{id}/journal", s.handleJournal)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/flights", s.handleFlights)
 	return mux
 }
 
@@ -641,10 +906,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	format := r.URL.Query().Get("format")
+	if format == "prometheus" ||
+		(format == "" && strings.Contains(r.Header.Get("Accept"), "text/plain")) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		_ = obs.WritePrometheus(w, s.promEntries())
+		return
+	}
 	writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	reqStart := s.now()
 	var js JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -658,7 +932,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	wait := r.URL.Query().Get("wait") == "1"
-	rec, f, err := s.submit(rs, wait)
+	rec, f, err := s.submit(rs, wait, cleanTraceID(r.Header.Get(TraceHeader)), reqStart)
 	switch {
 	case errors.Is(err, errQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
@@ -737,6 +1011,50 @@ func (s *Server) handleImage(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(res.image)
+}
+
+// cleanTraceID restricts a client-supplied trace id to printable ASCII and
+// a sane length; anything else falls back to a server-assigned id.
+func cleanTraceID(id string) string {
+	if len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < '!' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.jobFor(w, r)
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	doc := rec.traceDoc
+	tr := rec.trace
+	s.mu.Unlock()
+	if doc == nil {
+		// Not terminal yet: serve a live snapshot of the open tree.
+		doc = tr.Doc()
+	}
+	if doc == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no trace"})
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleFlights(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil {
+			n = v
+		}
+	}
+	writeJSON(w, http.StatusOK, s.rec.Recent(n))
 }
 
 func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {

@@ -325,4 +325,13 @@ type JobStatus struct {
 	Sim           *SimStats  `json:"sim,omitempty"`
 	ImageBytes    int        `json:"image_bytes,omitempty"`
 	JournalEvents int        `json:"journal_events,omitempty"`
+	// TraceID correlates this job with GET /jobs/{id}/trace, the flight
+	// recorder, and the server's structured logs.
+	TraceID string `json:"trace_id,omitempty"`
+	// QueueWait and Exec are the trace-derived phase durations: admission
+	// to worker pickup, and pickup to finish. Both are zero until the job
+	// reaches a terminal state (and stay zero on a memo hit, which never
+	// queues or executes).
+	QueueWait time.Duration `json:"queue_wait_ns,omitempty"`
+	Exec      time.Duration `json:"exec_ns,omitempty"`
 }
