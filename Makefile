@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench bench-link bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke clean
+.PHONY: all build vet test race verify fmt-check bench bench-link bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke verify-smoke clean
 
 all: build
 
@@ -15,12 +15,12 @@ test:
 
 # The parallel harness, OM's concurrent analysis, the omd service
 # (coalescing, queue, drain), the warm-path caches (stage stores,
-# resident program cache, shared pass-memo snapshots), and the telemetry
+# resident program cache, shared pass-memo snapshots), the telemetry
 # layer (concurrent span recording, registry snapshots, the flight
-# recorder ring) must stay race-clean.
+# recorder ring), and the verification engine must stay race-clean.
 race:
 	$(GO) test -race ./internal/harness ./internal/om ./internal/omd \
-		./internal/link ./internal/buildcache ./internal/obs
+		./internal/link ./internal/buildcache ./internal/obs ./internal/verify
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -89,8 +89,24 @@ pgo-smoke:
 omd-smoke:
 	$(GO) run ./cmd/omd -loadsmoke -smoke-clients 32
 
+# verify-smoke is the correctness-engine gate: every golden matrix cell of
+# two real benchmarks must translation-validate with zero failures, 200
+# generated programs must behave identically unoptimized and optimized
+# across the quick matrix, and each fuzz target runs 10 seconds from its
+# seeded corpus (the minimized crashers in testdata/fuzz also replay as
+# plain tests under `make test`). One -fuzz target per invocation — the
+# go tool accepts only one fuzzing pattern at a time.
+verify-smoke:
+	$(GO) run ./cmd/omverify -matrix -bench li,compress
+	$(GO) run ./cmd/omverify -diff 200 -seed 1
+	$(GO) test -run '^$$' -fuzz '^FuzzObjfileRead$$' -fuzztime 10s ./internal/objfile
+	$(GO) test -run '^$$' -fuzz '^FuzzImageRead$$' -fuzztime 10s ./internal/objfile
+	$(GO) test -run '^$$' -fuzz '^FuzzLink$$' -fuzztime 10s ./internal/link
+	$(GO) test -run '^$$' -fuzz '^FuzzUnmarshalOptions$$' -fuzztime 10s ./internal/om
+	$(GO) test -run '^$$' -fuzz '^FuzzProfileRead$$' -fuzztime 10s ./internal/profile
+
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke
+verify: build vet test race fmt-check bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke verify-smoke
 
 clean:
 	$(GO) clean ./...

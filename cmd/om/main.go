@@ -5,11 +5,17 @@
 // Usage:
 //
 //	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib]
-//	   [-profile file] [-stats] [-trace file] [-metrics] [-warmcheck] [-v] file.o...
+//	   [-profile file] [-stats] [-trace file] [-verify] [-metrics]
+//	   [-warmcheck] [-v] file.o...
 //
 // -warmcheck links the program a second time through the per-procedure warm
 // memo and fails unless the replayed image is byte-identical to the first —
 // a command-line probe of the incremental pipeline's core invariant.
+//
+// -verify translation-validates the produced image against the link's own
+// decision journal and refuses to write an image any rewrite of which cannot
+// be proven sound. With -trace, the om-verify/v1 verdict document is written
+// next to the journal as <trace>.verify.json.
 //
 // -profile enables profile-guided procedure layout from an om-profile/v1
 // document (collected with axsim -profileout or om -instrument feedback);
@@ -33,6 +39,7 @@ import (
 	"repro/internal/om"
 	"repro/internal/profile"
 	"repro/internal/rtlib"
+	"repro/internal/verify"
 )
 
 func main() {
@@ -45,6 +52,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print static optimization statistics")
 	jobs := flag.Int("j", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write the decision journal (one event per address load/call/GP-reset) to this file")
+	verifyFlag := flag.Bool("verify", false, "translation-validate the image against the decision journal before writing it")
 	metrics := flag.Bool("metrics", false, "print per-phase timings as JSON on stderr")
 	warmcheck := flag.Bool("warmcheck", false, "relink through the warm per-procedure memo and verify the image is byte-identical")
 	verbose := flag.Bool("v", false, "print progress")
@@ -134,7 +142,7 @@ func main() {
 		reg = obs.NewRegistry()
 		opts = append(opts, om.WithMetrics(reg))
 	}
-	if *trace != "" {
+	if *trace != "" || *verifyFlag {
 		opts = append(opts, om.WithTrace())
 	}
 	var memo *om.Memo
@@ -149,6 +157,29 @@ func main() {
 	}
 	logger.Logf("om: optimized at %v: %v", lvl, res.Stats)
 	im := res.Image
+	if *verifyFlag {
+		doc, err := verify.ValidateImage(im, res.Journal)
+		if err == nil {
+			err = doc.Err()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "om: verify:", err)
+			os.Exit(1)
+		}
+		logger.Logf("om: verify ok (%d checks)", doc.Checked)
+		if *trace != "" {
+			vf, err := os.Create(*trace + ".verify.json")
+			if err == nil {
+				err = verify.Write(vf, doc)
+				vf.Close()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "om: verify:", err)
+				os.Exit(1)
+			}
+			logger.Logf("om: wrote verdicts to %s.verify.json", *trace)
+		}
+	}
 	if memo != nil {
 		// The first run populated the memo; a second run over the same
 		// program and options must replay it to a byte-identical image —

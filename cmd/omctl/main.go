@@ -322,6 +322,7 @@ func cmdSubmit(ctx context.Context, args []string) {
 	noStdlib := fs.Bool("nostdlib", false, "do not link the runtime library")
 	profPath := fs.String("profile", "", "om-profile/v1 file for profile-guided layout")
 	simulate := fs.Bool("sim", false, "simulate the linked image and report dynamic stats")
+	verifyJob := fs.Bool("verify", false, "translation-validate the linked image on the server; a bad verdict fails the job")
 	timeout := fs.Duration("timeout", 0, "per-job deadline override (0 = server default)")
 	traceID := fs.String("traceid", "", "correlate the job under this trace id (Om-Trace-Id)")
 	wait := fs.Bool("wait", false, "block until the job finishes")
@@ -354,6 +355,7 @@ func cmdSubmit(ctx context.Context, args []string) {
 		NoStdlib:  *noStdlib,
 		Options:   optDoc,
 		Simulate:  *simulate,
+		Verify:    *verifyJob,
 		TimeoutMS: timeout.Milliseconds(),
 	}
 	for _, path := range fs.Args() {

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	omtrace [-check] [-json] [-kept] [-proc name] [-reason substr] journal.json...
+//	omtrace [-check [-verify doc]] [-json] [-kept] [-proc name] [-reason substr] journal.json...
+//
+// -check -verify cross-checks the journal against an om-verify/v1 verdict
+// document (written by `om -verify -trace` or omverify): the two accounting
+// systems must agree event-for-event on every reason code, so a validator
+// that silently dropped events — or a journal reason the validator does not
+// model — fails the gate.
 package main
 
 import (
@@ -17,18 +23,39 @@ import (
 	"strings"
 
 	"repro/internal/obs"
+	"repro/internal/verify"
 )
 
 func main() {
 	check := flag.Bool("check", false, "verify journal accounting (events cover 100% of sites) and exit")
+	verifyFile := flag.String("verify", "", "om-verify/v1 verdict document to cross-check reason counts against (with -check)")
 	jsonOut := flag.Bool("json", false, "emit a JSON summary instead of the text report")
 	keptOnly := flag.Bool("kept", false, "list only sites that stayed unoptimized")
 	procFilter := flag.String("proc", "", "restrict the site listing to the named procedure")
 	reasonFilter := flag.String("reason", "", "restrict the site listing to reason codes containing this substring")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: omtrace [-check] [-json] [-kept] [-proc name] [-reason substr] journal.json...")
+		fmt.Fprintln(os.Stderr, "usage: omtrace [-check [-verify doc]] [-json] [-kept] [-proc name] [-reason substr] journal.json...")
 		os.Exit(2)
+	}
+	if *verifyFile != "" && !*check {
+		fmt.Fprintln(os.Stderr, "omtrace: -verify requires -check")
+		os.Exit(2)
+	}
+
+	var vdoc *verify.Doc
+	if *verifyFile != "" {
+		vf, err := os.Open(*verifyFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "omtrace:", err)
+			os.Exit(1)
+		}
+		vdoc, err = verify.Read(vf)
+		vf.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "omtrace: %s: %v\n", *verifyFile, err)
+			os.Exit(1)
+		}
 	}
 
 	ok := true
@@ -46,7 +73,11 @@ func main() {
 		}
 		switch {
 		case *check:
-			if err := d.Check(); err != nil {
+			err := d.Check()
+			if err == nil && vdoc != nil {
+				err = vdoc.CrossCheck(d)
+			}
+			if err != nil {
 				fmt.Fprintf(os.Stderr, "omtrace: %s: FAIL: %v\n", name, err)
 				ok = false
 			} else {
@@ -54,8 +85,12 @@ func main() {
 				if n, present := d.Totals["layout"]; present {
 					extra = fmt.Sprintf(", %d layout", n)
 				}
-				fmt.Printf("%s: ok (%d addr, %d call, %d gpreset%s events, all accounted for)\n",
-					name, d.Totals["addr"], d.Totals["call"], d.Totals["gpreset"], extra)
+				cross := ""
+				if vdoc != nil {
+					cross = fmt.Sprintf("; %d verdicts cover every reason", vdoc.Checked)
+				}
+				fmt.Printf("%s: ok (%d addr, %d call, %d gpreset%s events, all accounted for%s)\n",
+					name, d.Totals["addr"], d.Totals["call"], d.Totals["gpreset"], extra, cross)
 			}
 		case *jsonOut:
 			emitJSON(name, d)

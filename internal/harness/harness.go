@@ -31,6 +31,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/spec"
 	"repro/internal/tcc"
+	"repro/internal/verify"
 )
 
 // BuildMode selects how the benchmark's user sources are compiled.
@@ -95,6 +96,10 @@ type Measurement struct {
 	// Journal is the cell's decision journal (Runner.Trace runs through an
 	// OM link mode only; nil otherwise).
 	Journal *obs.JournalDoc
+	// Verify is the cell's om-verify/v1 verdict document (Runner.Verify
+	// runs through an OM link mode only; nil otherwise). A cell whose image
+	// fails validation never produces a Measurement — the run errors.
+	Verify *verify.Doc
 }
 
 // Result aggregates one benchmark across the matrix.
@@ -144,6 +149,11 @@ type Runner struct {
 	// Trace collects a decision journal for every OM-linked matrix cell
 	// (Measurement.Journal).
 	Trace bool
+	// Verify translation-validates every OM-linked cell's image against
+	// its decision journal (forcing a journal internally even when Trace is
+	// off) and fails the cell when a rewrite cannot be proven sound. The
+	// verdict document lands in Measurement.Verify.
+	Verify bool
 	// Span, when non-nil, receives one child span per pipeline stage the
 	// runner executes (harness/compile, harness/link with the om phases
 	// nested inside, harness/sim), annotated with the benchmark and cell so
@@ -213,6 +223,13 @@ func WithTrace(on bool) RunnerOption {
 // disables span recording (the default).
 func WithSpan(sp *obs.Span) RunnerOption {
 	return func(r *Runner) { r.Span = sp }
+}
+
+// WithVerify translation-validates every OM-linked cell's image against its
+// decision journal, failing the cell on an unprovable rewrite (see
+// Runner.Verify).
+func WithVerify(on bool) RunnerOption {
+	return func(r *Runner) { r.Verify = on }
 }
 
 // New builds a runner with the default timing model, then applies the
@@ -352,12 +369,12 @@ func (r *Runner) compile(b spec.Benchmark, mode BuildMode) ([]*objfile.Object, t
 	return objs, dt, nil
 }
 
-// linkVariant produces the image (and OM stats and, when tracing, the
-// decision journal) for one link mode.
-func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, *obs.JournalDoc, time.Duration, error) {
+// linkVariant produces the image (and OM stats and, when tracing or
+// verifying, the decision journal and verdict document) for one link mode.
+func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode LinkMode) (*objfile.Image, *om.Stats, *obs.JournalDoc, *verify.Doc, time.Duration, error) {
 	lib, err := r.libObjects()
 	if err != nil {
-		return nil, nil, nil, 0, err
+		return nil, nil, nil, nil, 0, err
 	}
 	all := append(append([]*objfile.Object(nil), objs...), lib...)
 	sp := r.Span.Child("harness/link")
@@ -368,13 +385,13 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 	switch mode {
 	case LinkStandard:
 		im, err := link.Link(all)
-		return im, nil, nil, time.Since(start), err
+		return im, nil, nil, nil, time.Since(start), err
 	default:
 		opts := []om.Option{om.WithMetrics(r.Metrics), om.WithSpan(sp)}
 		if r.Memo != nil {
 			opts = append(opts, om.WithMemo(r.Memo))
 		}
-		if r.Trace {
+		if r.Trace || r.Verify {
 			opts = append(opts, om.WithTrace())
 		}
 		switch mode {
@@ -389,13 +406,28 @@ func (r *Runner) linkVariant(ctx context.Context, objs []*objfile.Object, mode L
 		}
 		p, _, err := r.Programs.GetOrMerge(all)
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, nil, 0, err
 		}
 		res, err := om.Run(ctx, p, opts...)
 		if err != nil {
-			return nil, nil, nil, 0, err
+			return nil, nil, nil, nil, 0, err
 		}
-		return res.Image, res.Stats, res.Journal, time.Since(start), nil
+		var vdoc *verify.Doc
+		if r.Verify {
+			vdoc, err = verify.ValidateImage(res.Image, res.Journal)
+			if err == nil {
+				err = vdoc.Err()
+			}
+			if err != nil {
+				return nil, nil, nil, nil, 0, fmt.Errorf("verify %v: %w", mode, err)
+			}
+		}
+		journal := res.Journal
+		if !r.Trace {
+			// The journal, if any, was forced for verification only.
+			journal = nil
+		}
+		return res.Image, res.Stats, journal, vdoc, time.Since(start), nil
 	}
 }
 
@@ -423,7 +455,7 @@ func (r *Runner) RunBenchmark(ctx context.Context, b spec.Benchmark) (*Result, e
 
 // measureCell links and simulates one matrix cell.
 func (r *Runner) measureCell(ctx context.Context, b spec.Benchmark, v Variant, objs []*objfile.Object) (*Measurement, error) {
-	im, st, journal, dt, err := r.linkVariant(ctx, objs, v.Link)
+	im, st, journal, vdoc, dt, err := r.linkVariant(ctx, objs, v.Link)
 	if err != nil {
 		return nil, fmt.Errorf("%s %v/%v: %w", b.Name, v.Build, v.Link, err)
 	}
@@ -447,6 +479,7 @@ func (r *Runner) measureCell(ctx context.Context, b spec.Benchmark, v Variant, o
 		TextBytes: len(im.TextSegment().Data),
 		GATBytes:  im.GATBytes(),
 		Journal:   journal,
+		Verify:    vdoc,
 	}, nil
 }
 

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestRunnerWithVerify: a verifying runner translation-validates every
+// OM-linked cell and attaches the verdict document to the measurement;
+// standard-link cells carry none.
+func TestRunnerWithVerify(t *testing.T) {
+	r, err := New(WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := spec.ByName("compress")
+	if !ok {
+		t.Fatal("no benchmark compress")
+	}
+	res, err := r.RunBenchmark(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, m := range res.M {
+		if v.Link == LinkStandard {
+			if m.Verify != nil {
+				t.Errorf("%v: standard link carries verdicts", v)
+			}
+			continue
+		}
+		if m.Verify == nil {
+			t.Errorf("%v: OM cell has no verdict document", v)
+			continue
+		}
+		if m.Verify.Checked == 0 || m.Verify.Failed != 0 {
+			t.Errorf("%v: verdicts checked=%d failed=%d", v, m.Verify.Checked, m.Verify.Failed)
+		}
+		if m.Journal != nil {
+			t.Errorf("%v: journal leaked without Trace", v)
+		}
+	}
+}

@@ -99,6 +99,14 @@ func (p *Program) Layout() (*objfile.Image, error) {
 	}
 	place(objfile.SecBss)
 	dataEnd := [2]uint64{(dcur[0] + 7) &^ 7, (dcur[1] + 7) &^ 7}
+	// Refuse to materialize an implausible data segment: each input section
+	// and common is individually bounded by objfile.Validate, but a module
+	// set could still sum to an allocation no real program needs. The typed
+	// error keeps corrupt-input handling classifiable end to end.
+	const maxSegment = 1 << 31
+	if dataEnd[0]-objfile.DataBase > maxSegment || dataEnd[1]-objfile.SharedDataBase > maxSegment {
+		return nil, fmt.Errorf("link: %w: data segment exceeds %d bytes", objfile.ErrTooLarge, uint64(maxSegment))
+	}
 
 	// --- Address resolution helpers.
 	addrOfDef := func(mod int, sym int32) (uint64, error) {

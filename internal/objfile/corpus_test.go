@@ -1,0 +1,72 @@
+package objfile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// ReadCorpusDirForTesting parses every `go test fuzz v1` file in dir and
+// returns name -> input bytes. Shared with the link package's corpus replay
+// via the exported helper below.
+func readCorpusDir(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("corpus dir: %v", err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(data), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a fuzz corpus file", e.Name())
+		}
+		payload := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		s, err := strconv.Unquote(payload)
+		if err != nil {
+			t.Fatalf("%s: bad corpus payload: %v", e.Name(), err)
+		}
+		out[e.Name()] = []byte(s)
+	}
+	if len(out) == 0 {
+		t.Fatalf("corpus dir %s is empty", dir)
+	}
+	return out
+}
+
+// TestCrasherCorpusTyped replays the minimized crasher corpus: each input
+// once panicked the decoder or the linker's address arithmetic; all of them
+// must now fail Read with a classifiable typed error.
+func TestCrasherCorpusTyped(t *testing.T) {
+	for name, data := range readCorpusDir(t, filepath.Join("testdata", "fuzz", "FuzzObjfileRead")) {
+		_, err := Read(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: crasher input now parses cleanly; corpus is stale", name)
+			continue
+		}
+		if !typedDecodeError(err) {
+			t.Errorf("%s: error %v is not one of the typed sentinels", name, err)
+		}
+	}
+	for name, data := range readCorpusDir(t, filepath.Join("testdata", "fuzz", "FuzzImageRead")) {
+		_, err := ReadImage(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: crasher image now parses cleanly; corpus is stale", name)
+			continue
+		}
+		if !errors.Is(err, ErrTruncated) && !typedDecodeError(err) {
+			t.Errorf("%s: error %v is not one of the typed sentinels", name, err)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package objfile
+
+import "errors"
+
+// Typed error classes for malformed input. Read, ReadImage, and Validate wrap
+// every rejection in one of these sentinels so callers (the linker, OM, the
+// fuzz harness) can classify failures with errors.Is instead of string
+// matching — and so a malformed module is always a clean error, never a
+// panic, no matter how it was corrupted.
+var (
+	// ErrTruncated: the input ended before the declared structure did.
+	ErrTruncated = errors.New("truncated input")
+	// ErrBadMagic: the input does not start with the format's magic string
+	// or carries an unsupported version.
+	ErrBadMagic = errors.New("bad magic or version")
+	// ErrBadSymbol: a symbol-table entry violates the format's invariants
+	// (range outside its section, bad kind, zero-size common, bad alignment).
+	ErrBadSymbol = errors.New("bad symbol")
+	// ErrBadReloc: a relocation record violates the format's invariants
+	// (offset outside its section, bad kind, out-of-range symbol or Extra).
+	ErrBadReloc = errors.New("bad relocation")
+	// ErrBadSection: a section violates the format's invariants (bss with
+	// data, size/data mismatch, misaligned text or lita).
+	ErrBadSection = errors.New("bad section")
+	// ErrTooLarge: a declared size is implausibly large; honoring it would
+	// let a corrupt header drive allocation.
+	ErrTooLarge = errors.New("implausible size")
+)

@@ -199,10 +199,10 @@ func ReadImage(r io.Reader) (*Image, error) {
 	var magic [4]byte
 	rd.raw(magic[:])
 	if rd.err == nil && string(magic[:]) != imgMagic {
-		return nil, fmt.Errorf("objfile: bad image magic %q", magic[:])
+		return nil, fmt.Errorf("objfile: %w: bad image magic %q", ErrBadMagic, magic[:])
 	}
 	if v := rd.u32(); rd.err == nil && v != version {
-		return nil, fmt.Errorf("objfile: unsupported image version %d", v)
+		return nil, fmt.Errorf("objfile: %w: unsupported image version %d", ErrBadMagic, v)
 	}
 	im := &Image{Entry: rd.u64()}
 	nseg := rd.u64()

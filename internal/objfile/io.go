@@ -68,8 +68,16 @@ func (rd *reader) u8() uint8 {
 		return 0
 	}
 	b, err := rd.r.ReadByte()
-	rd.err = err
+	rd.err = truncated(err)
 	return b
+}
+
+// truncated maps short reads onto the typed sentinel.
+func truncated(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	return err
 }
 
 func (rd *reader) u32() uint32 {
@@ -88,7 +96,8 @@ func (rd *reader) i64() int64 { return int64(rd.u64()) }
 
 func (rd *reader) raw(b []byte) {
 	if rd.err == nil {
-		_, rd.err = io.ReadFull(rd.r, b)
+		_, err := io.ReadFull(rd.r, b)
+		rd.err = truncated(err)
 	}
 }
 
@@ -98,7 +107,7 @@ func (rd *reader) bytes(limit uint64) []byte {
 		return nil
 	}
 	if n > limit {
-		rd.err = fmt.Errorf("objfile: declared length %d exceeds limit %d", n, limit)
+		rd.err = fmt.Errorf("%w: declared length %d exceeds limit %d", ErrTooLarge, n, limit)
 		return nil
 	}
 	if n == 0 {
@@ -164,10 +173,10 @@ func Read(r io.Reader) (*Object, error) {
 	var magic [4]byte
 	rd.raw(magic[:])
 	if rd.err == nil && string(magic[:]) != objMagic {
-		return nil, fmt.Errorf("objfile: bad magic %q", magic[:])
+		return nil, fmt.Errorf("objfile: %w: bad magic %q", ErrBadMagic, magic[:])
 	}
 	if v := rd.u32(); rd.err == nil && v != version {
-		return nil, fmt.Errorf("objfile: unsupported version %d", v)
+		return nil, fmt.Errorf("objfile: %w: unsupported version %d", ErrBadMagic, v)
 	}
 	o := New(rd.str())
 	for k := SectionKind(0); k < NumSections; k++ {
@@ -176,7 +185,7 @@ func Read(r io.Reader) (*Object, error) {
 	}
 	nsym := rd.u64()
 	if rd.err == nil && nsym > math.MaxInt32 {
-		return nil, fmt.Errorf("objfile: implausible symbol count %d", nsym)
+		return nil, fmt.Errorf("objfile: %w: symbol count %d", ErrTooLarge, nsym)
 	}
 	for i := uint64(0); i < nsym && rd.err == nil; i++ {
 		var sym Symbol
@@ -194,7 +203,7 @@ func Read(r io.Reader) (*Object, error) {
 	}
 	nrel := rd.u64()
 	if rd.err == nil && nrel > math.MaxInt32 {
-		return nil, fmt.Errorf("objfile: implausible reloc count %d", nrel)
+		return nil, fmt.Errorf("objfile: %w: reloc count %d", ErrTooLarge, nrel)
 	}
 	for i := uint64(0); i < nrel && rd.err == nil; i++ {
 		var rel Reloc

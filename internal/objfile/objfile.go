@@ -205,77 +205,122 @@ func (o *Object) LitaSlots() int {
 func (o *Object) Validate() error {
 	for k := SectionKind(0); k < NumSections; k++ {
 		s := &o.Sections[k]
+		if s.Size > maxBlob {
+			return fmt.Errorf("%s: %w: section %v declares %d bytes", o.Name, ErrTooLarge, k, s.Size)
+		}
 		if k.IsBss() {
 			if len(s.Data) != 0 {
-				return fmt.Errorf("%s: bss section %v has %d bytes of data", o.Name, k, len(s.Data))
+				return fmt.Errorf("%s: %w: bss section %v has %d bytes of data", o.Name, ErrBadSection, k, len(s.Data))
 			}
 		} else if s.Size != uint64(len(s.Data)) {
-			return fmt.Errorf("%s: section %v size %d != data length %d", o.Name, k, s.Size, len(s.Data))
+			return fmt.Errorf("%s: %w: section %v size %d != data length %d", o.Name, ErrBadSection, k, s.Size, len(s.Data))
 		}
 	}
 	if len(o.Sections[SecText].Data)%4 != 0 {
-		return fmt.Errorf("%s: .text length %d not instruction-aligned", o.Name, len(o.Sections[SecText].Data))
+		return fmt.Errorf("%s: %w: .text length %d not instruction-aligned", o.Name, ErrBadSection, len(o.Sections[SecText].Data))
 	}
 	if len(o.Sections[SecLita].Data)%8 != 0 {
-		return fmt.Errorf("%s: .lita length %d not slot-aligned", o.Name, len(o.Sections[SecLita].Data))
+		return fmt.Errorf("%s: %w: .lita length %d not slot-aligned", o.Name, ErrBadSection, len(o.Sections[SecLita].Data))
 	}
 	for i, sym := range o.Symbols {
+		// A declared alignment must be a power of two within reason: the
+		// layout's rounding arithmetic ((addr+a-1) &^ (a-1)) is only sound
+		// for powers of two, and a huge alignment would let one symbol
+		// inflate the data segment without bound.
+		if sym.Align != 0 && (sym.Align&(sym.Align-1) != 0 || sym.Align > maxAlign) {
+			return fmt.Errorf("%s: %w: symbol %s alignment %d (want a power of two <= %d)",
+				o.Name, ErrBadSymbol, sym.Name, sym.Align, maxAlign)
+		}
 		switch sym.Kind {
 		case SymProc:
 			if sym.Section != SecText {
-				return fmt.Errorf("%s: proc %s not in .text", o.Name, sym.Name)
+				return fmt.Errorf("%s: %w: proc %s not in .text", o.Name, ErrBadSymbol, sym.Name)
 			}
 			if sym.End < sym.Value || sym.End > o.Sections[SecText].Size {
-				return fmt.Errorf("%s: proc %s range [%d,%d) outside .text (%d bytes)",
-					o.Name, sym.Name, sym.Value, sym.End, o.Sections[SecText].Size)
+				return fmt.Errorf("%s: %w: proc %s range [%d,%d) outside .text (%d bytes)",
+					o.Name, ErrBadSymbol, sym.Name, sym.Value, sym.End, o.Sections[SecText].Size)
 			}
 		case SymData:
 			if sym.Section >= NumSections {
-				return fmt.Errorf("%s: data symbol %s in bad section", o.Name, sym.Name)
+				return fmt.Errorf("%s: %w: data symbol %s in bad section", o.Name, ErrBadSymbol, sym.Name)
 			}
-			if sym.Value+sym.Size > o.Sections[sym.Section].Size {
-				return fmt.Errorf("%s: data symbol %s [%d,+%d) outside %v",
-					o.Name, sym.Name, sym.Value, sym.Size, sym.Section)
+			size := o.Sections[sym.Section].Size
+			if sym.Value > size || sym.Size > size-sym.Value {
+				return fmt.Errorf("%s: %w: data symbol %s [%d,+%d) outside %v",
+					o.Name, ErrBadSymbol, sym.Name, sym.Value, sym.Size, sym.Section)
 			}
 		case SymCommon:
 			if sym.Size == 0 {
-				return fmt.Errorf("%s: common %s has zero size", o.Name, sym.Name)
+				return fmt.Errorf("%s: %w: common %s has zero size", o.Name, ErrBadSymbol, sym.Name)
+			}
+			if sym.Size > maxBlob {
+				return fmt.Errorf("%s: %w: common %s declares %d bytes", o.Name, ErrTooLarge, sym.Name, sym.Size)
 			}
 		case SymUndef:
 			// name only
 		default:
-			return fmt.Errorf("%s: symbol %d has unknown kind %v", o.Name, i, sym.Kind)
+			return fmt.Errorf("%s: %w: symbol %d has unknown kind %v", o.Name, ErrBadSymbol, i, sym.Kind)
 		}
 	}
 	for i, r := range o.Relocs {
-		if r.Symbol >= int32(len(o.Symbols)) {
-			return fmt.Errorf("%s: reloc %d references symbol %d of %d", o.Name, i, r.Symbol, len(o.Symbols))
+		if r.Symbol >= int32(len(o.Symbols)) || r.Symbol < -1 {
+			return fmt.Errorf("%s: %w: reloc %d references symbol %d of %d", o.Name, ErrBadReloc, i, r.Symbol, len(o.Symbols))
 		}
 		var sec SectionKind
 		switch r.Kind {
 		case RLiteral, RLituseBase, RLituseJSR, RGPDisp, RBrAddr, RGPRel16:
 			sec = SecText
 			if r.Section != SecText {
-				return fmt.Errorf("%s: reloc %d (%v) not in .text", o.Name, i, r.Kind)
+				return fmt.Errorf("%s: %w: reloc %d (%v) not in .text", o.Name, ErrBadReloc, i, r.Kind)
 			}
 			if r.Offset%4 != 0 {
-				return fmt.Errorf("%s: reloc %d (%v) misaligned offset %d", o.Name, i, r.Kind, r.Offset)
+				return fmt.Errorf("%s: %w: reloc %d (%v) misaligned offset %d", o.Name, ErrBadReloc, i, r.Kind, r.Offset)
 			}
 		case RRefQuad:
 			sec = r.Section
 			if sec >= NumSections || sec.IsBss() || sec == SecText {
-				return fmt.Errorf("%s: reloc %d REFQUAD in %v", o.Name, i, sec)
+				return fmt.Errorf("%s: %w: reloc %d REFQUAD in %v", o.Name, ErrBadReloc, i, sec)
 			}
 			if r.Offset%8 != 0 {
-				return fmt.Errorf("%s: reloc %d REFQUAD misaligned offset %d", o.Name, i, r.Offset)
+				return fmt.Errorf("%s: %w: reloc %d REFQUAD misaligned offset %d", o.Name, ErrBadReloc, i, r.Offset)
 			}
 		default:
-			return fmt.Errorf("%s: reloc %d has unknown kind %v", o.Name, i, r.Kind)
+			return fmt.Errorf("%s: %w: reloc %d has unknown kind %v", o.Name, ErrBadReloc, i, r.Kind)
 		}
 		if r.Offset >= o.Sections[sec].Size && !(r.Offset == 0 && o.Sections[sec].Size == 0) {
-			return fmt.Errorf("%s: reloc %d (%v) offset %d outside %v (%d bytes)",
-				o.Name, i, r.Kind, r.Offset, sec, o.Sections[sec].Size)
+			return fmt.Errorf("%s: %w: reloc %d (%v) offset %d outside %v (%d bytes)",
+				o.Name, ErrBadReloc, i, r.Kind, r.Offset, sec, o.Sections[sec].Size)
+		}
+		// Resolving kinds dereference Symbol; Extra indexes a structure the
+		// consumer trusts. Both must be bounded here so the linker and OM can
+		// index without rechecking.
+		switch r.Kind {
+		case RLiteral:
+			if r.Symbol < 0 {
+				return fmt.Errorf("%s: %w: reloc %d LITERAL without a symbol", o.Name, ErrBadReloc, i)
+			}
+			if r.Extra >= uint64(o.LitaSlots()) {
+				return fmt.Errorf("%s: %w: reloc %d LITERAL slot %d of %d", o.Name, ErrBadReloc, i, r.Extra, o.LitaSlots())
+			}
+		case RLituseBase, RLituseJSR, RGPDisp:
+			if r.Extra%4 != 0 || r.Extra >= o.Sections[SecText].Size {
+				return fmt.Errorf("%s: %w: reloc %d (%v) partner offset %d outside .text (%d bytes)",
+					o.Name, ErrBadReloc, i, r.Kind, r.Extra, o.Sections[SecText].Size)
+			}
+			if r.Kind == RGPDisp && (r.Addend < 0 || uint64(r.Addend) > o.Sections[SecText].Size) {
+				return fmt.Errorf("%s: %w: reloc %d GPDISP anchor %d outside .text (%d bytes)",
+					o.Name, ErrBadReloc, i, r.Addend, o.Sections[SecText].Size)
+			}
+		case RBrAddr, RGPRel16, RRefQuad:
+			if r.Symbol < 0 {
+				return fmt.Errorf("%s: %w: reloc %d (%v) without a symbol", o.Name, ErrBadReloc, i, r.Kind)
+			}
 		}
 	}
 	return nil
 }
+
+// maxAlign bounds a symbol's declared alignment (a corruption guard: layout
+// rounds addresses up to the alignment, so an absurd value would inflate the
+// image).
+const maxAlign = 1 << 20

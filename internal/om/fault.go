@@ -1,0 +1,19 @@
+package om
+
+// faultHook, when non-nil, mutates the transformed program after the
+// passes (and profile-guided layout) but before statistics collection,
+// journal construction, and emission. It models a buggy optimization pass:
+// the damage is invisible to OM's own accounting, and the verification
+// subsystem must catch it from the outside. Tests only.
+var faultHook func(*Prog)
+
+// SetFaultHookForTesting installs a post-pass program mutation and returns
+// a function restoring the previous hook. The verify package uses it to
+// prove a deliberately-broken OM pass is caught by both the translation
+// validator and the differential runner. Not safe for concurrent Runs; the
+// tests that use it are serial.
+func SetFaultHookForTesting(h func(*Prog)) (restore func()) {
+	old := faultHook
+	faultHook = h
+	return func() { faultHook = old }
+}

@@ -131,8 +131,16 @@ func buildJournal(pg *Prog, pl *Plan, cfg config, stats *Stats, lay *layoutResul
 				})
 			}
 			if si.GPD != nil && si.GPD.High && !si.GPD.Entry {
+				// Record the callee when it is known: the translation
+				// validator checks an elided reset's callee shares the
+				// caller's GP (and a kept different-gat one does not).
+				target := ""
+				if callee := resetCallee(pg, si.GPD.AfterCall); callee != nil {
+					target = callee.Name
+				}
 				d.Events = append(d.Events, obs.Event{
 					Cat: "gpreset", Proc: pr.Name, Index: i,
+					Target: target,
 					Reason: classifyReset(pg, pl, cfg, pr, si),
 				})
 			}

@@ -240,6 +240,9 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 			return nil, err
 		}
 	}
+	if faultHook != nil {
+		faultHook(pg)
+	}
 	collectAfter(pg, pl, stats)
 
 	// Renumber before publication and emission: the ordinals index Emit's

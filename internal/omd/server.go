@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buildcache"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/rtlib"
 	"repro/internal/sim"
 	"repro/internal/tcc"
+	"repro/internal/verify"
 )
 
 // Logger receives the server's progress output.
@@ -46,6 +48,12 @@ type Config struct {
 	// MemoLimit bounds the completed-result memo (FIFO eviction); <= 0
 	// selects 256 entries.
 	MemoLimit int
+	// VerifySample, when > 0, shadow-verifies every Nth fresh execution:
+	// the linked image is translation-validated against its decision
+	// journal alongside the job. A shadow failure logs and bumps
+	// omd/verify-shadow-failures but never fails the job — only jobs that
+	// set Verify in their spec fail on a bad verdict. 0 disables sampling.
+	VerifySample int
 	// Cache persists compiled objects and linked images across jobs (and,
 	// with a directory, across restarts). Nil runs uncached.
 	Cache *buildcache.Cache
@@ -105,6 +113,7 @@ type result struct {
 	image         []byte
 	stats         *om.Stats
 	journal       *obs.JournalDoc
+	verify        *verify.Doc
 	sim           *SimStats
 	imageCacheHit bool
 }
@@ -173,6 +182,10 @@ type Server struct {
 	// execGate, when set (tests only), runs at the top of every execution
 	// and may block to create controlled congestion.
 	execGate func(key string)
+
+	// verifySeq counts fresh om.Run executions for VerifySample's
+	// every-Nth shadow-verification draw.
+	verifySeq atomic.Uint64
 
 	libOnce sync.Once
 	lib     []*objfile.Object
@@ -536,7 +549,18 @@ func (s *Server) execute(ctx context.Context, rs *resolved, sp *obs.Span) (*resu
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if !rs.traced {
+	// A verifying job needs the journal of the run that produced its image,
+	// so it can never be answered from the image cache (same reason as a
+	// traced job). Shadow sampling is drawn here, before the cache lookup
+	// would short-circuit, so every Nth fresh execution is checked even
+	// when its image could have been served cold.
+	verifying := rs.spec.Verify
+	shadow := false
+	if !verifying && s.cfg.VerifySample > 0 &&
+		s.verifySeq.Add(1)%uint64(s.cfg.VerifySample) == 0 {
+		shadow = true
+	}
+	if !rs.traced && !verifying && !shadow {
 		ics := sp.Child("image-cache")
 		im, ok := s.cache.GetImage(rs.key)
 		ics.SetAttr("hit", strconv.FormatBool(ok))
@@ -601,18 +625,33 @@ func (s *Server) execute(ctx context.Context, rs *resolved, sp *obs.Span) (*resu
 	if rs.prof != nil {
 		opts = append(opts, om.WithProfile(rs.prof))
 	}
+	if (verifying || shadow) && !rs.traced {
+		// Validation replays the journal, so force one even when the client
+		// did not ask for a trace; it is stripped from the result below.
+		opts = append(opts, om.WithTrace())
+	}
 	omres, err := om.Run(ctx, p, opts...)
 	linkDone()
 	omSpan.End()
 	if err != nil {
 		return nil, err
 	}
-	if !rs.traced {
+	var vdoc *verify.Doc
+	if verifying || shadow {
+		if vdoc, err = s.verifyImage(omres.Image, omres.Journal, sp, verifying); err != nil {
+			return nil, err
+		}
+	}
+	if !rs.traced && !verifying {
 		if err := s.cache.PutImage(rs.key, omres.Image); err != nil {
 			return nil, err
 		}
 	}
-	res := &result{stats: omres.Stats, journal: omres.Journal}
+	res := &result{stats: omres.Stats, journal: omres.Journal, verify: vdoc}
+	if !rs.traced {
+		// The journal, if any, was forced for verification only.
+		res.journal = nil
+	}
 	if res.image, err = imageBytes(omres.Image); err != nil {
 		return nil, err
 	}
@@ -666,6 +705,45 @@ func (s *Server) simulate(ctx context.Context, im *objfile.Image, rs *resolved, 
 		ICacheMisses: out.Stats.ICacheMisses,
 		DCacheMisses: out.Stats.DCacheMisses,
 	}, nil
+}
+
+// verifyImage translation-validates a freshly linked image against the
+// decision journal of the run that produced it, under a "verify" child span
+// with the verdict totals as attributes. An explicit (spec.Verify) failure
+// fails the job; a sampled shadow failure logs and counts, so background
+// verification can never break a build that was not asked to prove itself.
+func (s *Server) verifyImage(im *objfile.Image, j *obs.JournalDoc, sp *obs.Span, explicit bool) (*verify.Doc, error) {
+	vs := sp.Child("verify")
+	defer vs.End()
+	mode := "shadow"
+	if explicit {
+		mode = "explicit"
+	}
+	vs.SetAttr("mode", mode)
+	s.reg.Counter("omd/verify-runs").Add(1)
+	verifyDone := obs.StartSpan(s.reg.Timer("omd/verify"))
+	doc, err := verify.ValidateImage(im, j)
+	verifyDone()
+	if doc != nil {
+		vs.SetAttr("checked", strconv.FormatUint(doc.Checked, 10))
+		vs.SetAttr("failed", strconv.FormatUint(doc.Failed, 10))
+		s.reg.Counter("omd/verify-checked").Add(doc.Checked)
+		s.reg.Counter("omd/verify-failed").Add(doc.Failed)
+	}
+	if err == nil {
+		err = doc.Err()
+	}
+	if err != nil {
+		vs.SetAttr("outcome", "failed")
+		if explicit {
+			return nil, fmt.Errorf("omd: verification failed: %w", err)
+		}
+		s.reg.Counter("omd/verify-shadow-failures").Add(1)
+		s.slog.Warn("omd shadow verification failed", "err", err.Error())
+		return nil, nil
+	}
+	vs.SetAttr("outcome", "ok")
+	return doc, nil
 }
 
 func imageBytes(im *objfile.Image) ([]byte, error) {
@@ -738,6 +816,11 @@ func (s *Server) status(rec *jobRecord) JobStatus {
 		st.ImageBytes = len(rec.res.image)
 		if rec.res.journal != nil {
 			st.JournalEvents = len(rec.res.journal.Events)
+		}
+		if rec.res.verify != nil {
+			st.Verified = true
+			st.VerifyChecked = rec.res.verify.Checked
+			st.VerifyFailed = rec.res.verify.Failed
 		}
 	}
 	return st
@@ -867,6 +950,8 @@ func (s *Server) retryAfter() int {
 //	GET  /jobs/{id}          one job's status
 //	GET  /jobs/{id}/image    the linked image (octet-stream)
 //	GET  /jobs/{id}/journal  the decision journal (om-journal/v1)
+//	GET  /jobs/{id}/verify   the verdict document (om-verify/v1; jobs
+//	                         submitted with verify only)
 //	GET  /jobs/{id}/trace    the job's span tree (om-trace/v1; live
 //	                         snapshot while the job runs)
 //	GET  /debug/flights      recent completed traces, newest first (?n=)
@@ -879,6 +964,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /jobs/{id}/image", s.handleImage)
 	mux.HandleFunc("GET /jobs/{id}/journal", s.handleJournal)
+	mux.HandleFunc("GET /jobs/{id}/verify", s.handleVerify)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /debug/flights", s.handleFlights)
 	return mux
@@ -1072,4 +1158,21 @@ func (s *Server) handleJournal(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = obs.WriteJournal(w, res.journal)
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	rec := s.jobFor(w, r)
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	res := rec.res
+	s.mu.Unlock()
+	if res == nil || res.verify == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no verdicts (job not submitted with verify)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = verify.Write(w, res.verify)
 }

@@ -60,6 +60,12 @@ type JobSpec struct {
 	// Simulate runs the linked image in the timing simulator and returns
 	// dynamic statistics with the result.
 	Simulate bool `json:"simulate,omitempty"`
+	// Verify translation-validates the freshly linked image against its
+	// decision journal (om-verify/v1); a rewrite the validator cannot
+	// prove sound fails the job. Verified jobs always execute — the
+	// persistent image cache cannot answer them, because validation needs
+	// the journal of the run that produced the image.
+	Verify bool `json:"verify,omitempty"`
 	// MaxInstructions caps a simulation (0 = server default).
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
 	// TimeoutMS overrides the server's per-job deadline (capped by it).
@@ -174,8 +180,8 @@ func (js *JobSpec) resolve() (*resolved, error) {
 // variant is the non-program half of the coalescing key: the canonical
 // option form plus every request knob that changes the result.
 func (r *resolved) variant() string {
-	return fmt.Sprintf("omd/%s/nostdlib=%v/sim=%v/maxinst=%d",
-		r.canonOpt, r.spec.NoStdlib, r.spec.Simulate, r.spec.MaxInstructions)
+	return fmt.Sprintf("omd/%s/nostdlib=%v/sim=%v/maxinst=%d/verify=%v",
+		r.canonOpt, r.spec.NoStdlib, r.spec.Simulate, r.spec.MaxInstructions, r.spec.Verify)
 }
 
 func (r *resolved) computeKey() error {
@@ -325,6 +331,13 @@ type JobStatus struct {
 	Sim           *SimStats  `json:"sim,omitempty"`
 	ImageBytes    int        `json:"image_bytes,omitempty"`
 	JournalEvents int        `json:"journal_events,omitempty"`
+	// Verified: the result carries an om-verify/v1 verdict document, served
+	// at GET /jobs/{id}/verify. VerifyChecked/VerifyFailed are its totals
+	// (an explicit Verify job with failures never reaches JobDone, so a
+	// done job always shows VerifyFailed == 0).
+	Verified      bool   `json:"verified,omitempty"`
+	VerifyChecked uint64 `json:"verify_checked,omitempty"`
+	VerifyFailed  uint64 `json:"verify_failed,omitempty"`
 	// TraceID correlates this job with GET /jobs/{id}/trace, the flight
 	// recorder, and the server's structured logs.
 	TraceID string `json:"trace_id,omitempty"`

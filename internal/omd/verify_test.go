@@ -1,0 +1,227 @@
+package omd_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/om"
+	"repro/internal/omd"
+	"repro/internal/verify"
+)
+
+// TestVerifyJob: a job submitted with verify gets its image
+// translation-validated, the verdict totals land in the status and the
+// counters, the om-verify/v1 document is served at /jobs/{id}/verify, and
+// the job's trace carries the verify span.
+func TestVerifyJob(t *testing.T) {
+	s := newTestServer(t, omd.Config{Workers: 2, QueueDepth: 8})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	st, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li", Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != omd.JobDone {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+	if !st.Verified {
+		t.Fatal("verified job status does not say so")
+	}
+	if st.VerifyChecked == 0 {
+		t.Fatal("verification checked nothing")
+	}
+	if st.VerifyFailed != 0 {
+		t.Fatalf("%d verdicts failed on a done job", st.VerifyFailed)
+	}
+	if st.JournalEvents != 0 {
+		t.Errorf("journal leaked to a client that did not request a trace (%d events)", st.JournalEvents)
+	}
+
+	raw, err := c.Verify(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := verify.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.Check(); err != nil {
+		t.Fatalf("served verdict document is inconsistent: %v", err)
+	}
+	if doc.Checked != st.VerifyChecked || doc.Failed != st.VerifyFailed {
+		t.Fatalf("status totals (%d/%d) disagree with the document (%d/%d)",
+			st.VerifyChecked, st.VerifyFailed, doc.Checked, doc.Failed)
+	}
+
+	tr, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.Find("verify")
+	if vs == nil {
+		t.Fatal("job trace has no verify span")
+	}
+	if vs.Attrs["mode"] != "explicit" || vs.Attrs["outcome"] != "ok" {
+		t.Fatalf("verify span attrs: %v", vs.Attrs)
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("omd/verify-runs") == 0 {
+		t.Error("omd/verify-runs not counted")
+	}
+	if snap.Counter("omd/verify-checked") == 0 {
+		t.Error("omd/verify-checked not counted")
+	}
+	if n := snap.Counter("omd/verify-failed"); n != 0 {
+		t.Errorf("omd/verify-failed = %d on a clean run", n)
+	}
+
+	// A repeat submission is a memo hit and keeps the verdicts.
+	st2, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li", Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.MemoHit || !st2.Verified || st2.VerifyChecked != st.VerifyChecked {
+		t.Fatalf("memoized verify job lost its verdicts: %+v", st2)
+	}
+}
+
+// TestVerifyKeyDistinct: verification changes what a job proves, so a
+// verified and an unverified submission of the same inputs must not share a
+// coalescing key (a memoized unverified result must never answer a verify
+// request).
+func TestVerifyKeyDistinct(t *testing.T) {
+	s := newTestServer(t, omd.Config{Workers: 2, QueueDepth: 8})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	plain, err := c.SubmitWait(ctx, &omd.JobSpec{Version: omd.SpecVersion, Benchmark: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verified, err := c.SubmitWait(ctx, &omd.JobSpec{Version: omd.SpecVersion, Benchmark: "compress", Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Key == verified.Key {
+		t.Fatal("verify flag does not enter the coalescing key")
+	}
+	if verified.MemoHit {
+		t.Fatal("verify job answered from an unverified memo entry")
+	}
+	if plain.Verified {
+		t.Fatal("unverified job claims verdicts")
+	}
+}
+
+// TestShadowVerifySample: with VerifySample=1 every fresh execution is
+// shadow-verified — the job itself is untouched (done, not failed), the
+// verdict totals surface in its status, and the counters move.
+func TestShadowVerifySample(t *testing.T) {
+	s := newTestServer(t, omd.Config{Workers: 2, QueueDepth: 8, VerifySample: 1})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	st, err := c.SubmitWait(ctx, &omd.JobSpec{Version: omd.SpecVersion, Benchmark: "li"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != omd.JobDone {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+	if !st.Verified || st.VerifyChecked == 0 {
+		t.Fatalf("sampled execution was not shadow-verified: %+v", st)
+	}
+	tr, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := tr.Find("verify")
+	if vs == nil {
+		t.Fatal("shadow-verified job trace has no verify span")
+	}
+	if vs.Attrs["mode"] != "shadow" {
+		t.Fatalf("verify span mode %q, want shadow", vs.Attrs["mode"])
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("omd/verify-runs") == 0 {
+		t.Error("shadow verification not counted")
+	}
+	if n := snap.Counter("omd/verify-shadow-failures"); n != 0 {
+		t.Errorf("%d shadow failures on a clean run", n)
+	}
+}
+
+// TestVerifyCatchesBrokenPass: the service-level half of the acceptance
+// criterion — with a deliberately-broken OM pass injected, an explicit
+// verify job fails with a verification error, while a shadow-sampled job
+// still completes (and the failure is counted).
+func TestVerifyCatchesBrokenPass(t *testing.T) {
+	restore := om.SetFaultHookForTesting(func(pg *om.Prog) {
+		for _, pr := range pg.Procs {
+			for _, si := range pr.Insts {
+				if si.Lit != nil && !si.Lit.Converted && !si.Lit.Nullified && !si.Deleted {
+					si.Deleted = true
+					return
+				}
+			}
+		}
+	})
+	defer restore()
+
+	s := newTestServer(t, omd.Config{Workers: 1, QueueDepth: 8, VerifySample: 1})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	st, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li", Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != omd.JobFailed {
+		t.Fatalf("broken pass not caught: state %s", st.State)
+	}
+	if !strings.Contains(st.Error, "verification failed") {
+		t.Fatalf("failure is not a verification error: %s", st.Error)
+	}
+
+	// The same damage under shadow sampling (li again — its key differs
+	// from the explicit job's, so this is a fresh execution, and the fault
+	// hook provably bites on li): job succeeds, failure counted.
+	st2, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != omd.JobDone {
+		t.Fatalf("shadow verification failed the job: %s (%s)", st2.State, st2.Error)
+	}
+	if st2.Verified {
+		t.Fatal("failed shadow check still attached verdicts")
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("omd/verify-shadow-failures") == 0 {
+		t.Error("shadow failure not counted")
+	}
+	if snap.Counter("omd/verify-failed") == 0 {
+		t.Error("failed verdicts not counted")
+	}
+}

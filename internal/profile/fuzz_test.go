@@ -1,0 +1,40 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzProfileRead: the om-profile/v1 parser must never panic, and anything
+// it accepts must be canonical under a write/read round trip (Hash depends
+// on that).
+func FuzzProfileRead(f *testing.F) {
+	p := New("synthetic")
+	p.Procs = []ProcCount{{Name: "main", Entries: 1, Weight: 10}}
+	p.Blocks = []BlockCount{{Proc: "main", Index: 0, Count: 10}}
+	p.Edges = []Edge{{Caller: "main", Callee: "main", Weight: 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, p); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"schema":"om-profile/v1","procs":[]}`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, p); err != nil {
+			t.Fatalf("accepted profile does not re-serialize: %v", err)
+		}
+		p2, err := Read(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if p.Hash() != p2.Hash() {
+			t.Fatal("round trip changed the canonical hash")
+		}
+	})
+}

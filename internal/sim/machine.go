@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -463,4 +464,24 @@ func MissHistogram(im *objfile.Image, cfg Config) []MissEntry {
 		out = out[:8]
 	}
 	return out
+}
+
+// ReadBytes copies n bytes of simulated memory starting at addr, for
+// post-run state inspection (the differential verifier compares the final
+// contents of data symbols across layouts). addr must be quadword-aligned;
+// unmapped pages read as zero, matching the machine's own loads.
+func (m *Machine) ReadBytes(addr uint64, n int) ([]byte, error) {
+	if addr&7 != 0 {
+		return nil, fmt.Errorf("sim: unaligned ReadBytes at %#x", addr)
+	}
+	quads := (n + 7) / 8
+	buf := make([]byte, 8*quads)
+	for i := 0; i < quads; i++ {
+		v, err := m.mem.Read64(addr + uint64(8*i))
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint64(buf[8*i:], v)
+	}
+	return buf[:n], nil
 }

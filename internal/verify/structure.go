@@ -1,0 +1,161 @@
+package verify
+
+import (
+	"fmt"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+	"repro/internal/obs"
+)
+
+// Structure performs whole-image structural checks, independent of any
+// journal: the image validates, every text segment decodes, every branch
+// lands inside text, every RA-linked bsr lands on a procedure entry (or the
+// entry+8 prologue skip), procedure GP values name real GATs, and GAT slots
+// hold plausible addresses. One verdict per rule per segment keeps the
+// output small on big images.
+func Structure(im *objfile.Image) []Verdict {
+	var out []Verdict
+	check := func(proc, rule string, n uint64, err error) {
+		v := Verdict{Cat: "image", Proc: proc, Rule: rule, Count: n, OK: err == nil}
+		if err != nil {
+			v.Err = err.Error()
+		}
+		out = append(out, v)
+	}
+
+	if err := im.Validate(); err != nil {
+		check("", "image-valid", 1, err)
+		return out
+	}
+	check("", "image-valid", 1, nil)
+
+	// Entry lands on a procedure entry.
+	if sym, ok := im.ProcAt(im.Entry); !ok || sym.Addr != im.Entry {
+		check("", "entry-proc", 1, fmt.Errorf("entry %#x is not a procedure entry", im.Entry))
+	} else {
+		check("", "entry-proc", 1, nil)
+	}
+
+	// Procedure entries (and entry+8, the prologue-skip landing pad) are
+	// the only legitimate bsr targets.
+	procEntry := make(map[uint64]bool)
+	gatGP := make(map[uint64]bool)
+	for _, g := range im.GATs {
+		gatGP[g.GP] = true
+	}
+	var badGP error
+	var nprocs uint64
+	for _, s := range im.Symbols {
+		if s.Kind != objfile.SymProc {
+			continue
+		}
+		nprocs++
+		procEntry[s.Addr] = true
+		procEntry[s.Addr+8] = true
+		if badGP == nil && s.GP != 0 && len(im.GATs) > 0 && !gatGP[s.GP] {
+			badGP = fmt.Errorf("procedure %s has GP %#x matching no GAT", s.Name, s.GP)
+		}
+	}
+	check("", "proc-gp", nprocs, badGP)
+
+	inText := func(addr uint64) bool {
+		for _, seg := range im.TextSegments() {
+			if addr >= seg.Addr && addr < seg.Addr+uint64(len(seg.Data)) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, seg := range im.TextSegments() {
+		insts, err := axp.DecodeAll(seg.Data)
+		check(seg.Name, "text-decodes", uint64(len(seg.Data)/4), err)
+		if err != nil {
+			continue
+		}
+		var badBranch, badCall error
+		var nbranch, ncall uint64
+		for i, in := range insts {
+			if !in.Op.IsBranch() {
+				continue
+			}
+			pc := seg.Addr + uint64(4*i)
+			target := axp.BranchTarget(in, pc)
+			nbranch++
+			if badBranch == nil && !inText(target) {
+				badBranch = fmt.Errorf("%s at %#x targets %#x outside text", in.Op, pc, target)
+			}
+			if in.Op == axp.BSR && in.Ra == axp.RA {
+				ncall++
+				if badCall == nil && !procEntry[target] {
+					badCall = fmt.Errorf("bsr at %#x targets %#x, not a procedure entry", pc, target)
+				}
+			}
+		}
+		check(seg.Name, "branch-in-text", nbranch, badBranch)
+		check(seg.Name, "bsr-entry", ncall, badCall)
+	}
+
+	// GAT slots hold zero or addresses inside the image (text, data, or
+	// bss extent).
+	var lo, hi uint64
+	for i := range im.Segments {
+		if i == 0 || im.Segments[i].Addr < lo {
+			lo = im.Segments[i].Addr
+		}
+		if im.Segments[i].End() > hi {
+			hi = im.Segments[i].End()
+		}
+	}
+	var badSlot error
+	var nslots uint64
+	for _, g := range im.GATs {
+		for addr := g.Start; addr+8 <= g.End; addr += 8 {
+			nslots++
+			v, ok := quadAtImage(im, addr)
+			if badSlot == nil && !ok {
+				badSlot = fmt.Errorf("GAT slot %#x not backed by segment data", addr)
+				continue
+			}
+			if badSlot == nil && v != 0 && (v < lo || v >= hi) {
+				badSlot = fmt.Errorf("GAT slot %#x holds %#x, outside the image", addr, v)
+			}
+		}
+	}
+	check("", "gat-slots", nslots, badSlot)
+	return out
+}
+
+func quadAtImage(im *objfile.Image, addr uint64) (uint64, bool) {
+	for i := range im.Segments {
+		seg := &im.Segments[i]
+		if addr >= seg.Addr && addr+8 <= seg.Addr+uint64(len(seg.Data)) {
+			return objfile.Uint64At(seg.Data, addr-seg.Addr), true
+		}
+	}
+	return 0, false
+}
+
+// ValidateImage combines the structural checks with translation validation
+// of a journal (which may be nil for structure-only verification) into one
+// document.
+func ValidateImage(im *objfile.Image, j *obs.JournalDoc) (*Doc, error) {
+	d := &Doc{Schema: Schema}
+	if j != nil {
+		d.Level = j.Level
+	}
+	for _, v := range Structure(im) {
+		d.add(v)
+	}
+	if j != nil {
+		td, err := Translate(im, j)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range td.Verdicts {
+			d.add(v)
+		}
+	}
+	return d, nil
+}
