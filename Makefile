@@ -1,6 +1,12 @@
 GO ?= go
 
-.PHONY: all build vet test race verify fmt-check bench bench-link bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke verify-smoke clean
+# Pinned external linter versions. The tools are optional — the build
+# container has no network, so `make lint` runs them only when the binary
+# is already on PATH (CI installs them at exactly these versions).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build vet test race verify fmt-check lint lint-smoke bench bench-link bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke verify-smoke clean
 
 all: build
 
@@ -20,11 +26,36 @@ test:
 # recorder ring), and the verification engine must stay race-clean.
 race:
 	$(GO) test -race ./internal/harness ./internal/om ./internal/omd \
-		./internal/link ./internal/buildcache ./internal/obs ./internal/verify
+		./internal/link ./internal/buildcache ./internal/obs ./internal/verify \
+		./internal/dataflow
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs the Go-source linters: go vet, the repo's own nil-tolerant
+# receiver convention check over the observability packages, and — when
+# installed — staticcheck and govulncheck at the pinned versions above.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/niltolerant ./internal/obs
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck $(STATICCHECK_VERSION) not installed; skipping (CI runs it)"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "lint: govulncheck $(GOVULNCHECK_VERSION) not installed; skipping (CI runs it)"; fi
+
+# lint-smoke is the static-analysis gate on the linker's own output: every
+# golden matrix cell of two real benchmarks must come back with zero error
+# findings from the whole-program dataflow checks, and the fault-injection
+# probe must prove the checks still have teeth (a deliberately broken
+# pass run must be caught statically, no simulator, no journal).
+lint-smoke:
+	$(GO) run ./cmd/omlint -matrix -bench li,compress
+	$(GO) run ./cmd/omlint -faultcheck
 
 # bench runs the simulator benchmark suite and records it as
 # BENCH_sim.json, embedding the pre-engine baseline so one file shows the
@@ -106,7 +137,7 @@ verify-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzProfileRead$$' -fuzztime 10s ./internal/profile
 
 # verify is the tier-1 gate: everything CI runs.
-verify: build vet test race fmt-check bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke verify-smoke
+verify: build vet test race fmt-check lint lint-smoke bench-smoke linkbench-smoke trace-smoke pgo-smoke omd-smoke verify-smoke
 
 clean:
 	$(GO) clean ./...

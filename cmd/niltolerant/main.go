@@ -1,0 +1,43 @@
+// Command niltolerant is the standalone runner for the nil-tolerant
+// receiver convention check (see internal/analyzers/niltolerant). It is
+// what `make verify` runs over the observability packages; when
+// golang.org/x/tools is available the analyzer can instead be repackaged
+// as a `go vet -vettool` pass, which this command's file:line:col output
+// already matches.
+//
+// Usage:
+//
+//	niltolerant dir...
+//
+// Each argument is one package directory (no recursion). Exits 1 if any
+// method uses its pointer receiver without a nil guard.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/analyzers/niltolerant"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: niltolerant dir...")
+		os.Exit(2)
+	}
+	bad := false
+	for _, dir := range os.Args[1:] {
+		findings, err := niltolerant.CheckDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "niltolerant:", err)
+			os.Exit(1)
+		}
+		for _, f := range findings {
+			fmt.Println(f)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

@@ -5,12 +5,18 @@
 // Usage:
 //
 //	om [-o a.out] [-level none|simple|full] [-schedule] [-nostdlib]
-//	   [-profile file] [-stats] [-trace file] [-verify] [-metrics]
+//	   [-profile file] [-stats] [-trace file] [-verify] [-lint] [-metrics]
 //	   [-warmcheck] [-v] file.o...
 //
 // -warmcheck links the program a second time through the per-procedure warm
 // memo and fails unless the replayed image is byte-identical to the first —
 // a command-line probe of the incremental pipeline's core invariant.
+//
+// -lint shadows the link with the static whole-program dataflow analysis:
+// the symbolic program is analyzed before and after the optimization
+// passes, and the link fails if the passes introduce any error finding the
+// input program did not already carry (no simulator, no decision journal —
+// purely static).
 //
 // -verify translation-validates the produced image against the link's own
 // decision journal and refuses to write an image any rewrite of which cannot
@@ -32,6 +38,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/dataflow"
 	"repro/internal/harness"
 	"repro/internal/link"
 	"repro/internal/objfile"
@@ -53,6 +60,7 @@ func main() {
 	jobs := flag.Int("j", 0, "max concurrent analysis goroutines (0 = GOMAXPROCS)")
 	trace := flag.String("trace", "", "write the decision journal (one event per address load/call/GP-reset) to this file")
 	verifyFlag := flag.Bool("verify", false, "translation-validate the image against the decision journal before writing it")
+	lint := flag.Bool("lint", false, "statically analyze the program before and after the passes; fail on any new error finding")
 	metrics := flag.Bool("metrics", false, "print per-phase timings as JSON on stderr")
 	warmcheck := flag.Bool("warmcheck", false, "relink through the warm per-procedure memo and verify the image is byte-identical")
 	verbose := flag.Bool("v", false, "print progress")
@@ -150,12 +158,40 @@ func main() {
 		memo = om.NewMemo(reg)
 		opts = append(opts, om.WithMemo(memo))
 	}
+	lintReports := map[om.ProgStage]*dataflow.Report{}
+	if *lint {
+		opts = append(opts, om.WithProgObserver(func(stage om.ProgStage, pg *om.Prog, pl *om.Plan) error {
+			rep, err := dataflow.AnalyzeProg(pg, pl, string(stage))
+			if err != nil {
+				return fmt.Errorf("lint %s: %w", stage, err)
+			}
+			lintReports[stage] = rep
+			return nil
+		}))
+	}
 	res, err := om.Run(context.Background(), p, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "om:", err)
 		os.Exit(1)
 	}
 	logger.Logf("om: optimized at %v: %v", lvl, res.Stats)
+	if *lint {
+		pre, post := lintReports[om.StageLifted], lintReports[om.StageOptimized]
+		if pre == nil || post == nil {
+			fmt.Fprintln(os.Stderr, "om: lint: analysis stages missing")
+			os.Exit(1)
+		}
+		if regressions := lintRegressions(pre, post); len(regressions) > 0 {
+			for _, f := range regressions {
+				fmt.Fprintf(os.Stderr, "om: lint: new %s\n", f.String())
+			}
+			fmt.Fprintf(os.Stderr, "om: lint: the passes introduced %d error finding(s); refusing to write %s\n",
+				len(regressions), *out)
+			os.Exit(1)
+		}
+		logger.Logf("om: lint ok (%d pre-pass, %d post-pass sites; %d pre-existing errors)",
+			pre.Checked, post.Checked, pre.Errors())
+	}
 	im := res.Image
 	if *verifyFlag {
 		doc, err := verify.ValidateImage(im, res.Journal)
@@ -239,4 +275,23 @@ func main() {
 		os.Exit(1)
 	}
 	logger.Logf("om: wrote %s", *out)
+}
+
+// lintRegressions returns the post-pass error findings absent from the
+// pre-pass report, keyed by (check, procedure): errors the passes
+// introduced, as opposed to problems the input program already carried.
+func lintRegressions(pre, post *dataflow.Report) []dataflow.Finding {
+	had := make(map[string]bool)
+	for _, f := range pre.Findings {
+		if f.Severity == dataflow.SevError {
+			had[f.ID+"\x00"+f.Proc] = true
+		}
+	}
+	var out []dataflow.Finding
+	for _, f := range post.Findings {
+		if f.Severity == dataflow.SevError && !had[f.ID+"\x00"+f.Proc] {
+			out = append(out, f)
+		}
+	}
+	return out
 }

@@ -1,0 +1,192 @@
+// Package niltolerant checks the repository's nil-tolerant observability
+// convention: a pointer-receiver method on a checked package's types must
+// either guard the nil receiver — compare it against nil before touching it
+// — or never use the receiver at all. The convention (documented in package
+// obs) is what lets instrumented code thread an optional registry, span, or
+// counter through hot paths without branching at every call site; a single
+// unguarded method turns every such call site into a latent panic.
+//
+// The checker is deliberately syntactic, built on the standard library's
+// go/parser and go/ast alone so it runs in the offline build container. It
+// mirrors the go/analysis reporting shape (one diagnostic per position) so
+// it can be repackaged as a `go vet -vettool` pass when golang.org/x/tools
+// is available; cmd/niltolerant is the standalone runner `make verify`
+// invokes.
+//
+// The nil comparison is recognized anywhere in the method body, not just
+// dominating the first use — control-flow precision would need go/types
+// and SSA. In this codebase the guard idiom is an early `if x == nil`
+// return, which the syntactic rule accepts; what it cannot prove is that
+// the guard executes before the use, an acceptable gap for a convention
+// lint. A method may opt out with a `// niltolerant: <reason>` line in its
+// doc comment when a nil receiver is impossible by construction.
+package niltolerant
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one convention violation.
+type Finding struct {
+	Pos    token.Position
+	Recv   string // receiver type, e.g. "*Span"
+	Method string
+}
+
+// String renders the finding in the file:line: message form vet prints.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: method (%s).%s uses its receiver without a nil guard",
+		filepath.ToSlash(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Recv, f.Method)
+}
+
+// CheckDir parses every non-test .go file in dir (no recursion, matching
+// `go vet` package granularity) and returns the violations in file order.
+func CheckDir(dir string) ([]Finding, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var out []Finding
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CheckFile(fset, file)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out, nil
+}
+
+// CheckFile checks one parsed file.
+func CheckFile(fset *token.FileSet, file *ast.File) []Finding {
+	var out []Finding
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+			continue
+		}
+		field := fn.Recv.List[0]
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue // value receivers cannot be nil
+		}
+		if len(field.Names) == 0 || field.Names[0].Name == "_" {
+			continue // an unnamed receiver cannot be dereferenced
+		}
+		if optedOut(fn) {
+			continue
+		}
+		recv := field.Names[0].Name
+		if usesReceiver(fn.Body, recv) && !guardsReceiver(fn.Body, recv) {
+			out = append(out, Finding{
+				Pos:    fset.Position(fn.Name.Pos()),
+				Recv:   "*" + typeName(star.X),
+				Method: fn.Name.Name,
+			})
+		}
+	}
+	return out
+}
+
+// optedOut reports whether the method's doc comment carries a
+// `// niltolerant: <reason>` line.
+func optedOut(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(strings.TrimPrefix(c.Text, "//")), "niltolerant:") {
+			return true
+		}
+	}
+	return false
+}
+
+// usesReceiver reports whether body touches the receiver outside of nil
+// comparisons. Shadowing of the receiver name is not modeled; the
+// convention forbids it anyway (a shadowed receiver defeats the guard).
+func usesReceiver(body *ast.BlockStmt, recv string) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if isNilComparison(n, recv) {
+			return false // the guard itself is not a use
+		}
+		if id, ok := n.(*ast.Ident); ok && id.Name == recv {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// guardsReceiver reports whether body contains a `recv == nil` or
+// `recv != nil` comparison anywhere.
+func guardsReceiver(body *ast.BlockStmt, recv string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if isNilComparison(n, recv) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isNilComparison reports whether n is `recv == nil` or `recv != nil` (in
+// either operand order).
+func isNilComparison(n ast.Node, recv string) bool {
+	be, ok := n.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return false
+	}
+	return (isIdent(be.X, recv) && isIdent(be.Y, "nil")) ||
+		(isIdent(be.Y, recv) && isIdent(be.X, "nil"))
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// typeName renders the receiver's base type for diagnostics (Ident or
+// generic IndexExpr/IndexListExpr base).
+func typeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr:
+		return typeName(t.X)
+	case *ast.IndexListExpr:
+		return typeName(t.X)
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,98 @@
+package niltolerant
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CheckFile(fset, file)
+}
+
+func TestViolations(t *testing.T) {
+	findings := check(t, `package p
+
+type C struct{ n int }
+
+// Bad dereferences without a guard.
+func (c *C) Bad() int { return c.n }
+
+// BadCall forwards the receiver without a guard; the callee may not
+// tolerate nil either, so forwarding counts as use.
+func (c *C) BadCall() int { return c.Bad() }
+
+// Good guards before use.
+func (c *C) Good() int {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// GoodFlipped guards with the operands reversed.
+func (c *C) GoodFlipped() int {
+	if nil != c {
+		return c.n
+	}
+	return 0
+}
+
+// Unused never touches the receiver.
+func (c *C) Unused() int { return 0 }
+
+// Unnamed cannot dereference.
+func (*C) Unnamed() int { return 1 }
+
+type V struct{ n int }
+
+// Value receivers cannot be nil.
+func (v V) Value() int { return v.n }
+
+// Exempt opts out.
+// niltolerant: constructed internally, never nil
+func (c *C) Exempt() int { return c.n }
+`)
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.Method)
+	}
+	want := []string{"Bad", "BadCall"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("flagged %v, want %v", got, want)
+	}
+	if s := findings[0].String(); !strings.Contains(s, "(*C).Bad") || !strings.Contains(s, "src.go:6") {
+		t.Fatalf("diagnostic form: %s", s)
+	}
+}
+
+func TestGenericReceiver(t *testing.T) {
+	findings := check(t, `package p
+
+type Box[T any] struct{ v T }
+
+func (b *Box[T]) Get() T { return b.v }
+`)
+	if len(findings) != 1 || findings[0].Recv != "*Box" {
+		t.Fatalf("findings: %v", findings)
+	}
+}
+
+// TestObsClean pins the convention where it is load-bearing: the obs
+// package itself must be clean under the checker.
+func TestObsClean(t *testing.T) {
+	findings, err := CheckDir("../../obs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

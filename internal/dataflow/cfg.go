@@ -1,0 +1,167 @@
+package dataflow
+
+import "repro/internal/axp"
+
+// Block is one basic block: the half-open instruction range [Start, End)
+// and its successor blocks. A terminator with no successors (ret, halt, a
+// branch leaving the procedure) ends the procedure.
+type Block struct {
+	Start, End int
+	Succs      []int
+}
+
+// BuildCFG partitions the procedure into basic blocks and wires the edges.
+//
+// Leaders are: instruction 0; instruction 2 when a GP pair occupies the
+// entry (the entry+8 local entry point callers can branch to); every
+// branch target; and every instruction following a control transfer.
+// Calls (bsr, jsr) end their block with a fallthrough edge — the call
+// returns — while ret and call_pal HALT end it with none. A computed
+// branch (jmp) falls back to "all labels": every labeled block at program
+// level, every block at image level, the conservative over-approximation
+// the paper's whole-program view requires.
+func (pr *Proc) BuildCFG() {
+	n := len(pr.Code)
+	pr.Blocks = nil
+	pr.blockOf = make([]int, n)
+	if n == 0 {
+		return
+	}
+
+	leader := make([]bool, n)
+	leader[0] = true
+	if pr.PairAtEntry && n > 2 {
+		leader[2] = true
+	}
+	ends := func(in axp.Inst) bool {
+		return in.Op.IsBranch() || in.Op.IsJump() ||
+			(in.Op == axp.CALLPAL && in.PalFn == axp.PalHalt)
+	}
+	for i := range pr.Code {
+		if t := pr.Code[i].BranchTo; t >= 0 && t < n {
+			leader[t] = true
+		}
+		if ends(pr.Code[i].In) && i+1 < n {
+			leader[i+1] = true
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if !leader[i] {
+			continue
+		}
+		end := i + 1
+		for end < n && !leader[end] {
+			end++
+		}
+		b := len(pr.Blocks)
+		pr.Blocks = append(pr.Blocks, Block{Start: i, End: end})
+		for j := i; j < end; j++ {
+			pr.blockOf[j] = b
+		}
+		i = end - 1
+	}
+
+	// The computed-branch fallback target set.
+	known := pr.labelsKnown()
+	var fallback []int
+	for b := range pr.Blocks {
+		lead := &pr.Code[pr.Blocks[b].Start]
+		if known && !lead.HasLabel {
+			continue
+		}
+		fallback = append(fallback, b)
+	}
+
+	for b := range pr.Blocks {
+		blk := &pr.Blocks[b]
+		last := &pr.Code[blk.End-1]
+		in := last.In
+		next := -1
+		if blk.End < n {
+			next = pr.blockOf[blk.End]
+		}
+		switch {
+		case last.Ret || last.Halt:
+			// No successors.
+		case last.Call:
+			// bsr/jsr: the callee returns to the next instruction.
+			if next >= 0 {
+				blk.Succs = append(blk.Succs, next)
+			}
+		case in.Op == axp.JMP:
+			blk.Succs = append(blk.Succs, fallback...)
+		case in.Op.IsBranch() && !in.Op.IsCondBranch():
+			// Unconditional br: target only (or procedure exit when the
+			// target is outside).
+			if last.BranchTo >= 0 {
+				blk.Succs = append(blk.Succs, pr.blockOf[last.BranchTo])
+			}
+		case in.Op.IsCondBranch():
+			if last.BranchTo >= 0 {
+				blk.Succs = append(blk.Succs, pr.blockOf[last.BranchTo])
+			}
+			if next >= 0 {
+				blk.Succs = append(blk.Succs, next)
+			}
+		default:
+			// Plain fallthrough into the next leader (or off the end).
+			if next >= 0 {
+				blk.Succs = append(blk.Succs, next)
+			}
+		}
+	}
+}
+
+// labelsKnown reports whether the procedure carries label information
+// (program level); without it the computed-branch fallback must include
+// every block.
+func (pr *Proc) labelsKnown() bool {
+	for i := range pr.Code {
+		if pr.Code[i].HasLabel {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockOf returns the block index containing instruction i.
+func (pr *Proc) BlockOf(i int) int { return pr.blockOf[i] }
+
+// Entries returns the block indexes control can enter the procedure at:
+// block 0, plus the entry+8 block when a GP pair occupies the entry.
+func (pr *Proc) Entries() []int {
+	if len(pr.Blocks) == 0 {
+		return nil
+	}
+	es := []int{0}
+	if pr.PairAtEntry && len(pr.Code) > 2 {
+		if b := pr.blockOf[2]; b != 0 {
+			es = append(es, b)
+		}
+	}
+	return es
+}
+
+// Reachable marks the blocks reachable from the procedure's entry points.
+func (pr *Proc) Reachable() []bool {
+	seen := make([]bool, len(pr.Blocks))
+	var stack []int
+	for _, e := range pr.Entries() {
+		if !seen[e] {
+			seen[e] = true
+			stack = append(stack, e)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range pr.Blocks[b].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,199 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/axp"
+	"repro/internal/objfile"
+)
+
+// FromImage builds the unified model by decoding a fully linked
+// executable: procedure extents from the symbol table, GP values and slot
+// contents from the image's global address tables. Everything is concrete
+// here — the analysis runs in KConst and checks the very bytes the
+// simulator would execute.
+func FromImage(im *objfile.Image) (*Program, error) {
+	p := &Program{Source: "image", Clusters: len(im.GATs)}
+	p.GPValue = make([]uint64, len(im.GATs))
+	for k, g := range im.GATs {
+		p.GPValue[k] = g.GP
+	}
+	clusterOf := func(gp uint64) int {
+		for k, g := range im.GATs {
+			if g.GP == gp {
+				return k
+			}
+		}
+		return -1
+	}
+
+	var syms []objfile.ImageSymbol
+	for _, s := range im.Symbols {
+		if s.Kind == objfile.SymProc && s.Size > 0 {
+			syms = append(syms, s)
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i].Addr < syms[j].Addr })
+
+	texts := im.TextSegments()
+	for _, s := range syms {
+		var seg *objfile.Segment
+		for _, t := range texts {
+			if s.Addr >= t.Addr && s.Addr+s.Size <= t.Addr+uint64(len(t.Data)) {
+				seg = t
+				break
+			}
+		}
+		if seg == nil {
+			return nil, fmt.Errorf("dataflow: %s [%#x,%#x) outside every text segment",
+				s.Name, s.Addr, s.Addr+s.Size)
+		}
+		code := seg.Data[s.Addr-seg.Addr : s.Addr-seg.Addr+s.Size]
+		insts, err := axp.DecodeAll(code)
+		if err != nil {
+			return nil, fmt.Errorf("dataflow: %s: %w", s.Name, err)
+		}
+
+		dp := &Proc{
+			Name:    s.Name,
+			Addr:    s.Addr,
+			Cluster: clusterOf(s.GP),
+			Code:    make([]Inst, len(insts)),
+		}
+		dp.PairAtEntry = len(insts) > 1 &&
+			insts[0].Op == axp.LDAH && insts[0].Ra == axp.GP && insts[0].Rb == axp.PV &&
+			insts[1].Op == axp.LDA && insts[1].Ra == axp.GP && insts[1].Rb == axp.GP
+
+		for i, in := range insts {
+			inst := &dp.Code[i]
+			inst.In = in
+			inst.Addr = s.Addr + uint64(4*i)
+			inst.BranchTo = -1
+			inst.SetsGP, inst.SetsGPHi, inst.GPAnchor = -1, -1, -1
+
+			switch {
+			case in.Op == axp.JSR:
+				inst.Call = true
+				inst.Fan = true
+			case in.Op == axp.BSR:
+				inst.Call = true // targets resolved once every extent is known
+			case in.Op == axp.RET:
+				inst.Ret = true
+			case in.Op == axp.CALLPAL && in.PalFn == axp.PalHalt:
+				inst.Halt = true
+			case in.Op.IsBranch():
+				t := axp.BranchTarget(in, inst.Addr)
+				if t >= s.Addr && t < s.Addr+s.Size {
+					inst.BranchTo = int((t - s.Addr) / 4)
+				}
+			}
+		}
+		p.Procs = append(p.Procs, dp)
+	}
+
+	// quadAt reads an initialized quadword from the image.
+	quadAt := func(addr uint64) (uint64, bool) {
+		for i := range im.Segments {
+			sg := &im.Segments[i]
+			if addr >= sg.Addr && addr+8 <= sg.Addr+uint64(len(sg.Data)) {
+				return objfile.Uint64At(sg.Data, addr-sg.Addr), true
+			}
+		}
+		return 0, false
+	}
+	inGAT := func(addr uint64) bool {
+		for _, g := range im.GATs {
+			if addr >= g.Start && addr+8 <= g.End {
+				return true
+			}
+		}
+		return false
+	}
+	inImage := func(addr uint64) bool {
+		for i := range im.Segments {
+			sg := &im.Segments[i]
+			if addr >= sg.Addr && addr <= sg.End() {
+				return true
+			}
+		}
+		return false
+	}
+	inText := func(addr uint64) bool {
+		for _, t := range texts {
+			if addr >= t.Addr && addr < t.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	// The GAT is the image's only read-only address table; loads through it
+	// produce known constants. Mutable data stays ⊤.
+	p.SlotValue = func(addr uint64) (Value, bool) {
+		if !inGAT(addr) {
+			return Value{}, false
+		}
+		q, ok := quadAt(addr)
+		if !ok {
+			return Value{}, false
+		}
+		return Value{Kind: KConst, C: q}, true
+	}
+
+	// Second pass, with every extent and entry pair known: resolve bsr
+	// targets and classify GAT address loads.
+	for _, dp := range p.Procs {
+		gp := uint64(0)
+		if dp.Cluster >= 0 {
+			gp = p.GPValue[dp.Cluster]
+		}
+		for i := range dp.Code {
+			inst := &dp.Code[i]
+			in := inst.In
+			switch {
+			case in.Op == axp.BSR:
+				t := axp.BranchTarget(in, inst.Addr)
+				if ti, off := p.ProcByAddr(t); ti >= 0 {
+					inst.Targets = []CallTarget{{Proc: ti, Off: off}}
+				} else {
+					p.Extra = append(p.Extra, Finding{
+						ID: "DF005", Proc: dp.Name, Addr: inst.Addr,
+						Detail: fmt.Sprintf("bsr targets %#x, not a procedure entry", t),
+					})
+				}
+			case in.Op == axp.LDQ && in.Rb == axp.GP && dp.Cluster >= 0:
+				slot := gp + uint64(int64(in.Disp))
+				if !inGAT(slot) {
+					break
+				}
+				inst.LitLoad = true
+				inst.LitSlotOK = true
+				c, ok := quadAt(slot)
+				switch {
+				case !ok:
+					inst.LitSlotOK = false
+					inst.LitDetail = fmt.Sprintf("GAT slot %#x is uninitialized", slot)
+				case inText(c):
+					if ti, _ := p.ProcByAddr(c); ti < 0 {
+						inst.LitSlotOK = false
+						inst.LitDetail = fmt.Sprintf("GAT slot %#x holds %#x, inside text but not a procedure entry", slot, c)
+					}
+				case !inImage(c):
+					inst.LitSlotOK = false
+					inst.LitDetail = fmt.Sprintf("GAT slot %#x holds %#x, outside the image", slot, c)
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// AnalyzeImage decodes a linked image and runs the full analysis.
+func AnalyzeImage(im *objfile.Image) (*Report, error) {
+	p, err := FromImage(im)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(p), nil
+}

@@ -1,0 +1,153 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/axp"
+)
+
+func TestLivenessLoop(t *testing.T) {
+	// i0: lda t0, 7(zero)      t0 := 7
+	// i1: addq t0, t1, t0      loop body reads t0, t1
+	// i2: bne t1 -> i1         loop back edge
+	// i3: ret
+	pr := synth(t,
+		Inst{In: axp.MemInst(axp.LDA, axp.T0, axp.Zero, 7)},
+		Inst{In: axp.OpInst(axp.ADDQ, axp.T0, axp.T1, axp.T0), HasLabel: true},
+		branch(axp.BNE, 1),
+		ret(),
+	)
+	liveIn, _ := pr.Liveness()
+	entry := liveIn[pr.BlockOf(0)]
+	if entry.Int&(1<<axp.T0) != 0 {
+		t.Fatal("t0 live-in at entry despite the definition before its use")
+	}
+	if entry.Int&(1<<axp.T1) == 0 {
+		t.Fatal("t1 read in the loop is not live-in at entry")
+	}
+	out := pr.LiveOutAt()
+	if out[0].Int&(1<<axp.T0) == 0 {
+		t.Fatal("t0 dead after its definition despite the loop's use")
+	}
+}
+
+func TestLivenessCallReadsAll(t *testing.T) {
+	// A call must be treated as reading every register: a definition before
+	// it is live into the call even with no explicit later use.
+	pr := synth(t,
+		Inst{In: axp.MemInst(axp.LDA, axp.T5, axp.Zero, 3)},
+		Inst{In: axp.BranchInst(axp.BSR, axp.RA, 0), Call: true,
+			Targets: []CallTarget{{Proc: 0}}, BranchTo: -1},
+		ret(),
+	)
+	out := pr.LiveOutAt()
+	if out[0].Int&(1<<axp.T5) == 0 {
+		t.Fatal("t5 dead before a call under the call-reads-all model")
+	}
+}
+
+func TestReachingDefsCallSiteAliasing(t *testing.T) {
+	// A call site defines every register at once. A later definition of one
+	// register must not kill the site: its definitions of the other
+	// registers still reach.
+	//
+	// i0: bsr f            defines everything, including t5
+	// i1: lda t8, 500(zero)  redefines t8 only
+	// i2: stq t5, 0(sp)      reads t5 — the call's definition must reach
+	pr := synth(t,
+		Inst{In: axp.BranchInst(axp.BSR, axp.RA, 0), Call: true,
+			Targets: []CallTarget{{Proc: 0}}, BranchTo: -1},
+		Inst{In: axp.MemInst(axp.LDA, axp.T8, axp.Zero, 500)},
+		Inst{In: axp.MemInst(axp.STQ, axp.T5, axp.SP, 0)},
+		ret(),
+	)
+	df := pr.ReachingDefs()
+	at2 := df.ReachAt(2)
+	if !at2.intersects(df.DefsOf[axp.T5]) {
+		t.Fatal("call-site definition of t5 killed by an unrelated lda")
+	}
+	// The lda did kill nothing else's t8 claim but its own site reaches.
+	if !at2.intersects(df.DefsOf[axp.T8]) {
+		t.Fatal("lda t8 definition does not reach the following use point")
+	}
+}
+
+func TestReachingDefsCallKillsPriorDefs(t *testing.T) {
+	// A call clobbers every register, including a prior call's definitions:
+	// nothing from before it reaches past it.
+	pr := synth(t,
+		Inst{In: axp.MemInst(axp.LDA, axp.T0, axp.Zero, 1)},
+		Inst{In: axp.BranchInst(axp.BSR, axp.RA, 0), Call: true,
+			Targets: []CallTarget{{Proc: 0}}, BranchTo: -1},
+		Inst{In: axp.BranchInst(axp.BSR, axp.RA, 0), Call: true,
+			Targets: []CallTarget{{Proc: 0}}, BranchTo: -1},
+		Inst{In: axp.OpInst(axp.ADDQ, axp.T0, axp.T0, axp.T0)},
+		ret(),
+	)
+	df := pr.ReachingDefs()
+	at3 := df.ReachAt(3)
+	var want bitset = newBitset(len(pr.Code))
+	want.set(2)
+	if !equalBits(at3, want) {
+		t.Fatalf("after back-to-back calls, reaching set is %v, want only the second call", at3)
+	}
+}
+
+func TestReachingDefsMerge(t *testing.T) {
+	// Two definitions of t0 on diverging paths both reach the join.
+	// i0: beq -> i3
+	// i1: lda t0, 1(zero)
+	// i2: br -> i4
+	// i3: lda t0, 2(zero)
+	// i4: addq t0,t0,t0 (join)
+	pr := synth(t,
+		branch(axp.BEQ, 3),
+		Inst{In: axp.MemInst(axp.LDA, axp.T0, axp.Zero, 1)},
+		branch(axp.BR, 4),
+		Inst{In: axp.MemInst(axp.LDA, axp.T0, axp.Zero, 2), HasLabel: true},
+		Inst{In: axp.OpInst(axp.ADDQ, axp.T0, axp.T0, axp.T0), HasLabel: true},
+		ret(),
+	)
+	df := pr.ReachingDefs()
+	at4 := df.ReachAt(4)
+	var want bitset = newBitset(len(pr.Code))
+	want.set(1)
+	want.set(3)
+	if !equalBits(at4, want) {
+		t.Fatalf("join reaching set %v, want sites {1,3}", at4)
+	}
+}
+
+func TestDominators(t *testing.T) {
+	// Diamond: B0 -> {B1, B2} -> B3; idom(B3) = B0.
+	pr := synth(t,
+		branch(axp.BEQ, 2),                  // B0
+		branch(axp.BR, 3),                   // B1
+		Inst{In: axp.Nop(), HasLabel: true}, // B2 head
+		Inst{In: axp.Nop(), HasLabel: true}, // B3 head (join)
+		ret(),
+	)
+	idom := pr.Dominators()
+	b0, b3 := pr.BlockOf(0), pr.BlockOf(3)
+	if idom[b0] != -1 {
+		t.Fatalf("entry block has idom %d, want -1", idom[b0])
+	}
+	if idom[b3] != b0 {
+		t.Fatalf("join block idom %d, want entry %d", idom[b3], b0)
+	}
+	if idom[pr.BlockOf(1)] != b0 || idom[pr.BlockOf(2)] != b0 {
+		t.Fatal("diamond arms not immediately dominated by the entry")
+	}
+}
+
+func TestDominatorsUnreachable(t *testing.T) {
+	pr := synth(t,
+		ret(),
+		Inst{In: axp.Nop()}, // dead code past the return
+		ret(),
+	)
+	idom := pr.Dominators()
+	if b := pr.BlockOf(1); idom[b] != -1 {
+		t.Fatalf("unreachable block has idom %d, want -1", idom[b])
+	}
+}

@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestRunnerWithLint: a linting runner statically analyzes every OM-linked
+// cell's image, attaches the clean om-lint/v1 report to the measurement,
+// and — with verification also on — cross-checks the static findings
+// against the dynamic verdicts. Standard-link cells carry neither.
+func TestRunnerWithLint(t *testing.T) {
+	r, err := New(WithLint(true), WithVerify(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := spec.ByName("compress")
+	if !ok {
+		t.Fatal("no benchmark compress")
+	}
+	res, err := r.RunBenchmark(context.Background(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, m := range res.M {
+		if v.Link == LinkStandard {
+			if m.Lint != nil {
+				t.Errorf("%v: standard link carries a lint report", v)
+			}
+			continue
+		}
+		if m.Lint == nil {
+			t.Errorf("%v: OM cell has no lint report", v)
+			continue
+		}
+		if m.Lint.Source != "image" || m.Lint.Checked == 0 {
+			t.Errorf("%v: lint report source=%q checked=%d", v, m.Lint.Source, m.Lint.Checked)
+		}
+		if n := m.Lint.Errors(); n != 0 {
+			t.Errorf("%v: %d error findings on a clean image; first: %s", v, n, m.Lint.Findings[0])
+		}
+		if err := m.Verify.CrossCheckStatic(m.Lint); err != nil {
+			t.Errorf("%v: engines disagree: %v", v, err)
+		}
+	}
+}

@@ -46,9 +46,12 @@ type JournalDoc struct {
 	Events []Event           `json:"events"`
 }
 
-// Recount tallies events by reason code.
+// Recount tallies events by reason code (empty for a nil journal).
 func (d *JournalDoc) Recount() map[string]uint64 {
 	m := make(map[string]uint64)
+	if d == nil {
+		return m
+	}
 	for _, e := range d.Events {
 		m[e.Reason]++
 	}
@@ -59,6 +62,9 @@ func (d *JournalDoc) Recount() map[string]uint64 {
 // count equals its declared total (no candidate site missing from the
 // journal) and the stored reason counts match the events.
 func (d *JournalDoc) Check() error {
+	if d == nil {
+		return fmt.Errorf("journal: no document")
+	}
 	if d.Schema != JournalSchema {
 		return fmt.Errorf("journal: schema %q, want %q", d.Schema, JournalSchema)
 	}
@@ -89,8 +95,11 @@ func (d *JournalDoc) Check() error {
 }
 
 // Reasons returns the journal's reason codes sorted by descending count
-// (ties by name) for stable summaries.
+// (ties by name) for stable summaries (nil for a nil journal).
 func (d *JournalDoc) Reasons() []string {
+	if d == nil {
+		return nil
+	}
 	reasons := make([]string, 0, len(d.Counts))
 	for r := range d.Counts {
 		reasons = append(reasons, r)

@@ -22,6 +22,7 @@ type config struct {
 	profile     *profile.Profile
 	memo        *Memo
 	span        *obs.Span
+	observer    func(ProgStage, *Prog, *Plan) error
 }
 
 // Option configures a Run.
@@ -92,6 +93,28 @@ func WithMemo(m *Memo) Option { return func(c *config) { c.memo = m } }
 // and instrumentation runs ignore the option.
 func WithProfile(p *profile.Profile) Option { return func(c *config) { c.profile = p } }
 
+// ProgStage identifies the pipeline point a WithProgObserver callback sees.
+type ProgStage string
+
+const (
+	// StageLifted is the symbolic program fresh from lifting, before any
+	// optimization pass runs.
+	StageLifted ProgStage = "lifted"
+	// StageOptimized is the transformed program under its final plan, after
+	// every pass (and the fault-injection hook, when armed).
+	StageOptimized ProgStage = "optimized"
+)
+
+// WithProgObserver invokes fn on the symbolic program at StageLifted (under
+// a fresh unoptimized plan) and again at StageOptimized (under the final
+// plan) — the two snapshots `om -lint` compares in shadow mode. The observer
+// must treat the program and plan as read-only; an error aborts the Run.
+// Observed runs bypass the pass memo's warm path so the observer sees the
+// real pipeline, never a replay, and instrumentation runs ignore the option.
+func WithProgObserver(fn func(ProgStage, *Prog, *Plan) error) Option {
+	return func(c *config) { c.observer = fn }
+}
+
 // Result is the outcome of a Run.
 type Result struct {
 	// Image is the regenerated executable.
@@ -125,7 +148,7 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 	// form, recompute the final plan, and emit.
 	var passKeys []string
 	var passCtx string
-	if cfg.memo != nil && !cfg.trace && !cfg.instrument {
+	if cfg.memo != nil && !cfg.trace && !cfg.instrument && cfg.observer == nil {
 		lookupSpan := cfg.span.Child("om/memo-lookup")
 		if pctx, ok := passContext(p, &cfg); ok {
 			passCtx = pctx
@@ -203,6 +226,16 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		}
 	}
 
+	if cfg.observer != nil {
+		basePl, err := computePlan(pg, planOpts{})
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.observer(StageLifted, pg, basePl); err != nil {
+			return nil, err
+		}
+	}
+
 	cfg.metrics.Counter("om/passes/procs").Add(uint64(len(pg.Procs)))
 	passSpan := cfg.span.Child("om/passes")
 	passDone := obs.StartSpan(cfg.metrics.Timer("om/passes"))
@@ -244,6 +277,11 @@ func Run(ctx context.Context, p *link.Program, opts ...Option) (*Result, error) 
 		faultHook(pg)
 	}
 	collectAfter(pg, pl, stats)
+	if cfg.observer != nil {
+		if err := cfg.observer(StageOptimized, pg, pl); err != nil {
+			return nil, err
+		}
+	}
 
 	// Renumber before publication and emission: the ordinals index Emit's
 	// address scratch, and once the program reaches the pass memo concurrent

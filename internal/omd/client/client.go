@@ -245,6 +245,20 @@ func (c *Client) Verify(ctx context.Context, id string) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
+// Lint fetches a linted job's findings documents (om-lint/v1 bytes).
+func (c *Client) Lint(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/lint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
 // Trace fetches a job's span tree (om-trace/v1). While the job is live the
 // server returns a snapshot of the open tree; after completion, the final
 // recorded document.

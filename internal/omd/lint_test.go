@@ -1,0 +1,171 @@
+package omd_test
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+	"repro/internal/om"
+	"repro/internal/omd"
+)
+
+// TestLintJob: a job submitted with lint gets the static whole-program
+// analysis at both symbolic stages plus the image, the totals land in the
+// status and the counters, the om-lint/v1 documents are served at
+// /jobs/{id}/lint, and the job's trace carries the analysis spans.
+func TestLintJob(t *testing.T) {
+	s := newTestServer(t, omd.Config{Workers: 2, QueueDepth: 8})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	st, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li", Lint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != omd.JobDone {
+		t.Fatalf("state %s (%s)", st.State, st.Error)
+	}
+	if !st.Linted {
+		t.Fatal("linted job status does not say so")
+	}
+	if st.LintChecked == 0 {
+		t.Fatal("lint checked nothing")
+	}
+
+	raw, err := c.Lint(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc omd.LintDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != dataflow.Schema {
+		t.Fatalf("served schema %q, want %q", doc.Schema, dataflow.Schema)
+	}
+	if len(doc.Reports) != 3 {
+		t.Fatalf("%d reports served, want lifted+optimized+image", len(doc.Reports))
+	}
+	wantStages := []string{"lifted", "optimized", ""}
+	for i, r := range doc.Reports {
+		if r.Stage != wantStages[i] {
+			t.Fatalf("report %d stage %q, want %q", i, r.Stage, wantStages[i])
+		}
+		if r.Errors() != 0 {
+			t.Fatalf("report %d carries %d errors on a done job", i, r.Errors())
+		}
+	}
+	if doc.Checked() != st.LintChecked {
+		t.Fatalf("status total %d disagrees with the document %d", st.LintChecked, doc.Checked())
+	}
+
+	tr, err := c.Trace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{"lint-lifted", "lint-optimized", "lint"} {
+		if tr.Find(span) == nil {
+			t.Fatalf("job trace has no %s span", span)
+		}
+	}
+	if ls := tr.Find("lint"); ls.Attrs["outcome"] != "ok" {
+		t.Fatalf("lint span attrs: %v", ls.Attrs)
+	}
+
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("omd/lint-runs") == 0 {
+		t.Error("omd/lint-runs not counted")
+	}
+	if snap.Counter("omd/lint-checked") == 0 {
+		t.Error("omd/lint-checked not counted")
+	}
+	if n := snap.Counter("omd/lint-errors"); n != 0 {
+		t.Errorf("omd/lint-errors = %d on a clean run", n)
+	}
+
+	// A repeat submission is a memo hit and keeps the findings.
+	st2, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li", Lint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.MemoHit || !st2.Linted || st2.LintChecked != st.LintChecked {
+		t.Fatalf("memoized lint job lost its findings: %+v", st2)
+	}
+}
+
+// TestLintKeyDistinct: linting changes what a job proves, so a linted and
+// an unlinted submission of the same inputs must not share a coalescing
+// key.
+func TestLintKeyDistinct(t *testing.T) {
+	s := newTestServer(t, omd.Config{Workers: 2, QueueDepth: 8})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	plain, err := c.SubmitWait(ctx, &omd.JobSpec{Version: omd.SpecVersion, Benchmark: "compress"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	linted, err := c.SubmitWait(ctx, &omd.JobSpec{Version: omd.SpecVersion, Benchmark: "compress", Lint: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Key == linted.Key {
+		t.Fatal("lint flag does not enter the coalescing key")
+	}
+	if linted.MemoHit {
+		t.Fatal("lint job answered from an unlinted memo entry")
+	}
+	if plain.Linted {
+		t.Fatal("unlinted job claims findings")
+	}
+}
+
+// TestLintCatchesBrokenPass: the service-level half of the acceptance
+// criterion — with a deliberately-broken OM pass injected, an explicit
+// lint job fails on the static findings alone (no simulator, no journal).
+func TestLintCatchesBrokenPass(t *testing.T) {
+	restore := om.SetFaultHookForTesting(func(pg *om.Prog) {
+		for _, pr := range pg.Procs {
+			for _, si := range pr.Insts {
+				if si.Lit != nil && !si.Lit.Converted && !si.Lit.Nullified && !si.Deleted {
+					si.Deleted = true
+					return
+				}
+			}
+		}
+	})
+	defer restore()
+
+	s := newTestServer(t, omd.Config{Workers: 1, QueueDepth: 8})
+	c := startHTTP(t, s)
+	ctx := context.Background()
+
+	st, err := c.SubmitWait(ctx, &omd.JobSpec{
+		Version: omd.SpecVersion, Benchmark: "li", Lint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != omd.JobFailed {
+		t.Fatalf("broken pass not caught: state %s", st.State)
+	}
+	if !strings.Contains(st.Error, "lint failed") {
+		t.Fatalf("failure is not a lint error: %s", st.Error)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counter("omd/lint-errors") == 0 {
+		t.Error("lint error findings not counted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/buildcache"
+	"repro/internal/dataflow"
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/obs"
@@ -114,6 +115,7 @@ type result struct {
 	stats         *om.Stats
 	journal       *obs.JournalDoc
 	verify        *verify.Doc
+	lint          *LintDoc
 	sim           *SimStats
 	imageCacheHit bool
 }
@@ -560,7 +562,10 @@ func (s *Server) execute(ctx context.Context, rs *resolved, sp *obs.Span) (*resu
 		s.verifySeq.Add(1)%uint64(s.cfg.VerifySample) == 0 {
 		shadow = true
 	}
-	if !rs.traced && !verifying && !shadow {
+	// A linting job needs the symbolic program at both observer stages,
+	// which only a fresh execution produces — no cache retains it.
+	linting := rs.spec.Lint
+	if !rs.traced && !verifying && !shadow && !linting {
 		ics := sp.Child("image-cache")
 		im, ok := s.cache.GetImage(rs.key)
 		ics.SetAttr("hit", strconv.FormatBool(ok))
@@ -630,6 +635,23 @@ func (s *Server) execute(ctx context.Context, rs *resolved, sp *obs.Span) (*resu
 		// did not ask for a trace; it is stripped from the result below.
 		opts = append(opts, om.WithTrace())
 	}
+	var progReports []*dataflow.Report
+	if linting {
+		// The observer runs synchronously inside om.Run; each stage gets
+		// its own analysis span on the job trace.
+		opts = append(opts, om.WithProgObserver(func(stage om.ProgStage, pg *om.Prog, pl *om.Plan) error {
+			as := sp.Child("lint-" + string(stage))
+			defer as.End()
+			rep, err := dataflow.AnalyzeProg(pg, pl, string(stage))
+			if err != nil {
+				return err
+			}
+			as.SetAttr("checked", strconv.FormatUint(rep.Checked, 10))
+			as.SetAttr("errors", strconv.Itoa(rep.Errors()))
+			progReports = append(progReports, rep)
+			return nil
+		}))
+	}
 	omres, err := om.Run(ctx, p, opts...)
 	linkDone()
 	omSpan.End()
@@ -642,12 +664,18 @@ func (s *Server) execute(ctx context.Context, rs *resolved, sp *obs.Span) (*resu
 			return nil, err
 		}
 	}
-	if !rs.traced && !verifying {
+	var ldoc *LintDoc
+	if linting {
+		if ldoc, err = s.lintImage(progReports, omres.Image, sp); err != nil {
+			return nil, err
+		}
+	}
+	if !rs.traced && !verifying && !linting {
 		if err := s.cache.PutImage(rs.key, omres.Image); err != nil {
 			return nil, err
 		}
 	}
-	res := &result{stats: omres.Stats, journal: omres.Journal, verify: vdoc}
+	res := &result{stats: omres.Stats, journal: omres.Journal, verify: vdoc, lint: ldoc}
 	if !rs.traced {
 		// The journal, if any, was forced for verification only.
 		res.journal = nil
@@ -746,6 +774,46 @@ func (s *Server) verifyImage(im *objfile.Image, j *obs.JournalDoc, sp *obs.Span,
 	return doc, nil
 }
 
+// lintImage completes a lint job's analysis: the emitted image joins the
+// two symbolic-program reports the observer collected, under a "lint"
+// child span with the finding totals as attributes. Any error-severity
+// finding across the three documents fails the job.
+func (s *Server) lintImage(progReports []*dataflow.Report, im *objfile.Image, sp *obs.Span) (*LintDoc, error) {
+	ls := sp.Child("lint")
+	defer ls.End()
+	s.reg.Counter("omd/lint-runs").Add(1)
+	lintDone := obs.StartSpan(s.reg.Timer("omd/lint"))
+	imgRep, err := dataflow.AnalyzeImage(im)
+	lintDone()
+	if err != nil {
+		ls.SetAttr("outcome", "failed")
+		return nil, fmt.Errorf("omd: lint: %w", err)
+	}
+	doc := &LintDoc{Schema: dataflow.Schema, Reports: append(progReports, imgRep)}
+	ls.SetAttr("checked", strconv.FormatUint(doc.Checked(), 10))
+	ls.SetAttr("errors", strconv.Itoa(doc.Errors()))
+	s.reg.Counter("omd/lint-checked").Add(doc.Checked())
+	s.reg.Counter("omd/lint-errors").Add(uint64(doc.Errors()))
+	if n := doc.Errors(); n > 0 {
+		ls.SetAttr("outcome", "failed")
+		var first string
+		for _, r := range doc.Reports {
+			for _, f := range r.Findings {
+				if f.Severity == dataflow.SevError {
+					first = f.String()
+					break
+				}
+			}
+			if first != "" {
+				break
+			}
+		}
+		return nil, fmt.Errorf("omd: lint failed: %d error finding(s); first: %s", n, first)
+	}
+	ls.SetAttr("outcome", "ok")
+	return doc, nil
+}
+
 func imageBytes(im *objfile.Image) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := im.Write(&buf); err != nil {
@@ -821,6 +889,10 @@ func (s *Server) status(rec *jobRecord) JobStatus {
 			st.Verified = true
 			st.VerifyChecked = rec.res.verify.Checked
 			st.VerifyFailed = rec.res.verify.Failed
+		}
+		if rec.res.lint != nil {
+			st.Linted = true
+			st.LintChecked = rec.res.lint.Checked()
 		}
 	}
 	return st
@@ -952,6 +1024,8 @@ func (s *Server) retryAfter() int {
 //	GET  /jobs/{id}/journal  the decision journal (om-journal/v1)
 //	GET  /jobs/{id}/verify   the verdict document (om-verify/v1; jobs
 //	                         submitted with verify only)
+//	GET  /jobs/{id}/lint     the findings documents (om-lint/v1; jobs
+//	                         submitted with lint only)
 //	GET  /jobs/{id}/trace    the job's span tree (om-trace/v1; live
 //	                         snapshot while the job runs)
 //	GET  /debug/flights      recent completed traces, newest first (?n=)
@@ -965,6 +1039,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/image", s.handleImage)
 	mux.HandleFunc("GET /jobs/{id}/journal", s.handleJournal)
 	mux.HandleFunc("GET /jobs/{id}/verify", s.handleVerify)
+	mux.HandleFunc("GET /jobs/{id}/lint", s.handleLint)
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /debug/flights", s.handleFlights)
 	return mux
@@ -1175,4 +1250,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = verify.Write(w, res.verify)
+}
+
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	rec := s.jobFor(w, r)
+	if rec == nil {
+		return
+	}
+	s.mu.Lock()
+	res := rec.res
+	s.mu.Unlock()
+	if res == nil || res.lint == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no findings (job not submitted with lint)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, res.lint)
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/buildcache"
+	"repro/internal/dataflow"
 	"repro/internal/objfile"
 	"repro/internal/om"
 	"repro/internal/profile"
@@ -66,6 +67,13 @@ type JobSpec struct {
 	// persistent image cache cannot answer them, because validation needs
 	// the journal of the run that produced the image.
 	Verify bool `json:"verify,omitempty"`
+	// Lint runs the static whole-program dataflow analysis over the job:
+	// the symbolic program before and after the optimization passes, and
+	// the emitted image. Any error-severity finding fails the job; the
+	// findings documents are served at GET /jobs/{id}/lint. Like Verify,
+	// a linted job always executes — the analysis needs the symbolic
+	// program, which no cache retains.
+	Lint bool `json:"lint,omitempty"`
 	// MaxInstructions caps a simulation (0 = server default).
 	MaxInstructions uint64 `json:"max_instructions,omitempty"`
 	// TimeoutMS overrides the server's per-job deadline (capped by it).
@@ -180,8 +188,8 @@ func (js *JobSpec) resolve() (*resolved, error) {
 // variant is the non-program half of the coalescing key: the canonical
 // option form plus every request knob that changes the result.
 func (r *resolved) variant() string {
-	return fmt.Sprintf("omd/%s/nostdlib=%v/sim=%v/maxinst=%d/verify=%v",
-		r.canonOpt, r.spec.NoStdlib, r.spec.Simulate, r.spec.MaxInstructions, r.spec.Verify)
+	return fmt.Sprintf("omd/%s/nostdlib=%v/sim=%v/maxinst=%d/verify=%v/lint=%v",
+		r.canonOpt, r.spec.NoStdlib, r.spec.Simulate, r.spec.MaxInstructions, r.spec.Verify, r.spec.Lint)
 }
 
 func (r *resolved) computeKey() error {
@@ -300,6 +308,31 @@ const (
 	JobFailed JobState = "failed"
 )
 
+// LintDoc bundles a linted job's findings documents: the symbolic program
+// at both observer stages plus the emitted image, in analysis order.
+type LintDoc struct {
+	Schema  string             `json:"schema"`
+	Reports []*dataflow.Report `json:"reports"`
+}
+
+// Checked totals the evaluated check sites across the reports.
+func (d *LintDoc) Checked() uint64 {
+	var n uint64
+	for _, r := range d.Reports {
+		n += r.Checked
+	}
+	return n
+}
+
+// Errors counts error-severity findings across the reports.
+func (d *LintDoc) Errors() int {
+	n := 0
+	for _, r := range d.Reports {
+		n += r.Errors()
+	}
+	return n
+}
+
 // SimStats is the dynamic half of a job result.
 type SimStats struct {
 	Exit         int64   `json:"exit"`
@@ -338,6 +371,12 @@ type JobStatus struct {
 	Verified      bool   `json:"verified,omitempty"`
 	VerifyChecked uint64 `json:"verify_checked,omitempty"`
 	VerifyFailed  uint64 `json:"verify_failed,omitempty"`
+	// Linted: the result carries om-lint/v1 findings documents, served at
+	// GET /jobs/{id}/lint. LintChecked totals the evaluated check sites
+	// across the lifted-program, optimized-program, and image analyses (an
+	// explicit Lint job with error findings never reaches JobDone).
+	Linted      bool   `json:"linted,omitempty"`
+	LintChecked uint64 `json:"lint_checked,omitempty"`
 	// TraceID correlates this job with GET /jobs/{id}/trace, the flight
 	// recorder, and the server's structured logs.
 	TraceID string `json:"trace_id,omitempty"`

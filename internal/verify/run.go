@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/dataflow"
 	"repro/internal/link"
 	"repro/internal/objfile"
 	"repro/internal/obs"
@@ -74,6 +75,10 @@ type CellResult struct {
 	Image   *objfile.Image
 	Journal *obs.JournalDoc
 	Doc     *Doc
+	// Static is the whole-program dataflow analysis of the produced image —
+	// the same invariants the journal validation witnesses dynamically,
+	// proved over the decoded bytes without running anything.
+	Static *dataflow.Report
 }
 
 // EngineProfile runs the image under the simulator's engine profiler and
@@ -139,16 +144,24 @@ func RunCell(ctx context.Context, objs []*objfile.Object, c Cell, prof *profile.
 	if err != nil {
 		return nil, fmt.Errorf("verify: %s: %w", c.Name(), err)
 	}
-	return &CellResult{Cell: c, Image: res.Image, Journal: res.Journal, Doc: doc}, nil
+	static, err := dataflow.AnalyzeImage(res.Image)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: static analysis: %w", c.Name(), err)
+	}
+	return &CellResult{Cell: c, Image: res.Image, Journal: res.Journal, Doc: doc, Static: static}, nil
 }
 
-// MatrixEntry is one row of a matrix verification report.
+// MatrixEntry is one row of a matrix verification report. Checked/Failed
+// count the dynamic journal validation; Static/StaticFailed count the
+// whole-program dataflow analysis of the same image.
 type MatrixEntry struct {
-	Label   string `json:"label"`
-	Cell    string `json:"cell"`
-	Checked uint64 `json:"checked"`
-	Failed  uint64 `json:"failed"`
-	Err     string `json:"err,omitempty"`
+	Label        string `json:"label"`
+	Cell         string `json:"cell"`
+	Checked      uint64 `json:"checked"`
+	Failed       uint64 `json:"failed"`
+	Static       uint64 `json:"static"`
+	StaticFailed uint64 `json:"staticFailed"`
+	Err          string `json:"err,omitempty"`
 }
 
 // RunMatrix verifies one program (already compiled to objects) across the
@@ -180,8 +193,17 @@ func RunMatrix(ctx context.Context, label string, objs []*objfile.Object, cells 
 			continue
 		}
 		e.Checked, e.Failed = r.Doc.Checked, r.Doc.Failed
+		e.Static = r.Static.Checked
+		e.StaticFailed = uint64(r.Static.Errors())
 		if err := r.Doc.Err(); err != nil {
 			e.Err = err.Error()
+		} else if n := r.Static.Errors(); n > 0 {
+			for _, f := range r.Static.Findings {
+				if f.Severity == dataflow.SevError {
+					e.Err = fmt.Sprintf("static analysis: %d error finding(s): %s", n, f.String())
+					break
+				}
+			}
 		}
 		out = append(out, e)
 	}

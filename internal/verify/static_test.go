@@ -1,0 +1,59 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dataflow"
+)
+
+// TestCrossCheckStatic exercises the static column of the cross-check
+// against hand-built reports; the end-to-end wiring over real images is
+// covered by the harness lint tests.
+func TestCrossCheckStatic(t *testing.T) {
+	doc := &Doc{Schema: Schema}
+	clean := &dataflow.Report{Schema: dataflow.Schema, Source: "image", Checked: 42}
+	if err := doc.CrossCheckStatic(clean); err != nil {
+		t.Fatalf("clean pair rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		rep  *dataflow.Report
+		want string
+	}{
+		{"nil", nil, "no static report"},
+		{"schema", &dataflow.Report{Schema: "bogus/v9", Source: "image", Checked: 1}, "schema"},
+		{"source", &dataflow.Report{Schema: dataflow.Schema, Source: "prog", Checked: 1}, "want an image"},
+		{"empty", &dataflow.Report{Schema: dataflow.Schema, Source: "image"}, "no check sites"},
+		{"error", &dataflow.Report{Schema: dataflow.Schema, Source: "image", Checked: 9,
+			Findings: []dataflow.Finding{{ID: "DF008", Check: "dangling-link",
+				Severity: dataflow.SevError, Proc: "main", Detail: "broken"}}},
+			"static analysis reports 1 error"},
+	}
+	for _, tc := range cases {
+		err := doc.CrossCheckStatic(tc.rep)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Info findings are optimality reports, not soundness disagreements.
+	missed := &dataflow.Report{Schema: dataflow.Schema, Source: "image", Checked: 7,
+		Findings: []dataflow.Finding{{ID: "DF002", Check: "dead-literal-load",
+			Severity: dataflow.SevInfo, Proc: "main"}}}
+	if err := doc.CrossCheckStatic(missed); err != nil {
+		t.Fatalf("info finding treated as disagreement: %v", err)
+	}
+
+	// A run the dynamic validator already failed carries no claim for the
+	// static column to contradict.
+	failed := &Doc{Schema: Schema}
+	failed.add(Verdict{Cat: "addr", Rule: "lda-witness", Count: 3, OK: false, Err: "bad"})
+	broken := &dataflow.Report{Schema: dataflow.Schema, Source: "image", Checked: 3,
+		Findings: []dataflow.Finding{{ID: "DF001", Check: "gp-clobbered-before-use",
+			Severity: dataflow.SevError, Proc: "main"}}}
+	if err := failed.CrossCheckStatic(broken); err != nil {
+		t.Fatalf("already-failed doc rejected: %v", err)
+	}
+}
